@@ -1,0 +1,42 @@
+//! Experiment E1/E2 (tables T1/T2): the full coarsest partition problem on
+//! random functional graphs — the paper's algorithm vs all baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfcp::{coarsest_partition, Algorithm, ALL_ALGORITHMS};
+use sfcp_bench::workloads::random_instance;
+use sfcp_pram::{Ctx, Mode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coarsest_random");
+    for &n in &[1usize << 14, 1 << 17] {
+        let instance = random_instance(n);
+        for algorithm in ALL_ALGORITHMS {
+            let slow_sequential =
+                algorithm == Algorithm::Naive || algorithm == Algorithm::Hopcroft;
+            if slow_sequential && n > (1 << 14) {
+                continue; // the quadratic oracle / splitter baseline is too slow here
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algorithm:?}"), n),
+                &instance,
+                |b, inst| {
+                    b.iter(|| {
+                        let ctx = Ctx::untracked(Mode::Parallel);
+                        coarsest_partition(&ctx, inst, algorithm)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Experiment E3 (table T3): cycles-only inputs — the cycle labelling half of
+//! the algorithm (Section 3) dominates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfcp::{coarsest_partition, Algorithm};
+use sfcp_bench::workloads::cycles_instance;
+use sfcp_pram::{Ctx, Mode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coarsest_cycles_only");
+    for &n in &[1usize << 14, 1 << 17] {
+        let instance = cycles_instance(n);
+        for algorithm in [Algorithm::SequentialLinear, Algorithm::Doubling, Algorithm::Parallel] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algorithm:?}"), n),
+                &instance,
+                |b, inst| {
+                    b.iter(|| {
+                        let ctx = Ctx::untracked(Mode::Parallel);
+                        coarsest_partition(&ctx, inst, algorithm)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

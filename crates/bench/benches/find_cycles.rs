@@ -1,0 +1,33 @@
+//! Experiment E8 (table T8): cycle-node detection — sequential peeling vs
+//! pointer jumping vs the paper's Euler-tour buddy-edge method (Section 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfcp_forest::cycles::{cycle_nodes, CycleMethod};
+use sfcp_forest::generators::random_function;
+use sfcp_pram::{Ctx, Mode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_cycles");
+    for &n in &[1usize << 15, 1 << 18] {
+        let g = random_function(n, 77);
+        for method in [CycleMethod::Sequential, CycleMethod::Jump, CycleMethod::Euler] {
+            group.bench_with_input(BenchmarkId::new(format!("{method:?}"), n), &g, |b, g| {
+                b.iter(|| {
+                    let ctx = Ctx::untracked(Mode::Parallel);
+                    cycle_nodes(&ctx, g, method)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

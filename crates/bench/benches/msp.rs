@@ -1,0 +1,34 @@
+//! Experiment E4 (table T4): minimal starting point of a circular string —
+//! Booth (sequential) vs the paper's simple and efficient algorithms vs rank
+//! doubling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfcp_bench::workloads::random_string;
+use sfcp_pram::{Ctx, Mode};
+use sfcp_strings::msp::{minimal_starting_point, MspMethod};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msp");
+    for &n in &[1usize << 15, 1 << 18] {
+        let s = random_string(n, 8);
+        for method in [MspMethod::Booth, MspMethod::Simple, MspMethod::Doubling, MspMethod::Efficient] {
+            group.bench_with_input(BenchmarkId::new(format!("{method:?}"), n), &s, |b, s| {
+                b.iter(|| {
+                    let ctx = Ctx::untracked(Mode::Parallel);
+                    minimal_starting_point(&ctx, s, method)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Experiment E6 (table T6): grouping cycles into equivalence classes —
+//! the paper's *Algorithm partition* (CRCW doubling) vs string sorting vs
+//! hashing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfcp::cycle_equivalence::{group_cycles, GroupingMethod};
+use sfcp_bench::workloads::canonical_cycle_strings;
+use sfcp_pram::{Ctx, Mode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_grouping");
+    for &(k, len) in &[(1024usize, 64usize), (4096, 64), (1024, 512)] {
+        let strings = canonical_cycle_strings(k, len);
+        for method in [GroupingMethod::Partition, GroupingMethod::StringSort, GroupingMethod::Hash] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{method:?}"), format!("{k}x{len}")),
+                &strings,
+                |b, s| {
+                    b.iter(|| {
+                        let ctx = Ctx::untracked(Mode::Parallel);
+                        group_cycles(&ctx, s, method)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Experiment E5 (table T5): lexicographic sorting of variable-length strings
+//! — the paper's pair-contraction algorithm vs a parallel comparison sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfcp_bench::workloads::string_list;
+use sfcp_pram::{Ctx, Mode};
+use sfcp_strings::string_sort::{sort_strings, StringSortMethod};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("string_sort");
+    for &n in &[1usize << 15, 1 << 18] {
+        let strings = string_list(n);
+        for method in [StringSortMethod::Comparison, StringSortMethod::Contraction] {
+            group.bench_with_input(BenchmarkId::new(format!("{method:?}"), n), &strings, |b, s| {
+                b.iter(|| {
+                    let ctx = Ctx::untracked(Mode::Parallel);
+                    sort_strings(&ctx, s, method)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Experiment E7 (table T7): ablation of the residual tree-labelling step —
+//! doubling over root paths (O(log n) depth) vs level-by-level (O(n) work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfcp::parallel::{coarsest_parallel_with, ParallelConfig, TreeLabelMethod};
+use sfcp_bench::workloads::{deep_instance, random_instance};
+use sfcp_pram::{Ctx, Mode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_labeling");
+    for (name, instance) in [
+        ("deep", deep_instance(1 << 16)),
+        ("random", random_instance(1 << 16)),
+    ] {
+        for method in [TreeLabelMethod::Doubling, TreeLabelMethod::Levelwise] {
+            let config = ParallelConfig {
+                tree_method: method,
+                ..ParallelConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("{method:?}"), name),
+                &instance,
+                |b, inst| {
+                    b.iter(|| {
+                        let ctx = Ctx::untracked(Mode::Parallel);
+                        coarsest_parallel_with(&ctx, inst, config)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench
+}
+criterion_main!(benches);

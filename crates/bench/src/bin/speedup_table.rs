@@ -1,0 +1,79 @@
+//! Regenerates the thread-scaling table of `EXPERIMENTS.md` (experiment E10):
+//! wall-clock self-relative speedup of the parallel algorithm and of the best
+//! sequential baseline as the rayon thread count grows.
+//!
+//! Run with: `cargo run -p sfcp-bench --bin speedup_table --release [n]`
+
+use sfcp::{coarsest_partition, Algorithm, Instance};
+use sfcp_bench::tables::{f3, render};
+use sfcp_pram::{Ctx, Mode};
+use std::time::Instant;
+
+fn time_with_threads(threads: usize, instance: &Instance) -> f64 {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(|| {
+        // Warm up once, then take the best of three runs.
+        let ctx = Ctx::untracked(Mode::Parallel);
+        let _ = coarsest_partition(&ctx, instance, Algorithm::Parallel);
+        (0..3)
+            .map(|_| {
+                let ctx = Ctx::untracked(Mode::Parallel);
+                let t = Instant::now();
+                let _ = coarsest_partition(&ctx, instance, Algorithm::Parallel);
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    })
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1 << 20);
+    let instance = Instance::random(n, 8, 0xC0FFEE);
+
+    // Sequential baselines for reference.
+    let ctx = Ctx::untracked(Mode::Sequential);
+    let t = Instant::now();
+    let _ = coarsest_partition(&ctx, &instance, Algorithm::SequentialLinear);
+    let linear_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let _ = coarsest_partition(&ctx, &instance, Algorithm::Hopcroft);
+    let hopcroft_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let max_threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let mut threads = vec![1usize, 2, 4, 8, 16];
+    threads.retain(|&t| t <= max_threads);
+    if !threads.contains(&max_threads) {
+        threads.push(max_threads);
+    }
+
+    let t1 = time_with_threads(1, &instance);
+    let header = ["threads", "t_par(ms)", "self-speedup", "vs linear seq", "vs Hopcroft"];
+    let mut rows = Vec::new();
+    for &p in &threads {
+        let tp = time_with_threads(p, &instance);
+        rows.push(vec![
+            p.to_string(),
+            f3(tp),
+            f3(t1 / tp),
+            f3(linear_ms / tp),
+            f3(hopcroft_ms / tp),
+        ]);
+    }
+    println!(
+        "{}",
+        render(
+            &format!(
+                "T9 (E10): thread scaling of the parallel algorithm, n = {n} \
+                 (sequential linear baseline {linear_ms:.1} ms, Hopcroft {hopcroft_ms:.1} ms)"
+            ),
+            &header,
+            &rows
+        )
+    );
+}

@@ -1,0 +1,6 @@
+//! Shared helpers for the benchmark harness (workload construction, table
+//! formatting).  The actual experiments live in `benches/` (criterion) and in
+//! the `complexity_table` / `speedup_table` binaries under `src/bin/`.
+
+pub mod tables;
+pub mod workloads;

@@ -1,0 +1,73 @@
+//! Minimal fixed-width table printer for the experiment binaries.
+
+/// Render a table with a header row and aligned columns as plain text.
+#[must_use]
+pub fn render(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let mut line = String::new();
+    for (i, h) in header.iter().enumerate() {
+        line.push_str(&format!("{:>width$}  ", h, width = widths[i]));
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            line.push_str(&format!("{:>width$}  ", cell, width = widths[i]));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float with three significant-looking decimals.
+#[must_use]
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a duration in milliseconds.
+#[must_use]
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let s = render(
+            "T0: demo",
+            &["n", "value"],
+            &[
+                vec!["16".into(), "1.000".into()],
+                vec!["1024".into(), "12.5".into()],
+            ],
+        );
+        assert!(s.contains("T0: demo"));
+        assert!(s.contains("1024"));
+        // Header and separator present.
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(ms(std::time::Duration::from_millis(2)), "2.000");
+    }
+}

@@ -1,0 +1,200 @@
+//! Hopcroft-style partition refinement specialised to a single function —
+//! the classical `O(n log n)` sequential algorithm of Aho–Hopcroft–Ullman
+//! cited as [1] in the paper.
+//!
+//! The algorithm keeps a worklist of *splitter* blocks.  Processing a
+//! splitter `A` intersects every block `Y` with `f⁻¹(A)`; blocks cut into two
+//! pieces are replaced and the smaller piece joins the worklist ("process the
+//! smaller half"), which bounds the total work by `O(n log n)`.
+
+use crate::problem::{Instance, Partition};
+
+/// Compute the coarsest stable refinement by Hopcroft's algorithm.
+#[must_use]
+pub fn coarsest_hopcroft(instance: &Instance) -> Partition {
+    let n = instance.len();
+    if n == 0 {
+        return Partition::new(Vec::new());
+    }
+    let f = instance.f();
+
+    // Inverse function as CSR.
+    let mut indeg = vec![0u32; n + 1];
+    for &y in f {
+        indeg[y as usize + 1] += 1;
+    }
+    for i in 0..n {
+        indeg[i + 1] += indeg[i];
+    }
+    let offsets = indeg;
+    let mut cursor = offsets.clone();
+    let mut preimage = vec![0u32; n];
+    for (x, &y) in f.iter().enumerate() {
+        preimage[cursor[y as usize] as usize] = x as u32;
+        cursor[y as usize] += 1;
+    }
+
+    // Blocks as vectors of members; block_of[x] = current block id.
+    let mut blocks: Vec<Vec<u32>> = Vec::new();
+    let mut block_of = vec![0u32; n];
+    {
+        let mut map = std::collections::HashMap::new();
+        for x in 0..n as u32 {
+            let label = instance.blocks()[x as usize];
+            let id = *map.entry(label).or_insert_with(|| {
+                blocks.push(Vec::new());
+                (blocks.len() - 1) as u32
+            });
+            blocks[id as usize].push(x);
+            block_of[x as usize] = id;
+        }
+    }
+
+    // Worklist: initially every block (the classical optimisation of leaving
+    // out the largest block also works; keeping all of them only costs a
+    // constant factor and keeps the code simpler to reason about).
+    let mut on_worklist = vec![true; blocks.len()];
+    let mut worklist: Vec<u32> = (0..blocks.len() as u32).collect();
+
+    // Scratch: how many members of each block fall into f⁻¹(splitter), and an
+    // epoch-stamped membership mark for the current pre-image (so deciding
+    // "inside" does not depend on block ids that may change mid-iteration,
+    // e.g. when the splitter block itself gets split).
+    let mut touched_count: Vec<u32> = vec![0; blocks.len()];
+    let mut touched_blocks: Vec<u32> = Vec::new();
+    let mut pre_epoch = vec![0u32; n];
+    let mut epoch = 0u32;
+
+    while let Some(splitter) = worklist.pop() {
+        on_worklist[splitter as usize] = false;
+        epoch += 1;
+
+        // Collect the pre-image of the splitter block.
+        let mut pre: Vec<u32> = Vec::new();
+        for &member in &blocks[splitter as usize] {
+            let start = offsets[member as usize] as usize;
+            let end = offsets[member as usize + 1] as usize;
+            pre.extend_from_slice(&preimage[start..end]);
+        }
+
+        // Count, per block, how many of its members are in the pre-image.
+        touched_blocks.clear();
+        for &x in &pre {
+            pre_epoch[x as usize] = epoch;
+            let b = block_of[x as usize];
+            if touched_count[b as usize] == 0 {
+                touched_blocks.push(b);
+            }
+            touched_count[b as usize] += 1;
+        }
+
+        for &b in &touched_blocks {
+            let hit = touched_count[b as usize] as usize;
+            touched_count[b as usize] = 0;
+            let size = blocks[b as usize].len();
+            if hit == size {
+                continue; // the whole block maps into the splitter: no split
+            }
+            // Split block b into (members hitting the splitter) and the rest.
+            let members = std::mem::take(&mut blocks[b as usize]);
+            let (mut inside, mut outside) = (Vec::with_capacity(hit), Vec::with_capacity(size - hit));
+            for x in members {
+                if pre_epoch[x as usize] == epoch {
+                    inside.push(x);
+                } else {
+                    outside.push(x);
+                }
+            }
+            debug_assert_eq!(inside.len(), hit);
+            // Keep the larger part under the old id, create a new block for
+            // the smaller part, and enqueue the smaller part.
+            let (keep, new_part) = if inside.len() >= outside.len() {
+                (inside, outside)
+            } else {
+                (outside, inside)
+            };
+            let new_id = blocks.len() as u32;
+            for &x in &new_part {
+                block_of[x as usize] = new_id;
+            }
+            blocks[b as usize] = keep;
+            blocks.push(new_part);
+            on_worklist.push(false);
+            touched_count.push(0);
+            // If b was on the worklist both halves must be processed; if not,
+            // the smaller half suffices.
+            if on_worklist[b as usize] {
+                worklist.push(new_id);
+                on_worklist[new_id as usize] = true;
+            } else {
+                let smaller = if blocks[b as usize].len() <= blocks[new_id as usize].len() {
+                    b
+                } else {
+                    new_id
+                };
+                worklist.push(smaller);
+                on_worklist[smaller as usize] = true;
+            }
+        }
+    }
+
+    Partition::new(block_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::coarsest_naive;
+    use crate::verify::assert_valid;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example() {
+        let inst = Instance::paper_example();
+        let q = coarsest_hopcroft(&inst);
+        let expected = Partition::new(sfcp_forest::generators::paper_example_expected_q());
+        assert!(q.same_partition(&expected));
+        assert_valid(&inst, &q);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(coarsest_hopcroft(&Instance::new(vec![], vec![])).len(), 0);
+        let single = Instance::new(vec![0], vec![0]);
+        assert_eq!(coarsest_hopcroft(&single).num_blocks(), 1);
+        // Constant function, distinct labels.
+        let inst = Instance::new(vec![0; 8], (0..8).collect());
+        let q = coarsest_hopcroft(&inst);
+        assert!(q.same_partition(&coarsest_naive(&inst)));
+        // Identity function.
+        let inst = Instance::new((0..8).collect(), vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        let q = coarsest_hopcroft(&inst);
+        assert!(q.same_partition(&coarsest_naive(&inst)));
+    }
+
+    #[test]
+    fn matches_naive_on_structured_instances() {
+        for inst in [
+            Instance::random(500, 2, 1),
+            Instance::random(500, 5, 2),
+            Instance::random_cycles(&[3, 4, 5, 6, 7, 8], 2, 3),
+            Instance::periodic_cycles(8, 12, 4, 3, 4),
+            Instance::deep(400, 7, 2, 5),
+        ] {
+            let q = coarsest_hopcroft(&inst);
+            assert!(q.same_partition(&coarsest_naive(&inst)));
+            assert_valid(&inst, &q);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn matches_naive_on_random_instances(n in 1usize..120, blocks in 1usize..5, seed in 0u64..300) {
+            let inst = Instance::random(n, blocks, seed);
+            let q = coarsest_hopcroft(&inst);
+            prop_assert!(q.same_partition(&coarsest_naive(&inst)));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The naive fixpoint refinement (Moore-style) — the "obviously correct"
+//! oracle every other algorithm is tested against.
+//!
+//! Start from the initial partition and repeatedly refine by the signature
+//! `(label(x), label(f(x)))` until the number of blocks stops growing.  Each
+//! round takes `O(n)` expected time (hashing) and the number of rounds is at
+//! most `n`, so the worst case is `O(n²)`; on the coarsest partition of a
+//! single function the number of rounds is bounded by the length of the
+//! longest simple path plus the largest cycle, which is what the benchmarks
+//! show.
+
+use crate::problem::{Instance, Partition};
+use sfcp_pram::fxhash::FxHashMap;
+
+/// Compute the coarsest stable refinement by fixpoint iteration.
+#[must_use]
+pub fn coarsest_naive(instance: &Instance) -> Partition {
+    let n = instance.len();
+    let f = instance.f();
+    // Dense initial labels.
+    let mut labels = dense(instance.blocks());
+    if n == 0 {
+        return Partition::new(labels);
+    }
+    let mut num_blocks = count_blocks(&labels);
+    loop {
+        let signatures: Vec<(u32, u32)> = (0..n)
+            .map(|x| (labels[x], labels[f[x] as usize]))
+            .collect();
+        let new_labels = dense_pairs(&signatures);
+        let new_num = count_blocks(&new_labels);
+        labels = new_labels;
+        if new_num == num_blocks {
+            break;
+        }
+        num_blocks = new_num;
+    }
+    Partition::new(labels)
+}
+
+/// Renumber arbitrary labels densely by first occurrence.
+fn dense(labels: &[u32]) -> Vec<u32> {
+    let mut map: FxHashMap<u32, u32> = FxHashMap::default();
+    labels
+        .iter()
+        .map(|&l| {
+            let next = map.len() as u32;
+            *map.entry(l).or_insert(next)
+        })
+        .collect()
+}
+
+fn dense_pairs(pairs: &[(u32, u32)]) -> Vec<u32> {
+    let mut map: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+    pairs
+        .iter()
+        .map(|&p| {
+            let next = map.len() as u32;
+            *map.entry(p).or_insert(next)
+        })
+        .collect()
+}
+
+fn count_blocks(labels: &[u32]) -> usize {
+    labels.iter().copied().max().map_or(0, |m| m as usize + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_stable_refinement;
+
+    #[test]
+    fn paper_example_matches_expected_output() {
+        let inst = Instance::paper_example();
+        let q = coarsest_naive(&inst);
+        let expected = Partition::new(sfcp_forest::generators::paper_example_expected_q());
+        assert!(q.same_partition(&expected), "got {:?}", q.labels());
+        assert_eq!(q.num_blocks(), 4);
+    }
+
+    #[test]
+    fn trivial_instances() {
+        // Empty instance.
+        assert_eq!(coarsest_naive(&Instance::new(vec![], vec![])).len(), 0);
+        // Single fixed point.
+        let q = coarsest_naive(&Instance::new(vec![0], vec![7]));
+        assert_eq!(q.num_blocks(), 1);
+        // Identity function: Q = B.
+        let inst = Instance::new((0..6).collect(), vec![0, 1, 0, 1, 2, 2]);
+        let q = coarsest_naive(&inst);
+        assert!(q.same_partition(&Partition::new(vec![0, 1, 0, 1, 2, 2])));
+    }
+
+    #[test]
+    fn all_same_labels_on_a_cycle_collapse() {
+        // One 6-cycle, all B-labels equal: everything equivalent.
+        let inst = Instance::new(vec![1, 2, 3, 4, 5, 0], vec![0; 6]);
+        assert_eq!(coarsest_naive(&inst).num_blocks(), 1);
+    }
+
+    #[test]
+    fn alternating_labels_on_a_cycle() {
+        // 6-cycle with labels a,b,a,b,a,b: two classes (period 2).
+        let inst = Instance::new(vec![1, 2, 3, 4, 5, 0], vec![0, 1, 0, 1, 0, 1]);
+        let q = coarsest_naive(&inst);
+        assert_eq!(q.num_blocks(), 2);
+        assert!(q.same_partition(&Partition::new(vec![0, 1, 0, 1, 0, 1])));
+    }
+
+    #[test]
+    fn period_three_labels_on_a_six_cycle() {
+        // 6-cycle with labels a,b,a,a,b,a: the circular label string has
+        // period 3, so nodes three apart are equivalent — 3 classes.
+        let inst = Instance::new(vec![1, 2, 3, 4, 5, 0], vec![0, 1, 0, 0, 1, 0]);
+        assert_eq!(coarsest_naive(&inst).num_blocks(), 3);
+        // Breaking the periodicity separates all six nodes.
+        let inst = Instance::new(vec![1, 2, 3, 4, 5, 0], vec![0, 1, 0, 0, 1, 1]);
+        assert_eq!(coarsest_naive(&inst).num_blocks(), 6);
+    }
+
+    #[test]
+    fn result_is_always_a_stable_refinement() {
+        for seed in 0..20 {
+            let inst = Instance::random(300, 3, seed);
+            let q = coarsest_naive(&inst);
+            verify_stable_refinement(&inst, &q).unwrap();
+        }
+    }
+
+    #[test]
+    fn deep_chain_levels() {
+        // Path 5 → 4 → 3 → 2 → 1 → 0 → 0 with all-equal labels: node at
+        // distance d from the fixed point is distinguished from every other
+        // distance?  No: with all labels equal the whole chain collapses to
+        // one class.
+        let inst = Instance::new(vec![0, 0, 1, 2, 3, 4], vec![0; 6]);
+        assert_eq!(coarsest_naive(&inst).num_blocks(), 1);
+        // Distinguish the fixed point by its label: distances now matter.
+        let inst = Instance::new(vec![0, 0, 1, 2, 3, 4], vec![1, 0, 0, 0, 0, 0]);
+        assert_eq!(coarsest_naive(&inst).num_blocks(), 6);
+    }
+}

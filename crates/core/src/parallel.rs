@@ -1,0 +1,593 @@
+//! The JáJá–Ryu parallel algorithm (Sections 2–5 of the paper).
+//!
+//! ```text
+//! Algorithm coarsest partition
+//!   Step 1: mark all the cycle nodes in the pseudo-forest          (Section 5)
+//!   Step 2: find the Q-labels of the cycle nodes                   (Section 3)
+//!   Step 3: find the Q-labels of the remaining tree nodes          (Section 4)
+//! ```
+//!
+//! Step 2 canonises each cycle's B-label string (smallest repeating prefix,
+//! then minimal starting point via *Algorithm efficient m.s.p.*), groups
+//! equivalent cycles with *Algorithm partition*, and labels every cycle node
+//! by (cycle class, offset along the period).  Step 3 first inherits cycle
+//! labels along matching paths (Lemma 4.1, implemented with Euler-tour
+//! ancestor sums), then labels the remaining "unmarked" nodes by a doubling
+//! computation over their root paths (Lemma 4.2); a level-by-level
+//! work-optimal variant is provided as an ablation (the paper gets both
+//! bounds at once via Kedem–Palem scheduling — see DESIGN.md).
+
+use crate::cycle_equivalence::{group_cycles, GroupingMethod};
+use crate::problem::{Instance, Partition};
+use sfcp_forest::cycles::CycleMethod;
+use sfcp_forest::{decompose, Decomposition};
+use sfcp_parprim::rank::{dense_ranks_by_sort, dense_ranks_of_pairs};
+use sfcp_pram::fxhash::FxHashMap;
+use sfcp_pram::Ctx;
+use sfcp_strings::canonical::booth_msp;
+use sfcp_strings::msp::{minimal_starting_point, MspMethod};
+use sfcp_strings::period::{smallest_period, smallest_period_seq};
+use sfcp_strings::rotation;
+
+/// How the residual (unmarked) tree nodes are labelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TreeLabelMethod {
+    /// Doubling over root paths: `O(log n)` rounds, `O(n log d)` work where
+    /// `d` is the residual forest depth (the paper reaches `O(n)` work with
+    /// Kedem–Palem scheduling; this is the documented substitution).
+    #[default]
+    Doubling,
+    /// Level-by-level labelling: `O(n)` work but depth proportional to the
+    /// tree height — the other side of the ablation of experiment E7.
+    Levelwise,
+}
+
+/// Tunables of the parallel algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// How the cycle nodes are detected (Section 5).
+    pub cycle_method: CycleMethod,
+    /// Which m.s.p. algorithm canonises long cycles (Section 3.1).
+    pub msp_method: MspMethod,
+    /// Cycles at least this long use the parallel period/m.s.p. routines;
+    /// shorter ones use the sequential linear-time routines (running a
+    /// multi-round parallel algorithm on a ten-element string is pure
+    /// overhead on real hardware).
+    pub parallel_strings_threshold: usize,
+    /// How equivalent cycles are grouped (Section 3.2).
+    pub grouping: GroupingMethod,
+    /// How the residual tree nodes are labelled (Section 4, step 5).
+    pub tree_method: TreeLabelMethod,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            cycle_method: CycleMethod::Euler,
+            msp_method: MspMethod::Efficient,
+            parallel_strings_threshold: 1 << 13,
+            grouping: GroupingMethod::Partition,
+            tree_method: TreeLabelMethod::Doubling,
+        }
+    }
+}
+
+/// Compute the coarsest stable refinement with the paper's parallel
+/// algorithm under the default configuration.
+#[must_use]
+pub fn coarsest_parallel(ctx: &Ctx, instance: &Instance) -> Partition {
+    coarsest_parallel_with(ctx, instance, ParallelConfig::default())
+}
+
+/// Compute the coarsest stable refinement with an explicit configuration.
+#[must_use]
+pub fn coarsest_parallel_with(
+    ctx: &Ctx,
+    instance: &Instance,
+    config: ParallelConfig,
+) -> Partition {
+    let n = instance.len();
+    if n == 0 {
+        return Partition::new(Vec::new());
+    }
+    let b = instance.blocks();
+
+    // ---- Step 1: structure -------------------------------------------------
+    let dec = decompose(ctx, instance.graph(), config.cycle_method);
+
+    // ---- Step 2: cycle node labelling --------------------------------------
+    let (mut labels, mut next_label) = label_cycle_nodes(ctx, instance, &dec, config);
+
+    // ---- Step 3: tree node labelling ---------------------------------------
+    if dec.levels.iter().any(|&l| l > 0) {
+        label_tree_nodes(ctx, instance, &dec, config, &mut labels, &mut next_label);
+    }
+
+    debug_assert!(labels.iter().all(|&l| l != u32::MAX), "every node labelled");
+    let _ = b;
+    Partition::new(labels)
+}
+
+/// Step 2: label the cycle nodes.  Returns the (partial) label array — tree
+/// nodes still carry `u32::MAX` — and the number of labels handed out.
+fn label_cycle_nodes(
+    ctx: &Ctx,
+    instance: &Instance,
+    dec: &Decomposition,
+    config: ParallelConfig,
+) -> (Vec<u32>, u32) {
+    let n = instance.len();
+    let b = instance.blocks();
+    let num_cycles = dec.num_cycles();
+
+    // Canonise every cycle: smallest repeating prefix, rotated to its m.s.p.
+    // Short cycles use the sequential linear routines, long cycles the
+    // parallel ones (Section 3.1); both paths are exercised by the tests.
+    struct Canon {
+        period: u32,
+        msp: u32,
+        canonical: Vec<u32>,
+    }
+    let threshold = config.parallel_strings_threshold.max(2);
+    let canons: Vec<Canon> = ctx.par_map_idx(num_cycles, |c| {
+        let cycle = &dec.cycles[c];
+        let s: Vec<u32> = cycle.iter().map(|&x| b[x as usize]).collect();
+        let (period, msp) = if s.len() >= threshold {
+            let p = smallest_period(ctx, &s);
+            let r = minimal_starting_point(ctx, &s[..p], config.msp_method);
+            (p, r)
+        } else {
+            let p = smallest_period_seq(&s);
+            let r = booth_msp(&s[..p]);
+            (p, r)
+        };
+        ctx.charge_work(s.len() as u64);
+        Canon {
+            period: period as u32,
+            msp: msp as u32,
+            canonical: rotation(&s[..period], msp),
+        }
+    });
+
+    // Group equivalent cycles (Section 3.2).
+    let canonical_strings: Vec<Vec<u32>> = canons.iter().map(|c| c.canonical.clone()).collect();
+    let cycle_class = group_cycles(ctx, &canonical_strings, config.grouping);
+
+    // A cycle node's class is (class of its cycle, offset of the node along
+    // the canonical period).  Dense-rank the pairs over the cycle nodes only.
+    let cycle_node_ids: Vec<u32> =
+        sfcp_parprim::compact::compact_indices(ctx, n, |x| dec.is_cycle[x]);
+    let keys: Vec<(u64, u64)> = ctx.par_map_slice(&cycle_node_ids, |&x| {
+        let c = dec.cycle_of[x as usize] as usize;
+        let p = canons[c].period;
+        let offset = (dec.cycle_pos[x as usize] + p - canons[c].msp) % p;
+        (u64::from(cycle_class[c]), u64::from(offset))
+    });
+    let (dense, num_classes) = dense_ranks_of_pairs(ctx, &keys);
+
+    let mut labels = vec![u32::MAX; n];
+    {
+        let ptr = SendPtr(labels.as_mut_ptr());
+        let ids = &cycle_node_ids;
+        ctx.par_for_idx(ids.len(), |i| {
+            let p = ptr;
+            // Safety: distinct cycle nodes write distinct slots.
+            unsafe {
+                *p.0.add(ids[i] as usize) = dense[i];
+            }
+        });
+    }
+    (labels, num_classes as u32)
+}
+
+/// Step 3: label the tree nodes, either by the paper's marked/doubling route
+/// or level by level.
+fn label_tree_nodes(
+    ctx: &Ctx,
+    instance: &Instance,
+    dec: &Decomposition,
+    config: ParallelConfig,
+    labels: &mut Vec<u32>,
+    next_label: &mut u32,
+) {
+    match config.tree_method {
+        TreeLabelMethod::Levelwise => {
+            label_tree_nodes_levelwise(ctx, instance, dec, labels, next_label);
+        }
+        TreeLabelMethod::Doubling => {
+            label_tree_nodes_doubling(ctx, instance, dec, labels, next_label);
+        }
+    }
+}
+
+/// Level-by-level labelling: `Q(x)` is determined by `(B(x), Q(f(x)))`
+/// (Lemma 2.1(i)); levels are processed in increasing order so the image is
+/// always labelled first.
+fn label_tree_nodes_levelwise(
+    ctx: &Ctx,
+    instance: &Instance,
+    dec: &Decomposition,
+    labels: &mut [u32],
+    next_label: &mut u32,
+) {
+    let n = instance.len();
+    let f = instance.f();
+    let b = instance.blocks();
+
+    // Bucket the tree nodes by level.
+    let max_level = *dec.levels.iter().max().unwrap() as usize;
+    let mut by_level: Vec<Vec<u32>> = vec![Vec::new(); max_level + 1];
+    for x in 0..n as u32 {
+        if !dec.is_cycle[x as usize] {
+            by_level[dec.levels[x as usize] as usize].push(x);
+        }
+    }
+    ctx.charge_step(n as u64);
+
+    // Seed the signature map with the cycle nodes so tree nodes that are
+    // equivalent to cycle nodes merge with them.
+    let mut pair_class: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+    for x in 0..n {
+        if dec.is_cycle[x] {
+            pair_class.insert((b[x], labels[f[x] as usize]), labels[x]);
+        }
+    }
+    ctx.charge_step(n as u64);
+
+    for level in 1..=max_level {
+        let nodes = &by_level[level];
+        if nodes.is_empty() {
+            continue;
+        }
+        // Keys can be computed in parallel; the dense assignment walks the
+        // level sequentially (the map is shared across levels).
+        let keys: Vec<(u32, u32)> =
+            ctx.par_map_slice(nodes, |&x| (b[x as usize], labels[f[x as usize] as usize]));
+        for (i, &x) in nodes.iter().enumerate() {
+            let label = *pair_class.entry(keys[i]).or_insert_with(|| {
+                let l = *next_label;
+                *next_label += 1;
+                l
+            });
+            labels[x as usize] = label;
+        }
+        ctx.charge_step(nodes.len() as u64);
+    }
+}
+
+/// The paper's route: Lemma 4.1 marking + Euler-tour descendant unmarking,
+/// then Lemma 4.2 doubling over the residual forest.
+fn label_tree_nodes_doubling(
+    ctx: &Ctx,
+    instance: &Instance,
+    dec: &Decomposition,
+    labels: &mut Vec<u32>,
+    next_label: &mut u32,
+) {
+    let n = instance.len();
+    let f = instance.f();
+    let b = instance.blocks();
+
+    // Root (cycle node) of every node's pseudo-tree.
+    let roots = sfcp_parprim::jump::find_roots(ctx, dec.forest.parents());
+
+    // Steps 1–2: the corresponding cycle node of every tree node and the
+    // per-node B-label match flag (Lemma 4.1).
+    let corr: Vec<u32> = ctx.par_map_idx(n, |x| {
+        if dec.is_cycle[x] {
+            x as u32
+        } else {
+            let r = roots[x];
+            let c = dec.cycle_of[x] as usize;
+            let k = dec.cycles[c].len() as u32;
+            let level = dec.levels[x];
+            let pos_r = dec.cycle_pos[r as usize];
+            let pos = (pos_r + k - (level % k)) % k;
+            dec.cycles[c][pos as usize]
+        }
+    });
+    let ok: Vec<bool> = ctx.par_map_idx(n, |x| {
+        dec.is_cycle[x] || b[x] == b[corr[x] as usize]
+    });
+
+    // Step 3: unmark all descendants of an unmatching node — a node is truly
+    // marked iff it matches and has no unmatching proper ancestor, computed
+    // with one Euler-tour ancestor sum.
+    let bad: Vec<u64> = ctx.par_map_idx(n, |x| u64::from(!ok[x]));
+    let bad_ancestors = dec.tour.ancestor_sums(ctx, &bad);
+    let marked: Vec<bool> = ctx.par_map_idx(n, |x| ok[x] && bad_ancestors[x] == 0);
+
+    // Step 4: marked tree nodes inherit the label of their corresponding
+    // cycle node.
+    {
+        let ptr = SendPtr(labels.as_mut_ptr());
+        let labels_snapshot: Vec<u32> = labels.clone();
+        ctx.par_for_idx(n, |x| {
+            if marked[x] && !dec.is_cycle[x] {
+                let p = ptr;
+                // Safety: each slot written by its own index only.
+                unsafe {
+                    *p.0.add(x) = labels_snapshot[corr[x] as usize];
+                }
+            }
+        });
+    }
+
+    // Step 5: label the unmarked nodes by doubling over their root paths
+    // (Lemma 4.2): x ≡ y iff the B-label strings of their paths to the roots
+    // of the unmarked forest are equal and the labels of the roots' parents
+    // are equal.
+    let unmarked_ids: Vec<u32> =
+        sfcp_parprim::compact::compact_indices(ctx, n, |x| !marked[x]);
+    let u = unmarked_ids.len();
+    if u == 0 {
+        return;
+    }
+    let mut compact = vec![u32::MAX; n];
+    for (i, &x) in unmarked_ids.iter().enumerate() {
+        compact[x as usize] = i as u32;
+    }
+    ctx.charge_step(u as u64);
+
+    // Anchors: the labels of the (already labelled) parents of unmarked
+    // roots.  Terminal virtual nodes, one per distinct anchor label.
+    let anchor_label_of: Vec<u32> = ctx.par_map_slice(&unmarked_ids, |&x| {
+        let parent = f[x as usize];
+        if marked[parent as usize] {
+            labels[parent as usize]
+        } else {
+            u32::MAX // parent is unmarked: no anchor here
+        }
+    });
+    let (anchor_terminal, num_terminals) = {
+        let keys: Vec<u64> = anchor_label_of
+            .iter()
+            .filter(|&&a| a != u32::MAX)
+            .map(|&a| u64::from(a))
+            .collect();
+        let (dense, count) = dense_ranks_by_sort(ctx, &keys);
+        // Re-expand to per-unmarked-node terminal ids.
+        let mut it = dense.iter();
+        let expanded: Vec<u32> = anchor_label_of
+            .iter()
+            .map(|&a| if a == u32::MAX { u32::MAX } else { *it.next().unwrap() })
+            .collect();
+        (expanded, count)
+    };
+
+    // Extended node set: unmarked nodes 0..u, then terminals u..u+T.
+    let total = u + num_terminals;
+    let ptr_next: Vec<u32> = ctx.par_map_idx(total, |i| {
+        if i < u {
+            let x = unmarked_ids[i] as usize;
+            let parent = f[x] as usize;
+            if marked[parent] {
+                (u + anchor_terminal[i] as usize) as u32
+            } else {
+                compact[parent]
+            }
+        } else {
+            i as u32 // terminals are fixed points
+        }
+    });
+    // Initial labels: tag B-labels and terminal ids apart.
+    let init_keys: Vec<(u64, u64)> = ctx.par_map_idx(total, |i| {
+        if i < u {
+            (0, u64::from(b[unmarked_ids[i] as usize]))
+        } else {
+            (1, (i - u) as u64)
+        }
+    });
+    let (mut lab, mut distinct) = dense_ranks_of_pairs(ctx, &init_keys);
+    let mut jump = ptr_next;
+
+    // Residual-forest depth bounds the number of doubling rounds.
+    let depth_flags: Vec<u64> = ctx.par_map_idx(n, |x| u64::from(!marked[x]));
+    let unmarked_depth = dec.tour.ancestor_sums(ctx, &depth_flags);
+    let max_depth = unmarked_ids
+        .iter()
+        .map(|&x| unmarked_depth[x as usize])
+        .max()
+        .unwrap_or(0);
+    ctx.charge_step(u as u64);
+    let rounds = sfcp_pram::ceil_log2(max_depth as usize + 2) + 1;
+
+    for _ in 0..rounds {
+        if distinct == total {
+            break;
+        }
+        let pairs: Vec<(u64, u64)> = ctx.par_map_idx(total, |i| {
+            (u64::from(lab[i]), u64::from(lab[jump[i] as usize]))
+        });
+        let (new_lab, new_distinct) = dense_ranks_of_pairs(ctx, &pairs);
+        let new_jump: Vec<u32> = ctx.par_map_idx(total, |i| jump[jump[i] as usize]);
+        lab = new_lab;
+        distinct = new_distinct;
+        jump = new_jump;
+    }
+
+    // Fresh labels for the unmarked nodes: offset their (dense) classes past
+    // the labels already handed out.  Unmarked nodes are never equivalent to
+    // already-labelled nodes (a node equivalent to any cycle node is marked),
+    // so no merging is needed.
+    let unmarked_classes: Vec<u64> = (0..u).map(|i| u64::from(lab[i])).collect();
+    let (dense_classes, class_count) = dense_ranks_by_sort(ctx, &unmarked_classes);
+    {
+        let ptr = SendPtr(labels.as_mut_ptr());
+        let base = *next_label;
+        let ids = &unmarked_ids;
+        ctx.par_for_idx(u, |i| {
+            let p = ptr;
+            // Safety: distinct unmarked nodes write distinct slots.
+            unsafe {
+                *p.0.add(ids[i] as usize) = base + dense_classes[i];
+            }
+        });
+    }
+    *next_label += class_count as u32;
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::coarsest_naive;
+    use crate::verify::assert_valid;
+    use proptest::prelude::*;
+    use sfcp_pram::Mode;
+
+    fn configs() -> Vec<ParallelConfig> {
+        let mut out = Vec::new();
+        for tree_method in [TreeLabelMethod::Doubling, TreeLabelMethod::Levelwise] {
+            for grouping in [
+                GroupingMethod::Partition,
+                GroupingMethod::StringSort,
+                GroupingMethod::Hash,
+            ] {
+                for cycle_method in [CycleMethod::Euler, CycleMethod::Jump] {
+                    out.push(ParallelConfig {
+                        cycle_method,
+                        msp_method: MspMethod::Efficient,
+                        parallel_strings_threshold: 1 << 13,
+                        grouping,
+                        tree_method,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn paper_example_all_configs() {
+        let inst = Instance::paper_example();
+        let expected = Partition::new(sfcp_forest::generators::paper_example_expected_q());
+        for mode in [Mode::Sequential, Mode::Parallel] {
+            let ctx = Ctx::new(mode);
+            for config in configs() {
+                let q = coarsest_parallel_with(&ctx, &inst, config);
+                assert!(
+                    q.same_partition(&expected),
+                    "config {config:?} gave {:?}",
+                    q.labels()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_cases_match_naive() {
+        let ctx = Ctx::parallel();
+        for inst in [
+            Instance::new(vec![], vec![]),
+            Instance::new(vec![0], vec![5]),
+            Instance::new(vec![1, 0], vec![0, 0]),
+            Instance::new(vec![1, 0], vec![0, 1]),
+            Instance::new(vec![0; 10], (0..10).collect()),
+            Instance::new(vec![0; 10], vec![0; 10]),
+            Instance::new((0..10).collect(), vec![0; 10]),
+            Instance::new(vec![1, 2, 3, 4, 5, 0], vec![0, 1, 0, 1, 0, 1]),
+            Instance::new(vec![1, 2, 3, 4, 5, 0], vec![0, 1, 0, 0, 1, 0]),
+        ] {
+            let q = coarsest_parallel(&ctx, &inst);
+            assert!(
+                q.same_partition(&coarsest_naive(&inst)),
+                "mismatch on f = {:?}, B = {:?}: got {:?}",
+                inst.f(),
+                inst.blocks(),
+                q.labels()
+            );
+        }
+    }
+
+    #[test]
+    fn structured_instances_match_naive_all_configs() {
+        let ctx = Ctx::parallel();
+        let instances = [
+            Instance::random(600, 2, 0),
+            Instance::random(600, 5, 1),
+            Instance::random_cycles(&[2, 3, 4, 6, 6, 12, 24], 2, 2),
+            Instance::periodic_cycles(9, 24, 6, 3, 3),
+            Instance::deep(500, 5, 2, 4),
+            Instance::deep(500, 1, 2, 5),
+        ];
+        for inst in &instances {
+            let expected = coarsest_naive(inst);
+            for config in configs() {
+                let q = coarsest_parallel_with(&ctx, inst, config);
+                assert!(
+                    q.same_partition(&expected),
+                    "config {config:?} mismatched on n = {}",
+                    inst.len()
+                );
+            }
+            assert_valid(inst, &expected);
+        }
+    }
+
+    #[test]
+    fn large_cycle_uses_parallel_string_routines() {
+        // A single cycle longer than the threshold forces the parallel
+        // period/m.s.p. path.
+        let inst = Instance::periodic_cycles(1, 1 << 14, 8, 3, 7);
+        let ctx = Ctx::parallel();
+        let config = ParallelConfig {
+            parallel_strings_threshold: 1 << 10,
+            ..ParallelConfig::default()
+        };
+        let q = coarsest_parallel_with(&ctx, &inst, config);
+        assert!(q.same_partition(&coarsest_naive(&inst)));
+    }
+
+    #[test]
+    fn work_tracks_are_nearly_mode_independent() {
+        // The Ctx loop helpers charge identically in both modes; the only
+        // divergence comes from block-count choices inside the blocked scan
+        // and radix passes, which stay within a small constant.  The result
+        // must be identical.
+        let inst = Instance::random(4000, 3, 9);
+        let seq = Ctx::sequential();
+        let par = Ctx::parallel();
+        let a = coarsest_parallel(&seq, &inst);
+        let b = coarsest_parallel(&par, &inst);
+        assert!(a.same_partition(&b));
+        let (ws, wp) = (seq.stats().work as f64, par.stats().work as f64);
+        let ratio = wp.max(ws) / wp.min(ws);
+        assert!(ratio < 1.5, "work diverged across modes by {ratio:.2}× ({ws} vs {wp})");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn matches_naive_on_random_instances(n in 1usize..120, blocks in 1usize..4, seed in 0u64..300) {
+            let inst = Instance::random(n, blocks, seed);
+            let ctx = Ctx::parallel().with_grain(32);
+            let expected = coarsest_naive(&inst);
+            let q = coarsest_parallel(&ctx, &inst);
+            prop_assert!(q.same_partition(&expected), "default config");
+            let q2 = coarsest_parallel_with(&ctx, &inst, ParallelConfig {
+                tree_method: TreeLabelMethod::Levelwise,
+                grouping: GroupingMethod::StringSort,
+                ..ParallelConfig::default()
+            });
+            prop_assert!(q2.same_partition(&expected), "levelwise + string sort");
+        }
+
+        #[test]
+        fn matches_naive_on_cycle_instances(
+            lengths in proptest::collection::vec(1usize..16, 1..8),
+            blocks in 1usize..4,
+            seed in 0u64..100,
+        ) {
+            let inst = Instance::random_cycles(&lengths, blocks, seed);
+            let ctx = Ctx::parallel().with_grain(32);
+            let q = coarsest_parallel(&ctx, &inst);
+            prop_assert!(q.same_partition(&coarsest_naive(&inst)));
+        }
+    }
+}

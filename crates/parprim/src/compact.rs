@@ -1,0 +1,102 @@
+//! Stream compaction: gather the elements satisfying a predicate, preserving
+//! their order, in `O(n)` work and `O(log n)` depth.
+//!
+//! The m.s.p. and string-sorting algorithms repeatedly "collect the marked
+//! positions" and "write the groups of each substring contiguously"; both
+//! are compactions driven by an exclusive prefix sum of 0/1 flags.
+
+use crate::scan::exclusive_scan;
+use sfcp_pram::Ctx;
+
+/// Indices `i` (in increasing order) for which `keep(i)` is true.
+#[must_use]
+pub fn compact_indices<F>(ctx: &Ctx, n: usize, keep: F) -> Vec<u32>
+where
+    F: Fn(usize) -> bool + Sync + Send,
+{
+    compact_with(ctx, n, keep, |i| i as u32)
+}
+
+/// Stable compaction with a projection: collects `project(i)` for every index
+/// `i` with `keep(i)`, in increasing order of `i`.
+#[must_use]
+pub fn compact_with<T, F, P>(ctx: &Ctx, n: usize, keep: F, project: P) -> Vec<T>
+where
+    T: Send + Sync + Copy + Default,
+    F: Fn(usize) -> bool + Sync + Send,
+    P: Fn(usize) -> T + Sync + Send,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let flags: Vec<u64> = ctx.par_map_idx(n, |i| u64::from(keep(i)));
+    let (offsets, total) = exclusive_scan(ctx, &flags);
+    let mut out = vec![T::default(); total as usize];
+    // Each kept index writes its own slot — disjoint writes.
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    ctx.par_for_idx(n, |i| {
+        if flags[i] == 1 {
+            let ptr = out_ptr;
+            // Safety: offsets are strictly increasing over kept indices, so
+            // each destination slot is written exactly once.
+            unsafe {
+                *ptr.0.add(offsets[i] as usize) = project(i);
+            }
+        }
+    });
+    out
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sfcp_pram::Mode;
+
+    #[test]
+    fn collects_even_indices() {
+        for mode in [Mode::Sequential, Mode::Parallel] {
+            let ctx = Ctx::new(mode);
+            let idx = compact_indices(&ctx, 10, |i| i % 2 == 0);
+            assert_eq!(idx, vec![0, 2, 4, 6, 8]);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let ctx = Ctx::parallel();
+        assert!(compact_indices(&ctx, 0, |_| true).is_empty());
+        assert!(compact_indices(&ctx, 100, |_| false).is_empty());
+    }
+
+    #[test]
+    fn keeps_everything_in_order() {
+        let ctx = Ctx::parallel().with_grain(8);
+        let idx = compact_indices(&ctx, 10_000, |_| true);
+        assert_eq!(idx.len(), 10_000);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn projection_variant() {
+        let ctx = Ctx::parallel();
+        let data = [10u32, 11, 12, 13, 14, 15];
+        let picked = compact_with(&ctx, data.len(), |i| data[i] % 2 == 1, |i| data[i]);
+        assert_eq!(picked, vec![11, 13, 15]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_filter(v in proptest::collection::vec(0u32..10, 0..5000)) {
+            let ctx = Ctx::parallel().with_grain(64);
+            let picked = compact_with(&ctx, v.len(), |i| v[i] < 5, |i| v[i]);
+            let expected: Vec<u32> = v.iter().copied().filter(|&x| x < 5).collect();
+            prop_assert_eq!(picked, expected);
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! The Euler-tour technique on rooted forests.
+//!
+//! Section 4 of the paper assumes "the trees are stored in the form of
+//! adjacency lists suitable for constructing their Euler tours" and then
+//! computes node levels, marks nodes, and unmarks whole subtrees — all of
+//! which are Euler-tour computations.  This module provides:
+//!
+//! * [`RootedForest`] — a parent array plus CSR children lists;
+//! * [`EulerTour::build`] — the Tarjan–Vishkin construction: one *down* arc
+//!   and one *up* arc per node (the root's arcs are virtual, so every tree
+//!   with `s` nodes contributes exactly `2s` arcs), a successor function, and
+//!   a list-ranking pass that turns the linked tour into array positions;
+//! * [`EulerTour::levels`] — depth of every node below its root;
+//! * [`EulerTour::ancestor_sums`] — for every node, the sum of a per-node
+//!   value over its *proper ancestors*.  With 0/1 values this implements
+//!   step 3 of *Algorithm tree node labeling* ("for each unmarked node,
+//!   unmark all of its descendants") in `O(n)` work;
+//! * [`EulerTour::subtree_sizes`] — number of nodes in every subtree.
+//!
+//! Work `O(n)` (plus the list-ranking cost), depth `O(log n)`.
+
+use crate::listrank::{list_rank, ListRankMethod};
+use crate::scan::scan_generic;
+use sfcp_pram::Ctx;
+
+/// A rooted forest on nodes `0..n`: `parent[r] == r` exactly for roots.
+#[derive(Debug, Clone)]
+pub struct RootedForest {
+    parent: Vec<u32>,
+    /// CSR offsets into `children`, length `n + 1`.
+    child_start: Vec<u32>,
+    /// Children of every node, grouped by parent, ascending node id inside a
+    /// group.
+    children: Vec<u32>,
+}
+
+impl RootedForest {
+    /// Build the forest from a parent array.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range or the parent pointers contain a
+    /// cycle (i.e. the input is not a forest).
+    #[must_use]
+    pub fn from_parents(ctx: &Ctx, parent: Vec<u32>) -> Self {
+        let n = parent.len();
+        for (i, &p) in parent.iter().enumerate() {
+            assert!((p as usize) < n, "parent[{i}] = {p} out of range");
+        }
+        // Count children (roots are not children of themselves).
+        let mut counts = vec![0u32; n + 1];
+        for (i, &p) in parent.iter().enumerate() {
+            if p as usize != i {
+                counts[p as usize + 1] += 1;
+            }
+        }
+        ctx.charge_step(n as u64);
+        // Prefix sums for CSR offsets.
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        ctx.charge_step(n as u64);
+        let child_start = counts;
+        let mut cursor = child_start.clone();
+        let mut children = vec![0u32; child_start[n] as usize];
+        for (i, &p) in parent.iter().enumerate() {
+            if p as usize != i {
+                children[cursor[p as usize] as usize] = i as u32;
+                cursor[p as usize] += 1;
+            }
+        }
+        ctx.charge_step(n as u64);
+
+        // Acyclicity check: walk up from every node with memoized depths; if a
+        // walk revisits a node already on its own path, the parent pointers
+        // contain a cycle.  `0` = unvisited, `1` = on the current path,
+        // `2` = finished.
+        let mut state = vec![0u8; n];
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if state[start] != 0 {
+                continue;
+            }
+            let mut cur = start;
+            stack.clear();
+            loop {
+                match state[cur] {
+                    0 => {
+                        state[cur] = 1;
+                        stack.push(cur);
+                        let p = parent[cur] as usize;
+                        if p == cur {
+                            break;
+                        }
+                        cur = p;
+                    }
+                    1 => panic!("parent array contains a cycle (not a rooted forest)"),
+                    _ => break,
+                }
+            }
+            for &v in &stack {
+                state[v] = 2;
+            }
+        }
+        ctx.charge_step(n as u64);
+
+        RootedForest {
+            parent,
+            child_start,
+            children,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the forest has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Parent of `v` (itself for roots).
+    #[must_use]
+    pub fn parent(&self, v: u32) -> u32 {
+        self.parent[v as usize]
+    }
+
+    /// The parent array.
+    #[must_use]
+    pub fn parents(&self) -> &[u32] {
+        &self.parent
+    }
+
+    /// Whether `v` is a root.
+    #[must_use]
+    pub fn is_root(&self, v: u32) -> bool {
+        self.parent[v as usize] == v
+    }
+
+    /// Children of `v`.
+    #[must_use]
+    pub fn children(&self, v: u32) -> &[u32] {
+        let s = self.child_start[v as usize] as usize;
+        let e = self.child_start[v as usize + 1] as usize;
+        &self.children[s..e]
+    }
+
+    /// All roots, in ascending order.
+    #[must_use]
+    pub fn roots(&self) -> Vec<u32> {
+        (0..self.parent.len() as u32)
+            .filter(|&v| self.is_root(v))
+            .collect()
+    }
+}
+
+/// Arc identifiers: the down arc (entering `v` from its parent) is `2v`, the
+/// up arc (leaving `v` back to its parent) is `2v + 1`.  Roots get virtual
+/// down/up arcs so that every tree of `s` nodes has a tour of exactly `2s`
+/// arcs and prefix sums over a whole tree cancel to zero.
+#[inline]
+fn down(v: u32) -> u32 {
+    2 * v
+}
+#[inline]
+fn up(v: u32) -> u32 {
+    2 * v + 1
+}
+
+/// An Euler tour of a [`RootedForest`], with global positions.
+///
+/// Trees are laid out one after another (in ascending order of root id) in a
+/// single global position space of size `2n`, which lets a single prefix scan
+/// serve all trees at once: the per-tree contributions cancel, so no
+/// segmentation is necessary.
+#[derive(Debug, Clone)]
+pub struct EulerTour {
+    /// Global position of every node's down arc.
+    entry: Vec<u32>,
+    /// Global position of every node's up arc.
+    exit: Vec<u32>,
+}
+
+impl EulerTour {
+    /// Construct the tour of `forest`.
+    #[must_use]
+    pub fn build(ctx: &Ctx, forest: &RootedForest) -> Self {
+        let n = forest.len();
+        if n == 0 {
+            return EulerTour {
+                entry: Vec::new(),
+                exit: Vec::new(),
+            };
+        }
+        let num_arcs = 2 * n;
+
+        // Successor function of the tour (a collection of linked lists, one
+        // per tree, terminated at the root's up arc).
+        let succ: Vec<u32> = ctx.par_map_idx(num_arcs, |a| {
+            let arc = a as u32;
+            let v = arc / 2;
+            if arc % 2 == 0 {
+                // Down arc into v: continue to v's first child, or bounce back up.
+                match forest.children(v).first() {
+                    Some(&c) => down(c),
+                    None => up(v),
+                }
+            } else {
+                // Up arc out of v.
+                if forest.is_root(v) {
+                    arc // terminal
+                } else {
+                    let p = forest.parent(v);
+                    let siblings = forest.children(p);
+                    // Position of v among its siblings.
+                    let idx = siblings
+                        .iter()
+                        .position(|&c| c == v)
+                        .expect("child lists are consistent with the parent array");
+                    match siblings.get(idx + 1) {
+                        Some(&w) => down(w),
+                        None => up(p),
+                    }
+                }
+            }
+        });
+        // NOTE: the sibling-position lookup above is O(degree) per arc; the
+        // total over all arcs is O(sum of squared degrees) in the worst case.
+        // Charge the true cost so star-shaped trees are billed honestly.
+        let extra: u64 = (0..n as u32)
+            .map(|v| {
+                let d = forest.children(v).len() as u64;
+                d * d
+            })
+            .sum();
+        ctx.charge_work(extra);
+
+        // Rank every arc: distance to its tree's terminal arc.
+        let dist = list_rank(ctx, &succ, ListRankMethod::RulingSet);
+
+        // Tour length of the tree containing v = dist[down(root)] + 1; the
+        // position of an arc inside its own tree is length - 1 - dist.
+        // Global positions: trees are concatenated by ascending root id.
+        let roots = forest.roots();
+        let mut tree_offset = vec![0u32; n]; // offset by root id
+        let mut acc = 0u32;
+        for &r in &roots {
+            tree_offset[r as usize] = acc;
+            acc += dist[down(r) as usize] + 1;
+        }
+        debug_assert_eq!(acc as usize, num_arcs);
+        ctx.charge_step(roots.len() as u64);
+
+        // Every node needs its root to find the offset; reuse pointer jumping.
+        let root_of = crate::jump::find_roots(ctx, forest.parents());
+
+        let entry: Vec<u32> = ctx.par_map_idx(n, |v| {
+            let r = root_of[v] as usize;
+            let len = dist[down(root_of[v]) as usize] + 1;
+            tree_offset[r] + (len - 1 - dist[down(v as u32) as usize])
+        });
+        let exit: Vec<u32> = ctx.par_map_idx(n, |v| {
+            let r = root_of[v] as usize;
+            let len = dist[down(root_of[v]) as usize] + 1;
+            tree_offset[r] + (len - 1 - dist[up(v as u32) as usize])
+        });
+
+        EulerTour { entry, exit }
+    }
+
+    /// Number of nodes the tour covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entry.len()
+    }
+
+    /// Whether the tour is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entry.is_empty()
+    }
+
+    /// Global position of the arc entering `v`.
+    #[must_use]
+    pub fn entry(&self, v: u32) -> u32 {
+        self.entry[v as usize]
+    }
+
+    /// Global position of the arc leaving `v`.
+    #[must_use]
+    pub fn exit(&self, v: u32) -> u32 {
+        self.exit[v as usize]
+    }
+
+    /// `true` iff `u` is an ancestor of `v` (every node is its own ancestor).
+    #[must_use]
+    pub fn is_ancestor(&self, u: u32, v: u32) -> bool {
+        self.entry(u) <= self.entry(v) && self.exit(v) <= self.exit(u)
+    }
+
+    /// Number of nodes in the subtree rooted at every node.
+    #[must_use]
+    pub fn subtree_sizes(&self, ctx: &Ctx) -> Vec<u32> {
+        ctx.par_map_idx(self.len(), |v| (self.exit[v] - self.entry[v] + 1) / 2)
+    }
+
+    /// For every node `v`, the sum of `values[u]` over all *proper* ancestors
+    /// `u` of `v` (not including `v` itself).
+    ///
+    /// Values must be small enough that the total fits in `i64`.
+    #[must_use]
+    pub fn ancestor_sums(&self, ctx: &Ctx, values: &[u64]) -> Vec<u64> {
+        let n = self.len();
+        assert_eq!(values.len(), n);
+        if n == 0 {
+            return Vec::new();
+        }
+        // Scatter +value at entry positions and -value at exit positions,
+        // then an exclusive prefix sum evaluated at entry(v) counts exactly
+        // the currently-open nodes, i.e. v's proper ancestors (v's own +value
+        // sits *at* entry(v) and is excluded by exclusivity).
+        let mut deltas = vec![0i64; 2 * n];
+        let ptr = SendPtr(deltas.as_mut_ptr());
+        ctx.par_for_idx(n, |v| {
+            let p = ptr;
+            // Safety: entry/exit positions are all distinct.
+            unsafe {
+                *p.0.add(self.entry[v] as usize) = values[v] as i64;
+                *p.0.add(self.exit[v] as usize) = -(values[v] as i64);
+            }
+        });
+        let prefix = scan_generic(ctx, &deltas, 0i64, |a, b| a + b, false);
+        ctx.par_map_idx(n, |v| {
+            let s = prefix[self.entry[v] as usize];
+            debug_assert!(s >= 0);
+            s as u64
+        })
+    }
+
+    /// Depth of every node below its root (roots have level 0).
+    #[must_use]
+    pub fn levels(&self, ctx: &Ctx) -> Vec<u32> {
+        let ones = vec![1u64; self.len()];
+        let sums = self.ancestor_sums(ctx, &ones);
+        ctx.par_map_idx(self.len(), |v| sums[v] as u32)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn random_forest(n: usize, roots: usize, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let roots = roots.clamp(1, n);
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        for i in roots..n {
+            parent[i] = rng.gen_range(0..i) as u32;
+        }
+        let mut relabel: Vec<u32> = (0..n as u32).collect();
+        relabel.shuffle(&mut rng);
+        let mut out = vec![0u32; n];
+        for i in 0..n {
+            out[relabel[i] as usize] = relabel[parent[i] as usize];
+        }
+        out
+    }
+
+    fn reference_levels(parent: &[u32]) -> Vec<u32> {
+        let n = parent.len();
+        (0..n)
+            .map(|i| {
+                let mut d = 0;
+                let mut cur = i;
+                while parent[cur] as usize != cur {
+                    cur = parent[cur] as usize;
+                    d += 1;
+                }
+                d
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forest_structure_small() {
+        let ctx = Ctx::parallel();
+        // 0 is root; children 1,2; 1 has child 3; 4 is an isolated root.
+        let forest = RootedForest::from_parents(&ctx, vec![0, 0, 0, 1, 4]);
+        assert_eq!(forest.len(), 5);
+        assert_eq!(forest.roots(), vec![0, 4]);
+        assert_eq!(forest.children(0), &[1, 2]);
+        assert_eq!(forest.children(1), &[3]);
+        assert!(forest.children(4).is_empty());
+        assert!(forest.is_root(4));
+        assert!(!forest.is_root(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a rooted forest")]
+    fn forest_rejects_cycles() {
+        let ctx = Ctx::sequential();
+        // 1 -> 2 -> 1 cycle.
+        let _ = RootedForest::from_parents(&ctx, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn tour_entry_exit_nesting() {
+        let ctx = Ctx::parallel();
+        let parent = vec![0u32, 0, 0, 1, 1, 2];
+        let forest = RootedForest::from_parents(&ctx, parent.clone());
+        let tour = EulerTour::build(&ctx, &forest);
+        // Entry/exit positions are a balanced-parenthesis structure.
+        for v in 0..parent.len() as u32 {
+            assert!(tour.entry(v) < tour.exit(v));
+        }
+        // Child nested inside parent.
+        for v in 0..parent.len() as u32 {
+            if !forest.is_root(v) {
+                let p = forest.parent(v);
+                assert!(tour.entry(p) < tour.entry(v));
+                assert!(tour.exit(v) < tour.exit(p));
+            }
+        }
+        // All 2n positions distinct and within range.
+        let mut all: Vec<u32> = (0..parent.len() as u32)
+            .flat_map(|v| [tour.entry(v), tour.exit(v)])
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..2 * parent.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn levels_and_subtree_sizes_small() {
+        let ctx = Ctx::parallel();
+        let parent = vec![0u32, 0, 0, 1, 1, 2, 6];
+        let forest = RootedForest::from_parents(&ctx, parent);
+        let tour = EulerTour::build(&ctx, &forest);
+        assert_eq!(tour.levels(&ctx), vec![0, 1, 1, 2, 2, 2, 0]);
+        assert_eq!(tour.subtree_sizes(&ctx), vec![6, 3, 2, 1, 1, 1, 1]);
+        assert!(tour.is_ancestor(0, 3));
+        assert!(tour.is_ancestor(1, 4));
+        assert!(!tour.is_ancestor(2, 3));
+        assert!(tour.is_ancestor(6, 6));
+        assert!(!tour.is_ancestor(0, 6));
+    }
+
+    #[test]
+    fn ancestor_sums_counts_flagged_ancestors() {
+        let ctx = Ctx::parallel();
+        // Path 0 <- 1 <- 2 <- 3 <- 4.
+        let parent = vec![0u32, 0, 1, 2, 3];
+        let forest = RootedForest::from_parents(&ctx, parent);
+        let tour = EulerTour::build(&ctx, &forest);
+        // Flag nodes 1 and 3.
+        let flags = vec![0u64, 1, 0, 1, 0];
+        assert_eq!(tour.ancestor_sums(&ctx, &flags), vec![0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn single_node_trees() {
+        let ctx = Ctx::parallel();
+        let parent: Vec<u32> = (0..10).collect();
+        let forest = RootedForest::from_parents(&ctx, parent);
+        let tour = EulerTour::build(&ctx, &forest);
+        assert_eq!(tour.levels(&ctx), vec![0; 10]);
+        assert_eq!(tour.subtree_sizes(&ctx), vec![1; 10]);
+    }
+
+    proptest! {
+        #[test]
+        fn levels_match_reference(n in 1usize..300, roots in 1usize..6, seed in 0u64..40) {
+            let parent = random_forest(n, roots, seed);
+            let ctx = Ctx::parallel().with_grain(32);
+            let forest = RootedForest::from_parents(&ctx, parent.clone());
+            let tour = EulerTour::build(&ctx, &forest);
+            prop_assert_eq!(tour.levels(&ctx), reference_levels(&parent));
+        }
+
+        #[test]
+        fn subtree_sizes_match_reference(n in 1usize..200, seed in 0u64..40) {
+            let parent = random_forest(n, 2, seed);
+            let ctx = Ctx::parallel().with_grain(32);
+            let forest = RootedForest::from_parents(&ctx, parent.clone());
+            let tour = EulerTour::build(&ctx, &forest);
+            let sizes = tour.subtree_sizes(&ctx);
+            // Reference by counting descendants.
+            for v in 0..n as u32 {
+                let mut count = 0;
+                for u in 0..n as u32 {
+                    // is u a descendant of v?
+                    let mut cur = u;
+                    loop {
+                        if cur == v { count += 1; break; }
+                        let p = parent[cur as usize];
+                        if p == cur { break; }
+                        cur = p;
+                    }
+                }
+                prop_assert_eq!(sizes[v as usize], count);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! First set position in a Boolean array.
+//!
+//! *Algorithm simple m.s.p.* eliminates one of two candidates by locating the
+//! first position where their length-`2^i` prefixes differ; the paper invokes
+//! the constant-time CRCW "first 1 in a Boolean array" result of Fich, Ragde
+//! and Wigderson for this.  On real hardware the practical analogue is a
+//! parallel min-index reduction (`O(n)` work, `O(log n)` depth), which is what
+//! this module provides, together with a convenience comparator for two
+//! equal-length windows of a circular string.
+
+use sfcp_pram::Ctx;
+
+/// The index of the first `true` in `flags`, or `None` if all are `false`.
+#[must_use]
+pub fn first_true(ctx: &Ctx, flags: &[bool]) -> Option<usize> {
+    let n = flags.len();
+    if n == 0 {
+        return None;
+    }
+    let idx = ctx.par_reduce_idx(
+        n,
+        usize::MAX,
+        |i| if flags[i] { i } else { usize::MAX },
+        |a, b| a.min(b),
+    );
+    if idx == usize::MAX {
+        None
+    } else {
+        Some(idx)
+    }
+}
+
+/// First index `k < len` where `f(k) != g(k)`, or `None` if the two
+/// length-`len` sequences are equal.  This is the "compare two overlapping
+/// strings" primitive of *simple m.s.p.* expressed over accessor closures so
+/// that circular indexing stays in the caller.
+#[must_use]
+pub fn first_mismatch<F, G, T>(ctx: &Ctx, len: usize, f: F, g: G) -> Option<usize>
+where
+    T: Eq,
+    F: Fn(usize) -> T + Sync + Send,
+    G: Fn(usize) -> T + Sync + Send,
+{
+    if len == 0 {
+        return None;
+    }
+    let idx = ctx.par_reduce_idx(
+        len,
+        usize::MAX,
+        |k| if f(k) == g(k) { usize::MAX } else { k },
+        |a, b| a.min(b),
+    );
+    if idx == usize::MAX {
+        None
+    } else {
+        Some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sfcp_pram::Mode;
+
+    #[test]
+    fn finds_first_true() {
+        for mode in [Mode::Sequential, Mode::Parallel] {
+            let ctx = Ctx::new(mode);
+            assert_eq!(first_true(&ctx, &[]), None);
+            assert_eq!(first_true(&ctx, &[false, false]), None);
+            assert_eq!(first_true(&ctx, &[true]), Some(0));
+            assert_eq!(first_true(&ctx, &[false, false, true, true, false]), Some(2));
+        }
+    }
+
+    #[test]
+    fn finds_first_mismatch() {
+        let ctx = Ctx::parallel().with_grain(4);
+        let a = [1, 2, 3, 4, 5];
+        let b = [1, 2, 9, 4, 7];
+        assert_eq!(first_mismatch(&ctx, 5, |i| a[i], |i| b[i]), Some(2));
+        assert_eq!(first_mismatch(&ctx, 2, |i| a[i], |i| b[i]), None);
+        assert_eq!(first_mismatch(&ctx, 0, |i| a[i], |i| b[i]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_position(flags in proptest::collection::vec(any::<bool>(), 0..2000)) {
+            let ctx = Ctx::parallel().with_grain(64);
+            prop_assert_eq!(first_true(&ctx, &flags), flags.iter().position(|&b| b));
+        }
+    }
+}

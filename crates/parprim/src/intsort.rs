@@ -1,0 +1,352 @@
+//! Integer sorting: stable counting sort and LSD radix sort, sequential and
+//! block-parallel.
+//!
+//! This is the routine the paper charges its only super-linear term to: it
+//! uses the Bhatt–Diks–Hagerup–Prasad–Radzik–Saxena deterministic integer
+//! sorting algorithm (`O(log n / log log n)` time, `O(n log log n)` work) to
+//! sort keys drawn from `[1, n^{O(1)}]`.  The practical analogue implemented
+//! here is a least-significant-digit radix sort with 8-bit digits:
+//!
+//! * work `O(n · ⌈b/8⌉)` where `b` is the number of significant key bits —
+//!   linear in `n` for the polynomial-range keys the algorithms produce,
+//! * depth `O(⌈b/8⌉ · log n)` from the per-digit histogram scans,
+//! * **stable**, which the pair-contraction steps of *efficient m.s.p.* and
+//!   *sorting strings* rely on.
+//!
+//! All entry points return a *permutation* (`Vec<u32>` of indices in sorted
+//! order) rather than moving the caller's data, because every caller needs to
+//! carry auxiliary per-item information (original positions, string ids, …).
+
+use sfcp_pram::Ctx;
+
+/// Default small-key bound for single-pass counting sorts.
+const RADIX: usize = 1 << 8;
+/// Widest digit the sorter will use; bounded so the per-block histogram
+/// matrices stay small.
+const MAX_DIGIT_BITS: u32 = 15;
+
+/// Pick the digit width that minimises the number of counting passes for keys
+/// of the given significant width.  The paper's integer sort exploits exactly
+/// this "polynomial range ⇒ constant number of passes of range-n counting
+/// sort" structure, so dense pair keys are handled in two or three passes.
+fn plan_digits(significant_bits: u32) -> (u32, u32) {
+    let sig = significant_bits.max(1);
+    let passes = sig.div_ceil(MAX_DIGIT_BITS).max(1);
+    let digit_bits = sig.div_ceil(passes).clamp(4, MAX_DIGIT_BITS);
+    (digit_bits, sig.div_ceil(digit_bits))
+}
+
+/// Stable sort of `0..keys.len()` by `keys[i]`, returning the index
+/// permutation in sorted order.  Keys may be any `u64`s; only the significant
+/// bits of the maximum key are processed, with an adaptive digit width so
+/// that dense (polynomial-range) keys need only a couple of counting passes.
+#[must_use]
+pub fn radix_sort_u64(ctx: &Ctx, keys: &[u64]) -> Vec<u32> {
+    let n = keys.len();
+    let mut order: Vec<u32> = ctx.par_map_idx(n, |i| i as u32);
+    if n <= 1 {
+        return order;
+    }
+    let max_key = *keys.iter().max().unwrap();
+    ctx.charge_step(n as u64);
+    let significant_bits = 64 - max_key.leading_zeros();
+    let (digit_bits, passes) = plan_digits(significant_bits);
+
+    let mut scratch: Vec<u32> = vec![0; n];
+    for pass in 0..passes {
+        let shift = pass * digit_bits;
+        counting_pass(ctx, keys, &order, &mut scratch, shift, digit_bits);
+        std::mem::swap(&mut order, &mut scratch);
+    }
+    order
+}
+
+/// One stable counting pass: reorder `order` into `out` by the
+/// `digit_bits`-wide digit of `keys[·]` at `shift`.
+fn counting_pass(
+    ctx: &Ctx,
+    keys: &[u64],
+    order: &[u32],
+    out: &mut [u32],
+    shift: u32,
+    digit_bits: u32,
+) {
+    let n = order.len();
+    let radix = 1usize << digit_bits;
+    let digit = |idx: u32| ((keys[idx as usize] >> shift) as usize) & (radix - 1);
+
+    // Choose a block count: enough to parallelise, small enough that the
+    // histogram matrix (blocks × radix) stays cheap (≤ ~4M counters).
+    let max_blocks = ((1usize << 22) / radix).clamp(1, 256);
+    let num_blocks = if ctx.is_parallel() {
+        (n / 8192).clamp(1, max_blocks)
+    } else {
+        1
+    };
+    let block_size = n.div_ceil(num_blocks);
+
+    // Per-block digit histograms.
+    let mut histograms: Vec<Vec<u32>> = ctx.par_map_idx(num_blocks, |b| {
+        let start = b * block_size;
+        let end = (start + block_size).min(n);
+        let mut h = vec![0u32; radix];
+        for &idx in &order[start..end] {
+            h[digit(idx)] += 1;
+        }
+        h
+    });
+
+    // Global stable offsets: for digit d, block b, items go after all smaller
+    // digits and after the same digit in earlier blocks.
+    let mut running = 0u32;
+    for d in 0..radix {
+        for h in histograms.iter_mut() {
+            let c = h[d];
+            h[d] = running;
+            running += c;
+        }
+    }
+    ctx.charge_step((radix * num_blocks) as u64);
+
+    // Scatter.
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    ctx.par_for_idx(num_blocks, |b| {
+        let start = b * block_size;
+        let end = (start + block_size).min(n);
+        let mut offsets = histograms[b].clone();
+        let ptr = out_ptr;
+        for &idx in &order[start..end] {
+            let d = digit(idx);
+            // Safety: the offsets of different (block, digit) pairs are
+            // disjoint ranges, so each output slot is written exactly once.
+            unsafe {
+                *ptr.0.add(offsets[d] as usize) = idx;
+            }
+            offsets[d] += 1;
+        }
+    });
+    ctx.charge_work(n as u64);
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Stable sort of index pairs `(a, b)` in lexicographic order, returning the
+/// index permutation.  This is the exact shape required by step 3 of
+/// *Algorithm efficient m.s.p.* and *Algorithm sorting strings* ("sort all the
+/// ordered pairs lexicographically").
+#[must_use]
+pub fn radix_sort_pairs(ctx: &Ctx, pairs: &[(u64, u64)]) -> Vec<u32> {
+    let n = pairs.len();
+    if n <= 1 {
+        return (0..n as u32).collect();
+    }
+    let max_a = pairs.iter().map(|p| p.0).max().unwrap();
+    let max_b = pairs.iter().map(|p| p.1).max().unwrap();
+    ctx.charge_step(2 * n as u64);
+    // Pack into a single u64 key whenever it fits: shift `a` by exactly the
+    // number of significant bits of the largest `b`, so the packed keys stay
+    // as narrow as possible (fewer counting passes); otherwise fall back to
+    // two stable passes (sort by b, then stably by a).
+    let b_bits = (64 - max_b.leading_zeros()).max(1);
+    let a_bits = (64 - max_a.leading_zeros()).max(1);
+    if a_bits + b_bits <= 64 {
+        let keys: Vec<u64> = ctx.par_map_slice(pairs, |&(a, b)| (a << b_bits) | b);
+        radix_sort_u64(ctx, &keys)
+    } else {
+        let keys_b: Vec<u64> = ctx.par_map_slice(pairs, |&(_, b)| b);
+        let by_b = radix_sort_u64(ctx, &keys_b);
+        // Stable second pass over the order produced by the first pass.
+        let keys_a: Vec<u64> = ctx.par_map_slice(pairs, |&(a, _)| a);
+        stable_reorder_sort(ctx, &keys_a, &by_b)
+    }
+}
+
+/// Stable sort of the already-ordered index list `order` by `keys[·]`
+/// (used for the second pass of the two-pass pair sort).
+fn stable_reorder_sort(ctx: &Ctx, keys: &[u64], order: &[u32]) -> Vec<u32> {
+    let n = order.len();
+    if n <= 1 {
+        return order.to_vec();
+    }
+    let max_key = order.iter().map(|&i| keys[i as usize]).max().unwrap();
+    let significant_bits = 64 - max_key.leading_zeros();
+    let (digit_bits, passes) = plan_digits(significant_bits);
+    let mut current = order.to_vec();
+    let mut scratch = vec![0u32; n];
+    for pass in 0..passes {
+        counting_pass(ctx, keys, &current, &mut scratch, pass * digit_bits, digit_bits);
+        std::mem::swap(&mut current, &mut scratch);
+    }
+    current
+}
+
+/// Stable counting sort of arbitrary items by a small integer key
+/// (`key(i) < bound`), returning the permutation of indices.
+///
+/// Prefer this over [`radix_sort_u64`] when the key range is explicitly known
+/// and small (e.g. already-dense labels): a single counting pass, `O(n + bound)`
+/// work.
+#[must_use]
+pub fn counting_sort_by_key<F>(ctx: &Ctx, n: usize, bound: usize, key: F) -> Vec<u32>
+where
+    F: Fn(usize) -> usize + Sync + Send,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let keys: Vec<u64> = ctx.par_map_idx(n, |i| {
+        let k = key(i);
+        debug_assert!(k < bound, "key {k} out of bound {bound}");
+        k as u64
+    });
+    // A single 8-bit counting pass only handles bound <= 256; otherwise fall
+    // back to the full radix sort (still linear work for polynomial-range keys).
+    if bound > RADIX {
+        return radix_sort_u64(ctx, &keys);
+    }
+    let order: Vec<u32> = (0..n as u32).collect();
+    let mut out = vec![0u32; n];
+    ctx.charge_step(bound as u64);
+    counting_pass(ctx, &keys, &order, &mut out, 0, 8);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+    use sfcp_pram::Mode;
+
+    fn check_is_stable_sort(keys: &[u64], order: &[u32]) {
+        assert_eq!(order.len(), keys.len());
+        // Sorted.
+        for w in order.windows(2) {
+            let (a, b) = (keys[w[0] as usize], keys[w[1] as usize]);
+            assert!(a <= b, "not sorted: {a} > {b}");
+            if a == b {
+                assert!(w[0] < w[1], "not stable on equal keys");
+            }
+        }
+        // A permutation.
+        let mut seen = vec![false; keys.len()];
+        for &i in order {
+            assert!(!seen[i as usize], "duplicate index {i}");
+            seen[i as usize] = true;
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let ctx = Ctx::parallel();
+        assert!(radix_sort_u64(&ctx, &[]).is_empty());
+        assert_eq!(radix_sort_u64(&ctx, &[42]), vec![0]);
+    }
+
+    #[test]
+    fn small_with_duplicates() {
+        let ctx = Ctx::sequential();
+        let keys = [5u64, 3, 5, 1, 3, 3, 0];
+        let order = radix_sort_u64(&ctx, &keys);
+        check_is_stable_sort(&keys, &order);
+        assert_eq!(order, vec![6, 3, 1, 4, 5, 0, 2]);
+    }
+
+    #[test]
+    fn large_random_both_modes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let keys: Vec<u64> = (0..100_000).map(|_| rng.gen_range(0..1_000_000)).collect();
+        for mode in [Mode::Sequential, Mode::Parallel] {
+            let ctx = Ctx::new(mode);
+            let order = radix_sort_u64(&ctx, &keys);
+            check_is_stable_sort(&keys, &order);
+        }
+    }
+
+    #[test]
+    fn large_keys_use_more_passes() {
+        let ctx = Ctx::parallel();
+        let keys = [u64::from(u32::MAX) + 17, 3, 1 << 40, 12, 1 << 40];
+        let order = radix_sort_u64(&ctx, &keys);
+        check_is_stable_sort(&keys, &order);
+    }
+
+    #[test]
+    fn pair_sort_lexicographic() {
+        let ctx = Ctx::parallel();
+        let pairs = [(1u64, 3u64), (2, 3), (4, 3), (1, 2), (3, 4), (2, 0), (1, 1), (1, 3), (2, 2), (3, 2)];
+        let order = radix_sort_pairs(&ctx, &pairs);
+        let sorted: Vec<(u64, u64)> = order.iter().map(|&i| pairs[i as usize]).collect();
+        let mut expected = pairs.to_vec();
+        expected.sort();
+        assert_eq!(sorted, expected);
+        // Stability on the duplicate (1,3).
+        let pos_first = order.iter().position(|&i| i == 0).unwrap();
+        let pos_second = order.iter().position(|&i| i == 7).unwrap();
+        assert!(pos_first < pos_second);
+    }
+
+    #[test]
+    fn pair_sort_wide_values() {
+        let ctx = Ctx::parallel();
+        let big = 1u64 << 40;
+        let pairs = [(big, 1u64), (1, big), (big, 0), (0, big), (big, big)];
+        let order = radix_sort_pairs(&ctx, &pairs);
+        let sorted: Vec<(u64, u64)> = order.iter().map(|&i| pairs[i as usize]).collect();
+        let mut expected = pairs.to_vec();
+        expected.sort();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn counting_sort_small_bound() {
+        let ctx = Ctx::parallel();
+        let data = [3usize, 1, 2, 1, 0, 3, 2];
+        let order = counting_sort_by_key(&ctx, data.len(), 4, |i| data[i]);
+        let keys: Vec<u64> = data.iter().map(|&x| x as u64).collect();
+        check_is_stable_sort(&keys, &order);
+    }
+
+    #[test]
+    fn counting_sort_large_bound_falls_back() {
+        let ctx = Ctx::parallel();
+        let data: Vec<usize> = (0..5000).map(|i| (i * 37) % 4999).collect();
+        let order = counting_sort_by_key(&ctx, data.len(), 4999, |i| data[i]);
+        let keys: Vec<u64> = data.iter().map(|&x| x as u64).collect();
+        check_is_stable_sort(&keys, &order);
+    }
+
+    #[test]
+    fn work_is_near_linear() {
+        let ctx = Ctx::parallel();
+        let keys: Vec<u64> = (0..200_000u64).rev().collect();
+        let _ = radix_sort_u64(&ctx, &keys);
+        let stats = ctx.stats();
+        // 3 digit passes (max key < 2^18) at ~2n each plus setup: well under
+        // the ~n log n ≈ 3.5M a comparison sort would be charged.
+        assert!(stats.work < 2_500_000, "work {} should be near-linear", stats.work);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_stable_std_sort(keys in proptest::collection::vec(0u64..10_000, 0..3000)) {
+            let ctx = Ctx::parallel().with_grain(64);
+            let order = radix_sort_u64(&ctx, &keys);
+            check_is_stable_sort(&keys, &order);
+        }
+
+        #[test]
+        fn pairs_match_std_sort(pairs in proptest::collection::vec((0u64..500, 0u64..500), 0..2000)) {
+            let ctx = Ctx::parallel().with_grain(64);
+            let order = radix_sort_pairs(&ctx, &pairs);
+            let sorted: Vec<(u64, u64)> = order.iter().map(|&i| pairs[i as usize]).collect();
+            let mut expected = pairs.clone();
+            expected.sort();
+            prop_assert_eq!(sorted, expected);
+        }
+    }
+}

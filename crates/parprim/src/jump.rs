@@ -1,0 +1,230 @@
+//! Pointer jumping on rooted forests and permutations.
+//!
+//! Pointer jumping (a.k.a. path doubling) is the simplest way to aggregate
+//! information along directed paths in `O(log n)` rounds.  It is used here
+//! for three jobs:
+//!
+//! * [`find_roots`] / [`distance_to_root`] — locate, for each node of a
+//!   rooted forest (`parent[r] == r` for roots), the root of its tree and the
+//!   distance to it.  These back the tree-labelling step of Section 4 and
+//!   serve as a cross-check for the Euler-tour computations.
+//! * [`permutation_cycle_min`] — for a permutation given as a successor
+//!   array, the minimum element of each cycle.  This labels the Euler cycles
+//!   produced by *Algorithm finding cycle nodes* (Section 5) and elects cycle
+//!   leaders for the cycle-labelling step.
+//!
+//! All three are `O(n log n)` work and `O(log n)` depth.  Where the paper
+//! needs the work-optimal variant it combines pointer jumping with the
+//! list-ranking / Euler-tour machinery; the experiments quantify the gap.
+
+use sfcp_pram::Ctx;
+
+/// For every node of a rooted forest, the root of its tree.
+/// Roots are the fixed points of `parent`.
+///
+/// # Panics
+/// Panics if `parent` contains an out-of-range index or if the structure has
+/// a cycle other than the root self-loops (checked in debug builds only).
+#[must_use]
+pub fn find_roots(ctx: &Ctx, parent: &[u32]) -> Vec<u32> {
+    let n = parent.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    for (i, &p) in parent.iter().enumerate() {
+        assert!((p as usize) < n, "parent[{i}] = {p} out of range");
+    }
+    let mut up: Vec<u32> = parent.to_vec();
+    let rounds = sfcp_pram::ceil_log2(n) + 1;
+    for _ in 0..rounds {
+        up = ctx.par_map_idx(n, |i| up[up[i] as usize]);
+    }
+    debug_assert!(
+        (0..n).all(|i| up[up[i] as usize] == up[i]),
+        "pointer jumping did not converge — `parent` is not a rooted forest"
+    );
+    up
+}
+
+/// For every node of a rooted forest, its distance (number of edges) to the
+/// root of its tree.
+#[must_use]
+pub fn distance_to_root(ctx: &Ctx, parent: &[u32]) -> Vec<u32> {
+    let n = parent.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    for (i, &p) in parent.iter().enumerate() {
+        assert!((p as usize) < n, "parent[{i}] = {p} out of range");
+    }
+    let mut up: Vec<u32> = parent.to_vec();
+    let mut dist: Vec<u32> = ctx.par_map_idx(n, |i| u32::from(parent[i] as usize != i));
+    let rounds = sfcp_pram::ceil_log2(n) + 1;
+    for _ in 0..rounds {
+        let new_dist: Vec<u32> = ctx.par_map_idx(n, |i| dist[i] + dist[up[i] as usize]);
+        let new_up: Vec<u32> = ctx.par_map_idx(n, |i| up[up[i] as usize]);
+        dist = new_dist;
+        up = new_up;
+    }
+    dist
+}
+
+/// For every element of a permutation (successor array `succ`), the minimum
+/// element on its cycle.  Elements on the same cycle — and only those — get
+/// the same representative.
+///
+/// # Panics
+/// Panics if `succ` is not a permutation of `0..succ.len()`.
+#[must_use]
+pub fn permutation_cycle_min(ctx: &Ctx, succ: &[u32]) -> Vec<u32> {
+    let n = succ.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Validate permutation-ness: every element must appear exactly once.
+    let mut seen = vec![false; n];
+    for (i, &s) in succ.iter().enumerate() {
+        assert!((s as usize) < n, "succ[{i}] = {s} out of range");
+        assert!(!seen[s as usize], "succ is not a permutation: {s} repeated");
+        seen[s as usize] = true;
+    }
+    ctx.charge_step(n as u64);
+
+    let mut jump: Vec<u32> = succ.to_vec();
+    let mut best: Vec<u32> = ctx.par_map_idx(n, |i| (i as u32).min(succ[i]));
+    let rounds = sfcp_pram::ceil_log2(n) + 1;
+    for _ in 0..rounds {
+        let new_best: Vec<u32> = ctx.par_map_idx(n, |i| best[i].min(best[jump[i] as usize]));
+        let new_jump: Vec<u32> = ctx.par_map_idx(n, |i| jump[jump[i] as usize]);
+        best = new_best;
+        jump = new_jump;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn random_forest(n: usize, roots: usize, seed: u64) -> Vec<u32> {
+        // Node i > 0 picks a parent among smaller indices; the first `roots`
+        // nodes are roots.  Then apply a random relabelling so structure is
+        // not index-ordered.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let roots = roots.clamp(1, n);
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        for i in roots..n {
+            parent[i] = rng.gen_range(0..i) as u32;
+        }
+        let mut relabel: Vec<u32> = (0..n as u32).collect();
+        relabel.shuffle(&mut rng);
+        let mut new_parent = vec![0u32; n];
+        for i in 0..n {
+            new_parent[relabel[i] as usize] = relabel[parent[i] as usize];
+        }
+        new_parent
+    }
+
+    fn reference_root_and_dist(parent: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let n = parent.len();
+        let mut roots = vec![0u32; n];
+        let mut dist = vec![0u32; n];
+        for i in 0..n {
+            let mut cur = i;
+            let mut d = 0;
+            while parent[cur] as usize != cur {
+                cur = parent[cur] as usize;
+                d += 1;
+                assert!(d <= n as u32);
+            }
+            roots[i] = cur as u32;
+            dist[i] = d;
+        }
+        (roots, dist)
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let ctx = Ctx::parallel();
+        assert!(find_roots(&ctx, &[]).is_empty());
+        assert_eq!(find_roots(&ctx, &[0]), vec![0]);
+        assert_eq!(distance_to_root(&ctx, &[0]), vec![0]);
+    }
+
+    #[test]
+    fn small_forest() {
+        // Tree: 0 <- 1 <- 2, 0 <- 3; separate root 4.
+        let parent = vec![0u32, 0, 1, 0, 4];
+        let ctx = Ctx::parallel();
+        assert_eq!(find_roots(&ctx, &parent), vec![0, 0, 0, 0, 4]);
+        assert_eq!(distance_to_root(&ctx, &parent), vec![0, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn deep_path() {
+        let n = 30_000;
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        for i in 1..n {
+            parent[i] = (i - 1) as u32;
+        }
+        let ctx = Ctx::parallel();
+        let roots = find_roots(&ctx, &parent);
+        assert!(roots.iter().all(|&r| r == 0));
+        let dist = distance_to_root(&ctx, &parent);
+        assert_eq!(dist[n - 1], (n - 1) as u32);
+        assert_eq!(dist[0], 0);
+    }
+
+    #[test]
+    fn permutation_cycles() {
+        // Permutation with cycles (0 2 4), (1 3), (5).
+        let succ = vec![2u32, 3, 4, 1, 0, 5];
+        let ctx = Ctx::parallel();
+        assert_eq!(permutation_cycle_min(&ctx, &succ), vec![0, 1, 0, 1, 0, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_non_permutation() {
+        let ctx = Ctx::sequential();
+        let _ = permutation_cycle_min(&ctx, &[0, 0, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn forest_matches_reference(n in 1usize..500, roots in 1usize..10, seed in 0u64..50) {
+            let parent = random_forest(n, roots, seed);
+            let (exp_roots, exp_dist) = reference_root_and_dist(&parent);
+            let ctx = Ctx::parallel().with_grain(32);
+            prop_assert_eq!(find_roots(&ctx, &parent), exp_roots);
+            prop_assert_eq!(distance_to_root(&ctx, &parent), exp_dist);
+        }
+
+        #[test]
+        fn permutation_min_matches_reference(n in 1usize..300, seed in 0u64..50) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut succ: Vec<u32> = (0..n as u32).collect();
+            succ.shuffle(&mut rng);
+            // Reference: walk each cycle.
+            let mut expected = vec![u32::MAX; n];
+            for start in 0..n {
+                if expected[start] != u32::MAX { continue; }
+                let mut members = vec![start];
+                let mut cur = succ[start] as usize;
+                while cur != start {
+                    members.push(cur);
+                    cur = succ[cur] as usize;
+                }
+                let m = *members.iter().min().unwrap() as u32;
+                for x in members {
+                    expected[x] = m;
+                }
+            }
+            let ctx = Ctx::parallel().with_grain(32);
+            prop_assert_eq!(permutation_cycle_min(&ctx, &succ), expected);
+        }
+    }
+}

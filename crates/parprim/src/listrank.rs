@@ -1,0 +1,308 @@
+//! List ranking.
+//!
+//! Step 1 of *Algorithm cycle node labeling* rearranges each cycle into
+//! consecutive memory locations; the paper does this with the optimal
+//! list-ranking algorithm of Anderson and Miller (`O(log n)` time, `O(n)`
+//! work, EREW).  Two implementations are provided:
+//!
+//! * [`list_rank_wyllie`] — Wyllie's pointer jumping: simple, `O(log n)`
+//!   depth but `O(n log n)` work;
+//! * [`list_rank_ruling_set`] — the work-efficient scheme: deterministically
+//!   sample ~`n / k` *rulers*, walk the short segments between rulers
+//!   sequentially (in parallel over segments), rank the contracted list of
+//!   rulers with Wyllie, and expand.  Expected `O(n)` work, `O(k + log n)`
+//!   depth with `k ≈ log n` — the practical stand-in for Anderson–Miller.
+//!
+//! The input is a *successor* array: `next[i]` is the element after `i`, and
+//! terminal elements satisfy `next[i] == i`.  Several independent lists may
+//! share one array.  The output rank of an element is its distance (number of
+//! hops) to its terminal.
+
+use sfcp_pram::fxhash::hash_u64;
+use sfcp_pram::Ctx;
+
+/// Which list-ranking algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ListRankMethod {
+    /// Pointer jumping: `O(n log n)` work, `O(log n)` depth.
+    Wyllie,
+    /// Sparse ruling set: `O(n)` expected work, `O(log² n)`-ish depth.
+    #[default]
+    RulingSet,
+}
+
+/// Distance of every element to the terminal of its list.
+///
+/// # Panics
+/// Panics if `next` contains an out-of-range index.
+#[must_use]
+pub fn list_rank(ctx: &Ctx, next: &[u32], method: ListRankMethod) -> Vec<u32> {
+    match method {
+        ListRankMethod::Wyllie => list_rank_wyllie(ctx, next),
+        ListRankMethod::RulingSet => list_rank_ruling_set(ctx, next),
+    }
+}
+
+/// Wyllie's pointer-jumping list ranking.
+#[must_use]
+pub fn list_rank_wyllie(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
+    let n = next.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    for (i, &s) in next.iter().enumerate() {
+        assert!((s as usize) < n, "next[{i}] = {s} out of range");
+    }
+    let mut succ: Vec<u32> = next.to_vec();
+    let mut rank: Vec<u32> = ctx.par_map_idx(n, |i| u32::from(next[i] as usize != i));
+    let rounds = sfcp_pram::ceil_log2(n) + 1;
+    for _ in 0..rounds {
+        // Synchronous step: read the old arrays, write fresh ones.
+        let new_rank: Vec<u32> = ctx.par_map_idx(n, |i| rank[i] + rank[succ[i] as usize]);
+        let new_succ: Vec<u32> = ctx.par_map_idx(n, |i| succ[succ[i] as usize]);
+        rank = new_rank;
+        succ = new_succ;
+    }
+    rank
+}
+
+/// Sparse-ruling-set list ranking (work-efficient).
+#[must_use]
+pub fn list_rank_ruling_set(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
+    let n = next.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n <= 1024 {
+        // Tiny inputs: pointer jumping is already cheap.
+        return list_rank_wyllie(ctx, next);
+    }
+    for (i, &s) in next.iter().enumerate() {
+        assert!((s as usize) < n, "next[{i}] = {s} out of range");
+    }
+
+    // Segment length target ~ log n keeps the expected work linear while the
+    // per-segment sequential walks stay short.
+    let k = (sfcp_pram::ceil_log2(n) as usize).max(2) * 2;
+
+    // Heads (no predecessor) must be rulers, or the prefix of a list before
+    // the first sampled ruler would never be walked.  Terminals are rulers by
+    // construction of the contracted list.
+    let mut has_pred = vec![false; n];
+    for (i, &s) in next.iter().enumerate() {
+        if s as usize != i {
+            has_pred[s as usize] = true;
+        }
+    }
+    ctx.charge_step(n as u64);
+
+    // Deterministic pseudo-random sampling: element i is a ruler iff its hash
+    // falls in a 1/k slice, or it is a head, or it is a terminal.
+    let is_ruler: Vec<bool> = ctx.par_map_idx(n, |i| {
+        !has_pred[i] || next[i] as usize == i || (hash_u64(i as u64) as usize % k) == 0
+    });
+
+    // Walk from every ruler to the next ruler, recording for every element on
+    // the way its local distance to the segment's *end ruler*, and for every
+    // ruler the identity of the next ruler plus the segment length.
+    let ruler_ids: Vec<u32> = crate::compact::compact_indices(ctx, n, |i| is_ruler[i]);
+    let m = ruler_ids.len();
+    let mut ruler_index = vec![u32::MAX; n];
+    for (j, &r) in ruler_ids.iter().enumerate() {
+        ruler_index[r as usize] = j as u32;
+    }
+    ctx.charge_step(m as u64);
+
+    // One parallel pass over segments: starting from every ruler, walk until
+    // the next ruler (or a terminal, which is itself a ruler).  For every
+    // interior node record (a) its hop distance to the segment end and
+    // (b) which ruler that end is.  Writes are disjoint because each interior
+    // node lies in exactly one segment.
+    let mut local_dist = vec![0u32; n];
+    let mut end_ruler = vec![u32::MAX; n];
+    let dist_ptr = SendPtr(local_dist.as_mut_ptr());
+    let end_ptr = SendPtr(end_ruler.as_mut_ptr());
+    let seg_results: Vec<(u32, u32)> = ctx.par_map_idx(m, |j| {
+        let start = ruler_ids[j] as usize;
+        let mut path = Vec::new();
+        let mut cur = start;
+        loop {
+            let nxt = next[cur] as usize;
+            if nxt == cur {
+                break; // terminal: segment ends here
+            }
+            path.push(cur);
+            cur = nxt;
+            if is_ruler[cur] {
+                break;
+            }
+        }
+        // `path` holds the nodes strictly before the segment end `cur`
+        // (including the starting ruler itself).
+        let end = ruler_index[cur];
+        let (dp, ep) = (dist_ptr, end_ptr);
+        for (steps_from_start, &node) in path.iter().enumerate() {
+            // Safety: disjoint segments → each node written at most once.
+            unsafe {
+                *dp.0.add(node) = (path.len() - steps_from_start) as u32;
+                *ep.0.add(node) = end;
+            }
+        }
+        (end, path.len() as u32)
+    });
+    ctx.charge_work(n as u64);
+
+    // Contracted list over rulers; rank it with weighted Wyllie
+    // (m ≈ n / k elements, weight of ruler j = its segment length in hops).
+    let contracted_rank_in_hops = {
+        let mut succ: Vec<u32> = seg_results.iter().map(|&(nr, _)| nr).collect();
+        let mut rank: Vec<u64> = (0..m)
+            .map(|j| if succ[j] as usize == j { 0 } else { u64::from(seg_results[j].1) })
+            .collect();
+        let rounds = sfcp_pram::ceil_log2(m.max(2)) + 1;
+        for _ in 0..rounds {
+            let new_rank: Vec<u64> = ctx.par_map_idx(m, |j| rank[j] + rank[succ[j] as usize]);
+            let new_succ: Vec<u32> = ctx.par_map_idx(m, |j| succ[succ[j] as usize]);
+            rank = new_rank;
+            succ = new_succ;
+        }
+        rank
+    };
+
+    // Final rank: a ruler takes its contracted rank; an interior node adds
+    // its local distance to the rank of its segment's end ruler.
+    ctx.charge_step(n as u64);
+    (0..n)
+        .map(|i| {
+            if is_ruler[i] {
+                contracted_rank_in_hops[ruler_index[i] as usize] as u32
+            } else {
+                local_dist[i] + contracted_rank_in_hops[end_ruler[i] as usize] as u32
+            }
+        })
+        .collect()
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use sfcp_pram::Mode;
+
+    /// Reference ranking by walking each list.
+    fn reference_ranks(next: &[u32]) -> Vec<u32> {
+        let n = next.len();
+        let mut rank = vec![0u32; n];
+        for start in 0..n {
+            let mut steps = 0u32;
+            let mut cur = start;
+            while next[cur] as usize != cur {
+                cur = next[cur] as usize;
+                steps += 1;
+                assert!(steps as usize <= n, "cycle detected — invalid list input");
+            }
+            rank[start] = steps;
+        }
+        rank
+    }
+
+    /// Build a successor array for a random permutation split into `lists`
+    /// independent lists.
+    fn random_lists(n: usize, lists: usize, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut rng);
+        let mut next: Vec<u32> = (0..n as u32).collect();
+        let chunk = n.div_ceil(lists.max(1));
+        for part in perm.chunks(chunk) {
+            for w in part.windows(2) {
+                next[w[0] as usize] = w[1];
+            }
+            // Last element of each part is terminal (already self-loop).
+        }
+        next
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let ctx = Ctx::parallel();
+        assert!(list_rank_wyllie(&ctx, &[]).is_empty());
+        assert_eq!(list_rank_wyllie(&ctx, &[0]), vec![0]);
+        assert_eq!(list_rank(&ctx, &[0], ListRankMethod::RulingSet), vec![0]);
+    }
+
+    #[test]
+    fn single_chain() {
+        // 0 -> 1 -> 2 -> 3 (terminal)
+        let next = vec![1u32, 2, 3, 3];
+        for mode in [Mode::Sequential, Mode::Parallel] {
+            let ctx = Ctx::new(mode);
+            assert_eq!(list_rank_wyllie(&ctx, &next), vec![3, 2, 1, 0]);
+            assert_eq!(list_rank_ruling_set(&ctx, &next), vec![3, 2, 1, 0]);
+        }
+    }
+
+    #[test]
+    fn two_lists() {
+        // list A: 4 -> 2 -> 0 (terminal); list B: 3 -> 1 (terminal)
+        let next = vec![0u32, 1, 0, 1, 2];
+        let ctx = Ctx::parallel();
+        assert_eq!(list_rank_wyllie(&ctx, &next), vec![0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn large_random_lists_all_methods() {
+        let next = random_lists(20_000, 7, 42);
+        let expected = reference_ranks(&next);
+        for mode in [Mode::Sequential, Mode::Parallel] {
+            let ctx = Ctx::new(mode);
+            assert_eq!(list_rank_wyllie(&ctx, &next), expected, "wyllie {mode:?}");
+            assert_eq!(list_rank_ruling_set(&ctx, &next), expected, "ruling set {mode:?}");
+        }
+    }
+
+    #[test]
+    fn single_long_chain_exercises_ruling_set() {
+        // One chain of length 50k in index order — heads/terminals handled.
+        let n = 50_000;
+        let mut next: Vec<u32> = (1..=n as u32).collect();
+        next[n - 1] = (n - 1) as u32;
+        let ctx = Ctx::parallel();
+        let ranks = list_rank_ruling_set(&ctx, &next);
+        for (i, &r) in ranks.iter().enumerate() {
+            assert_eq!(r as usize, n - 1 - i);
+        }
+    }
+
+    #[test]
+    fn ruling_set_work_is_smaller_than_wyllie() {
+        let next = random_lists(100_000, 3, 9);
+        let ctx_w = Ctx::parallel();
+        let _ = list_rank_wyllie(&ctx_w, &next);
+        let ctx_r = Ctx::parallel();
+        let _ = list_rank_ruling_set(&ctx_r, &next);
+        assert!(
+            ctx_r.stats().work < ctx_w.stats().work,
+            "ruling set ({}) should charge less work than Wyllie ({})",
+            ctx_r.stats().work,
+            ctx_w.stats().work
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn both_methods_match_reference(n in 1usize..400, lists in 1usize..8, seed in 0u64..100) {
+            let next = random_lists(n, lists, seed);
+            let expected = reference_ranks(&next);
+            let ctx = Ctx::parallel().with_grain(32);
+            prop_assert_eq!(list_rank_wyllie(&ctx, &next), expected.clone());
+            prop_assert_eq!(list_rank_ruling_set(&ctx, &next), expected);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Parallel reductions: sums, minima and maxima with positions.
+//!
+//! *Algorithm efficient m.s.p.* starts every round by finding the smallest
+//! symbol `m` of the circular string; leader election for cycles picks the
+//! minimum node index.  Both are index-reporting reductions.  Work `O(n)`,
+//! depth `O(log n)`.
+
+use sfcp_pram::Ctx;
+
+/// Sum of a `u64` slice.
+#[must_use]
+pub fn sum_u64(ctx: &Ctx, values: &[u64]) -> u64 {
+    ctx.par_reduce_idx(values.len(), 0u64, |i| values[i], |a, b| a + b)
+}
+
+/// Minimum value of a non-empty slice.
+///
+/// # Panics
+/// Panics if `values` is empty.
+#[must_use]
+pub fn min_value<T: Ord + Copy + Send + Sync>(ctx: &Ctx, values: &[T]) -> T {
+    assert!(!values.is_empty(), "min_value of an empty slice");
+    let first = values[0];
+    ctx.par_reduce_idx(values.len(), first, |i| values[i], |a, b| a.min(b))
+}
+
+/// Index of the minimum element; ties broken towards the smallest index
+/// (this determinism matters: the algorithms use it for leader election).
+///
+/// # Panics
+/// Panics if `values` is empty.
+#[must_use]
+pub fn min_index<T: Ord + Copy + Send + Sync>(ctx: &Ctx, values: &[T]) -> usize {
+    assert!(!values.is_empty(), "min_index of an empty slice");
+    let best = ctx.par_reduce_idx(
+        values.len(),
+        (values[0], 0usize),
+        |i| (values[i], i),
+        |a, b| {
+            // Smaller value wins; on equal values the smaller index wins.
+            if b.0 < a.0 || (b.0 == a.0 && b.1 < a.1) {
+                b
+            } else {
+                a
+            }
+        },
+    );
+    best.1
+}
+
+/// Index of the maximum element; ties broken towards the smallest index.
+///
+/// # Panics
+/// Panics if `values` is empty.
+#[must_use]
+pub fn max_index<T: Ord + Copy + Send + Sync>(ctx: &Ctx, values: &[T]) -> usize {
+    assert!(!values.is_empty(), "max_index of an empty slice");
+    let best = ctx.par_reduce_idx(
+        values.len(),
+        (values[0], 0usize),
+        |i| (values[i], i),
+        |a, b| {
+            if b.0 > a.0 || (b.0 == a.0 && b.1 < a.1) {
+                b
+            } else {
+                a
+            }
+        },
+    );
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sfcp_pram::Mode;
+
+    #[test]
+    fn sums() {
+        for mode in [Mode::Sequential, Mode::Parallel] {
+            let ctx = Ctx::new(mode);
+            let v: Vec<u64> = (0..10_001).collect();
+            assert_eq!(sum_u64(&ctx, &v), 10_000 * 10_001 / 2);
+            assert_eq!(sum_u64(&ctx, &[]), 0);
+        }
+    }
+
+    #[test]
+    fn min_and_max_with_ties() {
+        let ctx = Ctx::parallel().with_grain(16);
+        let v = vec![5u32, 3, 7, 3, 9, 1, 1, 8];
+        assert_eq!(min_value(&ctx, &v), 1);
+        assert_eq!(min_index(&ctx, &v), 5, "first occurrence of the minimum");
+        assert_eq!(max_index(&ctx, &v), 4);
+        let all_equal = vec![2u32; 100];
+        assert_eq!(min_index(&ctx, &all_equal), 0);
+        assert_eq!(max_index(&ctx, &all_equal), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn min_index_empty_panics() {
+        let ctx = Ctx::sequential();
+        let _ = min_index::<u32>(&ctx, &[]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_std(v in proptest::collection::vec(0u32..50, 1..2000)) {
+            let ctx = Ctx::parallel().with_grain(32);
+            let expected_min = *v.iter().min().unwrap();
+            prop_assert_eq!(min_value(&ctx, &v), expected_min);
+            prop_assert_eq!(min_index(&ctx, &v), v.iter().position(|&x| x == expected_min).unwrap());
+            let expected_max = *v.iter().max().unwrap();
+            prop_assert_eq!(max_index(&ctx, &v), v.iter().position(|&x| x == expected_max).unwrap());
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Prefix sums (scans).
+//!
+//! The scan is *the* workhorse PRAM primitive: compaction offsets, Euler-tour
+//! rankings, radix-sort bucket offsets and the "number of bad ancestors"
+//! computation of the tree-labelling step are all scans.  The parallel
+//! version is the standard two-pass blocked algorithm: block-local sums, a
+//! (small) scan over the block sums, then a block-local sweep — `O(n)` work
+//! and `O(log n)` depth, matching the cost the paper assumes for prefix sums.
+
+use sfcp_pram::Ctx;
+
+/// Block size used by the parallel two-pass scan.
+const SCAN_BLOCK: usize = 4096;
+
+/// Inclusive prefix sums of `values` (`out[i] = values[0] + … + values[i]`).
+#[must_use]
+pub fn inclusive_scan(ctx: &Ctx, values: &[u64]) -> Vec<u64> {
+    scan_generic(ctx, values, 0u64, |a, b| a + b, true)
+}
+
+/// Exclusive prefix sums of `values` (`out[i] = values[0] + … + values[i-1]`,
+/// `out[0] = 0`).  Returns the scanned vector and the total sum.
+#[must_use]
+pub fn exclusive_scan(ctx: &Ctx, values: &[u64]) -> (Vec<u64>, u64) {
+    let total: u64 = values.iter().sum();
+    let out = scan_generic(ctx, values, 0u64, |a, b| a + b, false);
+    (out, total)
+}
+
+/// Generic blocked scan with an associative operation `op` and identity
+/// `identity`.  `inclusive` selects inclusive vs exclusive output.
+///
+/// Work `O(n)`, depth `O(log n)` (the block-sum scan is performed
+/// sequentially but over only `n / SCAN_BLOCK` elements, so the extra depth
+/// charged is the standard `O(log n)`).
+#[must_use]
+pub fn scan_generic<T, F>(ctx: &Ctx, values: &[T], identity: T, op: F, inclusive: bool) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync + Send,
+{
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Depth of the implicit block-sum combine tree.
+    ctx.charge_rounds(sfcp_pram::ceil_log2(n.div_ceil(SCAN_BLOCK).max(1)) as u64);
+
+    if !ctx.is_parallel() || n <= SCAN_BLOCK {
+        // Straight sequential scan (still charges n work via par_map below).
+        ctx.charge_step(n as u64);
+        let mut out = Vec::with_capacity(n);
+        let mut acc = identity;
+        for &v in values {
+            if inclusive {
+                acc = op(acc, v);
+                out.push(acc);
+            } else {
+                out.push(acc);
+                acc = op(acc, v);
+            }
+        }
+        return out;
+    }
+
+    // Pass 1: per-block totals.  The two passes touch every element once each.
+    ctx.charge_work(2 * n as u64);
+    let num_blocks = n.div_ceil(SCAN_BLOCK);
+    let block_totals: Vec<T> = ctx.par_map_idx(num_blocks, |b| {
+        let start = b * SCAN_BLOCK;
+        let end = (start + SCAN_BLOCK).min(n);
+        let mut acc = identity;
+        for &v in &values[start..end] {
+            acc = op(acc, v);
+        }
+        acc
+    });
+
+    // Scan the block totals (small, done sequentially).
+    let mut block_offsets = Vec::with_capacity(num_blocks);
+    let mut acc = identity;
+    for &t in &block_totals {
+        block_offsets.push(acc);
+        acc = op(acc, t);
+    }
+    ctx.charge_work(num_blocks as u64);
+
+    // Pass 2: per-block sweep with the block offset.
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    // Safety: fully overwritten below before reading.
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(n)
+    };
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    ctx.par_for_idx(num_blocks, |b| {
+        let start = b * SCAN_BLOCK;
+        let end = (start + SCAN_BLOCK).min(n);
+        let mut acc = block_offsets[b];
+        let ptr = out_ptr;
+        for i in start..end {
+            // Safety: each index is written by exactly one block.
+            unsafe {
+                if inclusive {
+                    acc = op(acc, values[i]);
+                    *ptr.0.add(i) = acc;
+                } else {
+                    *ptr.0.add(i) = acc;
+                    acc = op(acc, values[i]);
+                }
+            }
+        }
+    });
+    out
+}
+
+/// A raw pointer wrapper that asserts cross-thread transferability.  Every
+/// use in this crate writes disjoint index ranges from different tasks.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Segmented inclusive scan: `flags[i] == true` marks the start of a new
+/// segment; the running sum restarts at every segment head.
+///
+/// Used for per-cycle and per-tree aggregations where many independent
+/// sequences are stored back to back in one array.
+#[must_use]
+pub fn segmented_inclusive_scan(ctx: &Ctx, values: &[u64], flags: &[bool]) -> Vec<u64> {
+    assert_eq!(values.len(), flags.len());
+    // Implemented via the generic scan over (value, carries-across-boundary)
+    // pairs: the operator resets when the right operand starts a segment.
+    let pairs: Vec<(u64, bool)> = ctx.par_map_idx(values.len(), |i| (values[i], flags[i]));
+    let scanned = scan_generic(
+        ctx,
+        &pairs,
+        (0u64, false),
+        |a, b| {
+            if b.1 {
+                // b starts a segment: discard the left accumulation.
+                (b.0, true)
+            } else {
+                (a.0 + b.0, a.1 || b.1)
+            }
+        },
+        true,
+    );
+    ctx.charge_step(values.len() as u64);
+    scanned.into_iter().map(|(v, _)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sfcp_pram::Mode;
+
+    fn reference_inclusive(values: &[u64]) -> Vec<u64> {
+        let mut acc = 0;
+        values
+            .iter()
+            .map(|&v| {
+                acc += v;
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let ctx = Ctx::parallel();
+        assert!(inclusive_scan(&ctx, &[]).is_empty());
+        assert_eq!(inclusive_scan(&ctx, &[5]), vec![5]);
+        let (ex, total) = exclusive_scan(&ctx, &[5]);
+        assert_eq!(ex, vec![0]);
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn small_known_values() {
+        let ctx = Ctx::sequential();
+        let v = [1u64, 2, 3, 4, 5];
+        assert_eq!(inclusive_scan(&ctx, &v), vec![1, 3, 6, 10, 15]);
+        let (ex, total) = exclusive_scan(&ctx, &v);
+        assert_eq!(ex, vec![0, 1, 3, 6, 10]);
+        assert_eq!(total, 15);
+    }
+
+    #[test]
+    fn large_crosses_block_boundaries() {
+        for mode in [Mode::Sequential, Mode::Parallel] {
+            let ctx = Ctx::new(mode);
+            let v: Vec<u64> = (0..3 * SCAN_BLOCK as u64 + 17).map(|i| i % 7).collect();
+            assert_eq!(inclusive_scan(&ctx, &v), reference_inclusive(&v));
+        }
+    }
+
+    #[test]
+    fn generic_scan_with_max_operator() {
+        let ctx = Ctx::parallel();
+        let v: Vec<u64> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let out = scan_generic(&ctx, &v, 0u64, |a, b| a.max(b), true);
+        assert_eq!(out, vec![3, 3, 4, 4, 5, 9, 9, 9]);
+    }
+
+    #[test]
+    fn segmented_scan_restarts_at_flags() {
+        let ctx = Ctx::parallel();
+        let values = [1u64, 1, 1, 1, 1, 1];
+        let flags = [true, false, false, true, false, false];
+        assert_eq!(
+            segmented_inclusive_scan(&ctx, &values, &flags),
+            vec![1, 2, 3, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn segmented_scan_large() {
+        let ctx = Ctx::parallel();
+        let n = 2 * SCAN_BLOCK + 100;
+        let values: Vec<u64> = vec![1; n];
+        let flags: Vec<bool> = (0..n).map(|i| i % 1000 == 0).collect();
+        let out = segmented_inclusive_scan(&ctx, &values, &flags);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, (i % 1000) as u64 + 1, "at index {i}");
+        }
+    }
+
+    #[test]
+    fn charges_linear_work() {
+        let ctx = Ctx::parallel();
+        let v: Vec<u64> = vec![1; 100_000];
+        let _ = inclusive_scan(&ctx, &v);
+        let stats = ctx.stats();
+        assert!(stats.work >= 100_000);
+        assert!(stats.work < 400_000, "scan should be linear work, got {}", stats.work);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_reference(v in proptest::collection::vec(0u64..1000, 0..3000)) {
+            let seq = Ctx::sequential();
+            let par = Ctx::parallel().with_grain(64);
+            prop_assert_eq!(inclusive_scan(&seq, &v), reference_inclusive(&v));
+            prop_assert_eq!(inclusive_scan(&par, &v), reference_inclusive(&v));
+            let (ex, total) = exclusive_scan(&par, &v);
+            prop_assert_eq!(total, v.iter().sum::<u64>());
+            for i in 0..v.len() {
+                prop_assert_eq!(ex[i], v[..i].iter().sum::<u64>());
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Brent's scheduling principle.
+//!
+//! A PRAM algorithm with work `W(n)` and depth `D(n)` can be simulated on
+//! `p` processors in time `O(W(n)/p + D(n))`.  The paper's comparison of
+//! algorithms ("runs in O(log n) time using O(n log log n) operations") is a
+//! statement about `W` and `D`; the benchmark harness uses this module to
+//! convert measured `(work, rounds)` pairs into *predicted* p-processor
+//! running times so the paper's comparison table (Section 1) can be
+//! regenerated as experiment E1/E2 in `EXPERIMENTS.md`.
+
+use crate::tracker::Stats;
+
+/// Predicted number of time steps on `p` processors by Brent's theorem.
+///
+/// `p == 0` is treated as `p == 1`.
+#[must_use]
+pub fn predicted_time(stats: Stats, p: usize) -> f64 {
+    let p = p.max(1) as f64;
+    stats.work as f64 / p + stats.rounds as f64
+}
+
+/// A small helper bundling the quantities the experiment tables report for a
+/// single measured run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrentModel {
+    /// Problem size the run was measured at.
+    pub n: usize,
+    /// Measured work (operations).
+    pub work: u64,
+    /// Measured depth (rounds).
+    pub rounds: u64,
+}
+
+impl BrentModel {
+    /// Build a model row from a problem size and a tracker snapshot.
+    #[must_use]
+    pub fn from_stats(n: usize, stats: Stats) -> Self {
+        BrentModel {
+            n,
+            work: stats.work,
+            rounds: stats.rounds,
+        }
+    }
+
+    /// Work divided by `n` — constant for linear-work algorithms, ~`log n`
+    /// for `O(n log n)`-work algorithms, ~`log log n` for the paper's bound.
+    #[must_use]
+    pub fn work_per_n(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.n as f64
+        }
+    }
+
+    /// Rounds divided by `log2 n` — roughly constant for `O(log n)`-depth
+    /// algorithms.
+    #[must_use]
+    pub fn rounds_per_log_n(&self) -> f64 {
+        let log_n = (self.n.max(2) as f64).log2();
+        self.rounds as f64 / log_n
+    }
+
+    /// Predicted time on `p` processors (Brent).
+    #[must_use]
+    pub fn time_on(&self, p: usize) -> f64 {
+        predicted_time(
+            Stats {
+                work: self.work,
+                rounds: self.rounds,
+            },
+            p,
+        )
+    }
+
+    /// Predicted self-relative speedup on `p` processors vs one processor.
+    #[must_use]
+    pub fn speedup_on(&self, p: usize) -> f64 {
+        let t1 = self.time_on(1);
+        let tp = self.time_on(p);
+        if tp == 0.0 {
+            1.0
+        } else {
+            t1 / tp
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicted_time_basic() {
+        let stats = Stats {
+            work: 1000,
+            rounds: 10,
+        };
+        assert!((predicted_time(stats, 1) - 1010.0).abs() < 1e-9);
+        assert!((predicted_time(stats, 10) - 110.0).abs() < 1e-9);
+        assert!((predicted_time(stats, 0) - 1010.0).abs() < 1e-9, "p=0 behaves like p=1");
+    }
+
+    #[test]
+    fn speedup_saturates_at_depth() {
+        let m = BrentModel {
+            n: 1 << 20,
+            work: 1 << 24,
+            rounds: 100,
+        };
+        // With unboundedly many processors the time approaches the depth, so
+        // the speedup approaches work/depth + 1.
+        let huge = m.speedup_on(1 << 30);
+        let ideal = (m.work as f64 + 100.0) / 100.0;
+        assert!((huge - ideal).abs() / ideal < 1e-3);
+        // Speedup is monotone in p.
+        assert!(m.speedup_on(2) > m.speedup_on(1));
+        assert!(m.speedup_on(16) > m.speedup_on(4));
+    }
+
+    #[test]
+    fn work_per_n_and_rounds_per_log() {
+        let m = BrentModel {
+            n: 1024,
+            work: 10 * 1024,
+            rounds: 30,
+        };
+        assert!((m.work_per_n() - 10.0).abs() < 1e-9);
+        assert!((m.rounds_per_log_n() - 3.0).abs() < 1e-9);
+        let zero = BrentModel {
+            n: 0,
+            work: 0,
+            rounds: 0,
+        };
+        assert_eq!(zero.work_per_n(), 0.0);
+    }
+}

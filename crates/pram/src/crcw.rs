@@ -1,0 +1,316 @@
+//! Arbitrary-CRCW shared memory abstractions.
+//!
+//! The paper's model allows many processors to write the same memory cell in
+//! one step; an *arbitrary* one of them succeeds.  Two idioms in the paper
+//! rely on this:
+//!
+//! * electing a representative among concurrent writers (e.g. choosing a
+//!   leader for each cycle, or the "first marked position" style steps) —
+//!   modelled by [`ArbitraryCell`];
+//! * *Algorithm partition* (Section 3.2) writes positions into a huge table
+//!   `BB[EQ[d1], EQ[d2]]` so that every distinct pair of labels ends up with
+//!   exactly one representative position — modelled by [`CrcwTable`], an
+//!   insert-if-absent concurrent map (the `O(n^2)` table of the paper, with
+//!   the memory reduced the same way the paper cites [3] for).
+//!
+//! The *common* CRCW variant (all concurrent writers must write the same
+//! value) is provided as [`CommonCell`] with a debug-mode check.
+
+use crate::fxhash::FxBuildHasher;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared cell with arbitrary-CRCW write semantics.
+///
+/// Within one "round" (between [`ArbitraryCell::clear`] calls), the first
+/// successful writer wins and later writes are ignored.  Which concurrent
+/// writer succeeds is unspecified — exactly the arbitrary CRCW contract.
+#[derive(Debug)]
+pub struct ArbitraryCell {
+    /// Encodes `Option<u64>`: `EMPTY` means no write has happened.
+    slot: AtomicU64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl Default for ArbitraryCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArbitraryCell {
+    /// An empty cell.
+    #[must_use]
+    pub fn new() -> Self {
+        ArbitraryCell {
+            slot: AtomicU64::new(EMPTY),
+        }
+    }
+
+    /// Attempt to write `value` (must be `< u64::MAX`).  Returns the value
+    /// that ended up stored (the winner's value).
+    pub fn write(&self, value: u64) -> u64 {
+        debug_assert!(value != EMPTY, "u64::MAX is reserved as the empty marker");
+        match self
+            .slot
+            .compare_exchange(EMPTY, value, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => value,
+            Err(current) => current,
+        }
+    }
+
+    /// Read the cell, `None` if nobody has written since the last clear.
+    #[must_use]
+    pub fn read(&self) -> Option<u64> {
+        let v = self.slot.load(Ordering::Acquire);
+        if v == EMPTY {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Reset the cell to empty (a new round).
+    pub fn clear(&self) {
+        self.slot.store(EMPTY, Ordering::Release);
+    }
+}
+
+/// A shared cell with *common*-CRCW write semantics: concurrent writers are
+/// required to write the same value.  Violations are caught in debug builds.
+#[derive(Debug)]
+pub struct CommonCell {
+    slot: AtomicU64,
+}
+
+impl Default for CommonCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommonCell {
+    /// An empty cell.
+    #[must_use]
+    pub fn new() -> Self {
+        CommonCell {
+            slot: AtomicU64::new(EMPTY),
+        }
+    }
+
+    /// Write `value`; in debug builds, panics if a different value was
+    /// already written this round (which would violate the common-CRCW
+    /// contract the calling algorithm claims to obey).
+    pub fn write(&self, value: u64) {
+        debug_assert!(value != EMPTY, "u64::MAX is reserved as the empty marker");
+        let prev = self.slot.swap(value, Ordering::AcqRel);
+        debug_assert!(
+            prev == EMPTY || prev == value,
+            "common CRCW violation: {prev} overwritten by {value}"
+        );
+    }
+
+    /// Read the cell, `None` if nobody has written since the last clear.
+    #[must_use]
+    pub fn read(&self) -> Option<u64> {
+        let v = self.slot.load(Ordering::Acquire);
+        if v == EMPTY {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Reset the cell to empty.
+    pub fn clear(&self) {
+        self.slot.store(EMPTY, Ordering::Release);
+    }
+}
+
+/// Number of shards used by [`CrcwTable`]; a power of two so the shard can be
+/// selected with a mask.
+const SHARDS: usize = 64;
+
+/// A concurrent insert-if-absent table standing in for the paper's
+/// `BB[1..n, 1..n]` auxiliary array.
+///
+/// `insert_arbitrary(key, value)` stores `value` only if `key` is absent and
+/// returns the value that is stored after the call — i.e. every key ends up
+/// with exactly one representative chosen arbitrarily among the concurrent
+/// writers, which is precisely how *Algorithm partition* uses `BB`.
+#[derive(Debug)]
+pub struct CrcwTable<K: Eq + Hash> {
+    shards: Vec<Mutex<HashMap<K, u64, FxBuildHasher>>>,
+    hasher: FxBuildHasher,
+}
+
+impl<K: Eq + Hash> Default for CrcwTable<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash> CrcwTable<K> {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty table pre-sized for roughly `cap` keys.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        let per_shard = cap / SHARDS + 1;
+        CrcwTable {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(HashMap::with_capacity_and_hasher(per_shard, FxBuildHasher)))
+                .collect(),
+            hasher: FxBuildHasher,
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &K) -> usize {
+        use std::hash::{BuildHasher, Hasher};
+        let mut h = self.hasher.build_hasher();
+        key.hash(&mut h);
+        // Use the high bits: the low bits pick the bucket inside the shard.
+        (h.finish() >> 57) as usize & (SHARDS - 1)
+    }
+
+    /// Insert `value` for `key` if absent; return the stored value (the
+    /// winner).  Concurrent calls with the same key race arbitrarily, which
+    /// is the intended CRCW behaviour.
+    pub fn insert_arbitrary(&self, key: K, value: u64) -> u64 {
+        let shard = self.shard_of(&key);
+        let mut guard = self.shards[shard].lock();
+        *guard.entry(key).or_insert(value)
+    }
+
+    /// Read the representative for `key`, if any.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<u64> {
+        let shard = self.shard_of(key);
+        let guard = self.shards[shard].lock();
+        guard.get(key).copied()
+    }
+
+    /// Total number of distinct keys stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove all entries (a new round of *Algorithm partition*).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn arbitrary_cell_first_writer_wins() {
+        let cell = ArbitraryCell::new();
+        assert_eq!(cell.read(), None);
+        assert_eq!(cell.write(7), 7);
+        assert_eq!(cell.write(9), 7);
+        assert_eq!(cell.read(), Some(7));
+        cell.clear();
+        assert_eq!(cell.read(), None);
+        assert_eq!(cell.write(9), 9);
+    }
+
+    #[test]
+    fn arbitrary_cell_concurrent_single_winner() {
+        let cell = ArbitraryCell::new();
+        let winners = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cell = &cell;
+                let winners = &winners;
+                scope.spawn(move || {
+                    let stored = cell.write(t + 1);
+                    if stored == t + 1 {
+                        winners.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        // Exactly one thread observed its own value as the stored one at the
+        // moment of writing.  (Others may later read the winner's value.)
+        assert_eq!(winners.load(Ordering::Relaxed), 1);
+        assert!(cell.read().is_some());
+    }
+
+    #[test]
+    fn common_cell_roundtrip() {
+        let cell = CommonCell::new();
+        assert_eq!(cell.read(), None);
+        cell.write(42);
+        cell.write(42);
+        assert_eq!(cell.read(), Some(42));
+        cell.clear();
+        assert_eq!(cell.read(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "common CRCW violation")]
+    #[cfg(debug_assertions)]
+    fn common_cell_detects_violation() {
+        let cell = CommonCell::new();
+        cell.write(1);
+        cell.write(2);
+    }
+
+    #[test]
+    fn crcw_table_insert_if_absent() {
+        let table: CrcwTable<(u32, u32)> = CrcwTable::new();
+        assert!(table.is_empty());
+        assert_eq!(table.insert_arbitrary((1, 2), 10), 10);
+        assert_eq!(table.insert_arbitrary((1, 2), 99), 10);
+        assert_eq!(table.insert_arbitrary((2, 1), 20), 20);
+        assert_eq!(table.get(&(1, 2)), Some(10));
+        assert_eq!(table.get(&(3, 3)), None);
+        assert_eq!(table.len(), 2);
+        table.clear();
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn crcw_table_concurrent_unique_representative() {
+        let table: CrcwTable<u64> = CrcwTable::with_capacity(1024);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let table = &table;
+                scope.spawn(move || {
+                    for key in 0..1000u64 {
+                        // All threads insert different values for the same key.
+                        let _ = table.insert_arbitrary(key, t * 10_000 + key);
+                    }
+                });
+            }
+        });
+        assert_eq!(table.len(), 1000);
+        for key in 0..1000u64 {
+            let v = table.get(&key).unwrap();
+            // The stored value must come from one of the writers of this key.
+            assert_eq!(v % 10_000, key);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Deterministic functional-graph generators for tests, examples and the
+//! benchmark harness.
+//!
+//! Every generator takes an explicit seed (when randomised) so that every
+//! experiment in `EXPERIMENTS.md` is reproducible bit for bit.
+
+use crate::graph::FunctionalGraph;
+use rand::prelude::*;
+
+/// A uniformly random function on `{0, …, n-1}`.
+///
+/// The expected structure is the classic "random mapping": about `√(πn/2)`
+/// nodes lie on cycles and the trees hanging off them have depth `O(√n)`.
+#[must_use]
+pub fn random_function(n: usize, seed: u64) -> FunctionalGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    FunctionalGraph::new((0..n).map(|_| rng.gen_range(0..n.max(1)) as u32).collect())
+}
+
+/// A function whose graph is a disjoint union of simple cycles with the given
+/// lengths (total `n = Σ lengths`), with node ids shuffled.
+///
+/// # Panics
+/// Panics if any length is zero.
+#[must_use]
+pub fn cycles_only(lengths: &[usize], seed: u64) -> FunctionalGraph {
+    let n: usize = lengths.iter().sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(&mut rng);
+    let mut f = vec![0u32; n];
+    let mut used = 0usize;
+    for &len in lengths {
+        assert!(len > 0, "cycle length must be positive");
+        let members = &ids[used..used + len];
+        for i in 0..len {
+            f[members[i] as usize] = members[(i + 1) % len];
+        }
+        used += len;
+    }
+    FunctionalGraph::new(f)
+}
+
+/// `k` cycles, all of the same length `len` (a convenient shape for the cycle
+/// equivalence experiments of Section 3.2).
+#[must_use]
+pub fn equal_cycles(k: usize, len: usize, seed: u64) -> FunctionalGraph {
+    cycles_only(&vec![len; k], seed)
+}
+
+/// One long path `0 → 1 → … ` feeding into a cycle of length `cycle_len`
+/// at the end — the deepest possible tree structure, stressing the
+/// level-dependent steps.
+#[must_use]
+pub fn long_tail(n: usize, cycle_len: usize, seed: u64) -> FunctionalGraph {
+    assert!(cycle_len >= 1 && cycle_len <= n, "invalid cycle length");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(&mut rng);
+    let mut f = vec![0u32; n];
+    // ids[0..cycle_len] form the cycle; the rest is a path feeding into it.
+    for i in 0..cycle_len {
+        f[ids[i] as usize] = ids[(i + 1) % cycle_len];
+    }
+    for i in cycle_len..n {
+        // Chain: ids[i] -> ids[i - 1]; the first chain node points into the cycle.
+        f[ids[i] as usize] = ids[i - 1];
+    }
+    FunctionalGraph::new(f)
+}
+
+/// A "star of stars": a single fixed point with all other nodes mapping to a
+/// small set of hubs that map to the fixed point — very shallow, very high
+/// in-degree, stressing the child-list handling of the Euler tour.
+#[must_use]
+pub fn star(n: usize, hubs: usize, seed: u64) -> FunctionalGraph {
+    assert!(n >= 1);
+    let hubs = hubs.clamp(1, n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f = vec![0u32; n];
+    // Node 0 is the fixed point (cycle of length 1), nodes 1..=hubs are hubs.
+    for (x, item) in f.iter_mut().enumerate().take((hubs + 1).min(n)).skip(1) {
+        let _ = x;
+        *item = 0;
+    }
+    for item in f.iter_mut().skip(hubs + 1) {
+        *item = rng.gen_range(1..=hubs) as u32;
+    }
+    FunctionalGraph::new(f)
+}
+
+/// The 16-node instance of Example 2.2 / Fig. 1 of the paper (two cycles of
+/// lengths 12 and 4, no tree nodes).  Node ids are zero-based; the paper's
+/// node `i` is our node `i - 1`.
+#[must_use]
+pub fn paper_example_function() -> FunctionalGraph {
+    // A_f[1..16] = [2,4,6,8,10,12,1,3,5,7,9,11,14,15,16,13]  (1-based)
+    let one_based = [2u32, 4, 6, 8, 10, 12, 1, 3, 5, 7, 9, 11, 14, 15, 16, 13];
+    FunctionalGraph::new(one_based.iter().map(|&v| v - 1).collect())
+}
+
+/// The B-labels of Example 2.2, zero-based block ids (paper block `j` is our
+/// `j - 1`).
+#[must_use]
+pub fn paper_example_blocks() -> Vec<u32> {
+    // A_B[1..16] = [1,2,1,1,2,2,3,3,1,1,3,1,1,2,1,3]  (1-based labels)
+    [1u32, 2, 1, 1, 2, 2, 3, 3, 1, 1, 3, 1, 1, 2, 1, 3]
+        .iter()
+        .map(|&v| v - 1)
+        .collect()
+}
+
+/// The expected output labelling `A_Q` of Example 3.1 (zero-based classes).
+#[must_use]
+pub fn paper_example_expected_q() -> Vec<u32> {
+    // A_Q[1..16] = [1,2,1,3,2,2,4,4,1,3,4,3,1,2,3,4]
+    [1u32, 2, 1, 3, 2, 2, 4, 4, 1, 3, 4, 3, 1, 2, 3, 4]
+        .iter()
+        .map(|&v| v - 1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_function_is_deterministic_per_seed() {
+        let a = random_function(1000, 7);
+        let b = random_function(1000, 7);
+        let c = random_function(1000, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 1000);
+    }
+
+    #[test]
+    fn cycles_only_structure() {
+        let g = cycles_only(&[3, 5, 1], 42);
+        assert_eq!(g.len(), 9);
+        // Every node returns to itself after its cycle length steps; check a
+        // weaker global property: f^60(x) == x for all x (60 = lcm multiple).
+        for x in 0..9u32 {
+            assert_eq!(g.iterate(x, 60), x);
+        }
+    }
+
+    #[test]
+    fn equal_cycles_covers_all_nodes() {
+        let g = equal_cycles(8, 16, 3);
+        assert_eq!(g.len(), 128);
+        for x in 0..128u32 {
+            assert_eq!(g.iterate(x, 16), x);
+            assert_ne!(g.apply(x), x);
+        }
+    }
+
+    #[test]
+    fn long_tail_reaches_cycle() {
+        let g = long_tail(100, 5, 1);
+        assert_eq!(g.len(), 100);
+        // After at most n steps every node must be on the cycle of length 5.
+        for x in 0..100u32 {
+            let y = g.iterate(x, 100);
+            assert_eq!(g.iterate(y, 5), y, "node {x} did not reach the 5-cycle");
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(50, 4, 0);
+        assert_eq!(g.apply(0), 0);
+        for x in 1..=4u32 {
+            assert_eq!(g.apply(x), 0);
+        }
+        for x in 5..50u32 {
+            assert!(g.apply(x) >= 1 && g.apply(x) <= 4);
+        }
+    }
+
+    #[test]
+    fn paper_example_wiring() {
+        let g = paper_example_function();
+        assert_eq!(g.len(), 16);
+        // The paper's cycle C is (1,2,4,8,3,6,12,11,9,5,10,7) — check a few hops
+        // (zero-based: 0→1→3→7→2→5→11→10→8→4→9→6→0).
+        let cycle_c = [0u32, 1, 3, 7, 2, 5, 11, 10, 8, 4, 9, 6];
+        for i in 0..cycle_c.len() {
+            assert_eq!(g.apply(cycle_c[i]), cycle_c[(i + 1) % cycle_c.len()]);
+        }
+        // Cycle D is (13,14,15,16) → zero-based (12,13,14,15).
+        let cycle_d = [12u32, 13, 14, 15];
+        for i in 0..cycle_d.len() {
+            assert_eq!(g.apply(cycle_d[i]), cycle_d[(i + 1) % cycle_d.len()]);
+        }
+        assert_eq!(paper_example_blocks().len(), 16);
+        assert_eq!(paper_example_expected_q().len(), 16);
+    }
+}

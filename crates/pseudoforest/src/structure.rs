@@ -1,0 +1,299 @@
+//! Full structural decomposition of a pseudo-forest: cycles with leaders and
+//! positions, the rooted forest of tree nodes, and node levels.
+//!
+//! This packages step 1 of *Algorithm cycle node labeling* ("label each cycle
+//! with one of the indices of the cycle, and then rank all the nodes in each
+//! cycle starting from the chosen index") together with the data Section 4
+//! assumes ("each tree has been rooted at an arbitrary node of the cycle",
+//! levels known, Euler-tour-ready children lists).
+
+use crate::cycles::{cycle_nodes, CycleMethod};
+use crate::graph::FunctionalGraph;
+use sfcp_parprim::euler::{EulerTour, RootedForest};
+use sfcp_parprim::listrank::{list_rank, ListRankMethod};
+use sfcp_pram::Ctx;
+
+/// The decomposition of a functional graph into cycles and hanging trees.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Whether each node lies on a cycle.
+    pub is_cycle: Vec<bool>,
+    /// For every node, the id (0-based, by ascending leader) of the cycle of
+    /// its pseudo-tree.
+    pub cycle_of: Vec<u32>,
+    /// For cycle nodes, the position within their cycle counting forward from
+    /// the leader (`u32::MAX` for tree nodes).
+    pub cycle_pos: Vec<u32>,
+    /// The cycles: `cycles[c]` lists the member nodes in cycle order starting
+    /// at the leader (the smallest node id of the cycle).
+    pub cycles: Vec<Vec<u32>>,
+    /// The hanging trees: every cycle node is a root, every non-cycle node's
+    /// parent is `f(x)`.
+    pub forest: RootedForest,
+    /// Euler tour of `forest`.
+    pub tour: EulerTour,
+    /// Distance of every node to its cycle (0 for cycle nodes).
+    pub levels: Vec<u32>,
+}
+
+/// Compute the decomposition.
+#[must_use]
+pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decomposition {
+    let n = g.len();
+    let f = g.table();
+    let is_cycle = cycle_nodes(ctx, g, method);
+
+    // ---- Cycle structure ----------------------------------------------
+    // Compact the cycle nodes and rank them around their cycles.
+    let cycle_ids: Vec<u32> = sfcp_parprim::compact::compact_indices(ctx, n, |x| is_cycle[x]);
+    let m = cycle_ids.len();
+    let mut compact_index = vec![u32::MAX; n];
+    for (j, &x) in cycle_ids.iter().enumerate() {
+        compact_index[x as usize] = j as u32;
+    }
+    ctx.charge_step(m as u64);
+
+    // Successor of a cycle node within the compacted numbering.
+    let cycle_succ: Vec<u32> = ctx.par_map_idx(m, |j| {
+        let x = cycle_ids[j] as usize;
+        compact_index[f[x] as usize]
+    });
+    // Leader of every cycle = minimum compacted index on the cycle; since
+    // cycle_ids is ascending, that is also the minimum node id.
+    let leader_compact = sfcp_parprim::jump::permutation_cycle_min(ctx, &cycle_succ);
+
+    // Rank around the cycle from the leader: break each cycle just before its
+    // leader and list-rank the resulting chains.
+    let broken_next: Vec<u32> = ctx.par_map_idx(m, |j| {
+        if leader_compact[cycle_succ[j] as usize] == cycle_succ[j] {
+            // The successor is the leader: terminate here.
+            j as u32
+        } else {
+            cycle_succ[j]
+        }
+    });
+    let dist_to_end = list_rank(ctx, &broken_next, ListRankMethod::RulingSet);
+    // Cycle length = dist(leader) + 1; position = length - 1 - dist.
+    let mut cycle_pos = vec![u32::MAX; n];
+    let mut cycle_of = vec![u32::MAX; n];
+    // Dense cycle numbering by ascending leader node id.
+    let leaders: Vec<u32> =
+        sfcp_parprim::compact::compact_indices(ctx, m, |j| leader_compact[j] as usize == j);
+    let mut cycle_number_of_leader = vec![u32::MAX; m];
+    for (c, &lj) in leaders.iter().enumerate() {
+        cycle_number_of_leader[lj as usize] = c as u32;
+    }
+    ctx.charge_step(leaders.len() as u64);
+
+    let cycle_len_of_leader: Vec<u32> = ctx.par_map_idx(leaders.len(), |c| {
+        dist_to_end[leaders[c] as usize] + 1
+    });
+
+    {
+        let pos_ptr = SendPtr(cycle_pos.as_mut_ptr());
+        let of_ptr = SendPtr(cycle_of.as_mut_ptr());
+        ctx.par_for_idx(m, |j| {
+            let x = cycle_ids[j] as usize;
+            let leader = leader_compact[j] as usize;
+            let c = cycle_number_of_leader[leader];
+            let len = dist_to_end[leader] + 1;
+            let pos = len - 1 - dist_to_end[j];
+            let (pp, op) = (pos_ptr, of_ptr);
+            // Safety: one write per cycle node.
+            unsafe {
+                *pp.0.add(x) = pos;
+                *op.0.add(x) = c;
+            }
+        });
+    }
+
+    // Materialize the cycles as node sequences.
+    let mut cycles: Vec<Vec<u32>> = cycle_len_of_leader
+        .iter()
+        .map(|&len| vec![0u32; len as usize])
+        .collect();
+    {
+        // Scatter every cycle node into its slot (disjoint writes).
+        let ptrs: Vec<SendPtr<u32>> = cycles.iter_mut().map(|v| SendPtr(v.as_mut_ptr())).collect();
+        let ptrs_ref = &ptrs;
+        ctx.par_for_idx(m, |j| {
+            let x = cycle_ids[j];
+            let c = cycle_of[x as usize] as usize;
+            let pos = cycle_pos[x as usize] as usize;
+            // Safety: (cycle, position) pairs are unique.
+            unsafe {
+                *ptrs_ref[c].0.add(pos) = x;
+            }
+        });
+    }
+
+    // ---- Tree structure -------------------------------------------------
+    // Root every pseudo-tree at its cycle nodes: cycle nodes become roots of
+    // the forest, tree nodes keep parent f(x).
+    let parents: Vec<u32> = ctx.par_map_idx(n, |x| if is_cycle[x] { x as u32 } else { f[x] });
+    let forest = RootedForest::from_parents(ctx, parents);
+    let tour = EulerTour::build(ctx, &forest);
+    let levels = tour.levels(ctx);
+
+    // Propagate the cycle id to tree nodes through their root.
+    let roots = sfcp_parprim::jump::find_roots(ctx, forest.parents());
+    let cycle_of = ctx.par_map_idx(n, |x| cycle_of[roots[x] as usize]);
+
+    Decomposition {
+        is_cycle,
+        cycle_of,
+        cycle_pos,
+        cycles,
+        forest,
+        tour,
+        levels,
+    }
+}
+
+impl Decomposition {
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.is_cycle.len()
+    }
+
+    /// Whether the decomposition is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.is_cycle.is_empty()
+    }
+
+    /// Number of cycles (= number of pseudo-trees / components).
+    #[must_use]
+    pub fn num_cycles(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// The root (cycle node) of the pseudo-tree containing `x`.
+    #[must_use]
+    pub fn root_of(&self, x: u32) -> u32 {
+        if self.is_cycle[x as usize] {
+            x
+        } else {
+            // Walk is not needed: the forest is rooted at cycle nodes, so the
+            // Euler tour's level-0 ancestor is found by parent jumps; for a
+            // convenience accessor a short walk is fine (levels are usually
+            // small), but use the precomputed structures in hot paths.
+            let mut cur = x;
+            while !self.is_cycle[cur as usize] {
+                cur = self.forest.parent(cur);
+            }
+            cur
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use proptest::prelude::*;
+
+    fn check_invariants(g: &FunctionalGraph, d: &Decomposition) {
+        let n = g.len();
+        assert_eq!(d.len(), n);
+        // Every cycle is consistent: consecutive members are connected by f,
+        // the leader is the smallest member, positions match indices.
+        for (c, cycle) in d.cycles.iter().enumerate() {
+            assert!(!cycle.is_empty());
+            let leader = cycle[0];
+            assert_eq!(*cycle.iter().min().unwrap(), leader);
+            for (i, &x) in cycle.iter().enumerate() {
+                assert!(d.is_cycle[x as usize]);
+                assert_eq!(d.cycle_of[x as usize], c as u32);
+                assert_eq!(d.cycle_pos[x as usize], i as u32);
+                assert_eq!(g.apply(x), cycle[(i + 1) % cycle.len()], "cycle {c} broken at {x}");
+            }
+        }
+        // Every cycle node appears in exactly one cycle.
+        let total_cycle_nodes: usize = d.cycles.iter().map(Vec::len).sum();
+        assert_eq!(total_cycle_nodes, d.is_cycle.iter().filter(|&&b| b).count());
+        // Levels: cycle nodes at level 0; tree nodes one deeper than f(x).
+        for x in 0..n as u32 {
+            if d.is_cycle[x as usize] {
+                assert_eq!(d.levels[x as usize], 0);
+            } else {
+                assert_eq!(d.levels[x as usize], d.levels[g.apply(x) as usize] + 1);
+                // Same component as its parent.
+                assert_eq!(d.cycle_of[x as usize], d.cycle_of[g.apply(x) as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_decomposition() {
+        let ctx = Ctx::parallel();
+        let g = generators::paper_example_function();
+        let d = decompose(&ctx, &g, CycleMethod::Euler);
+        check_invariants(&g, &d);
+        assert_eq!(d.num_cycles(), 2);
+        let mut lens: Vec<usize> = d.cycles.iter().map(Vec::len).collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![4, 12]);
+        assert!(d.is_cycle.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn all_methods_give_same_decomposition() {
+        let ctx = Ctx::parallel();
+        let g = generators::random_function(2000, 5);
+        let a = decompose(&ctx, &g, CycleMethod::Sequential);
+        let b = decompose(&ctx, &g, CycleMethod::Jump);
+        let c = decompose(&ctx, &g, CycleMethod::Euler);
+        assert_eq!(a.is_cycle, b.is_cycle);
+        assert_eq!(a.is_cycle, c.is_cycle);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.cycles, c.cycles);
+        assert_eq!(a.levels, c.levels);
+        check_invariants(&g, &c);
+    }
+
+    #[test]
+    fn structures_on_edge_cases() {
+        let ctx = Ctx::parallel();
+        for g in [
+            FunctionalGraph::new(vec![0]),
+            FunctionalGraph::new(vec![0; 12]),
+            FunctionalGraph::new((0..12).collect()),
+            generators::long_tail(200, 1, 9),
+            generators::star(100, 3, 2),
+        ] {
+            let d = decompose(&ctx, &g, CycleMethod::Euler);
+            check_invariants(&g, &d);
+        }
+    }
+
+    #[test]
+    fn root_of_matches_levels() {
+        let ctx = Ctx::parallel();
+        let g = generators::long_tail(64, 8, 3);
+        let d = decompose(&ctx, &g, CycleMethod::Euler);
+        for x in 0..64u32 {
+            let r = d.root_of(x);
+            assert!(d.is_cycle[r as usize]);
+            assert_eq!(g.iterate(x, d.levels[x as usize] as usize), r);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn invariants_on_random_functions(n in 1usize..150, seed in 0u64..200) {
+            let ctx = Ctx::parallel().with_grain(16);
+            let g = generators::random_function(n, seed);
+            let d = decompose(&ctx, &g, CycleMethod::Euler);
+            check_invariants(&g, &d);
+        }
+    }
+}

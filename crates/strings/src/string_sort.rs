@@ -1,0 +1,347 @@
+//! Lexicographic sorting of variable-length strings — *Algorithm sorting
+//! strings* (Section 3.1, Lemma 3.8).
+//!
+//! Input: a list of `m` strings over an alphabet of size polynomial in `n`,
+//! where `n` is the total number of symbols.  The paper's algorithm contracts
+//! the instance round by round: every string is cut into ordered pairs (the
+//! last pair of an odd-length string padded with the blank `#`, which
+//! precedes every symbol), all pairs are integer-sorted and replaced by their
+//! ranks, halving every string; after `O(log log n)` rounds the instance has
+//! at most `n / log n` symbols and a comparison sort finishes the job.  With
+//! the radix sort standing in for Bhatt-et-al. integer sorting this is the
+//! `O(n log log n)`-work, `O(log n)`-depth algorithm of Lemma 3.8.
+//!
+//! The key invariant (checked by the property tests) is that the pair→rank
+//! encoding preserves the relative lexicographic order of the strings at
+//! every round, including prefix cases (`"ab" < "abc"`), because the blank
+//! sorts strictly below every real symbol.
+
+use sfcp_parprim::merge::parallel_merge_sort;
+use sfcp_parprim::rank::dense_ranks_of_pairs;
+use sfcp_pram::Ctx;
+
+/// Which string sorting algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StringSortMethod {
+    /// The paper's pair-contraction algorithm (integer sorting per round).
+    #[default]
+    Contraction,
+    /// Direct parallel comparison sort on the string slices
+    /// (`O(n log m)`-ish work depending on shared prefixes) — the baseline.
+    Comparison,
+}
+
+/// Sort `strings` lexicographically and return the permutation of indices in
+/// sorted order.  Equal strings keep their original relative order (the
+/// result is a stable order), which also makes the output deterministic.
+#[must_use]
+pub fn sort_strings(ctx: &Ctx, strings: &[Vec<u32>], method: StringSortMethod) -> Vec<u32> {
+    match method {
+        StringSortMethod::Contraction => sort_strings_contraction(ctx, strings),
+        StringSortMethod::Comparison => sort_strings_comparison(ctx, strings),
+    }
+}
+
+/// Baseline: comparison sort of the strings (ties broken by original index).
+#[must_use]
+pub fn sort_strings_comparison(ctx: &Ctx, strings: &[Vec<u32>]) -> Vec<u32> {
+    let m = strings.len();
+    let mut order: Vec<u32> = (0..m as u32).collect();
+    // Charge the comparison-model cost: each of the O(m log m) comparisons
+    // can touch up to the length of the shorter string; charge the average
+    // string length per comparison.
+    let total: u64 = strings.iter().map(|s| s.len() as u64).sum();
+    let avg = if m == 0 { 0 } else { total / m as u64 + 1 };
+    let log_m = u64::from(sfcp_pram::ceil_log2(m.max(2)));
+    ctx.charge_work(m as u64 * log_m * avg);
+    ctx.charge_rounds(log_m);
+    if ctx.is_parallel() {
+        use rayon::prelude::*;
+        order.par_sort_by(|&a, &b| {
+            strings[a as usize]
+                .cmp(&strings[b as usize])
+                .then(a.cmp(&b))
+        });
+    } else {
+        order.sort_by(|&a, &b| {
+            strings[a as usize]
+                .cmp(&strings[b as usize])
+                .then(a.cmp(&b))
+        });
+    }
+    order
+}
+
+/// The paper's contraction-based string sorting.
+#[must_use]
+pub fn sort_strings_contraction(ctx: &Ctx, strings: &[Vec<u32>]) -> Vec<u32> {
+    let m = strings.len();
+    if m <= 1 {
+        return (0..m as u32).collect();
+    }
+    let total_symbols: usize = strings.iter().map(Vec::len).sum();
+    // Encoded strings: symbols shifted by +1 so that 0 is the blank `#`.
+    let mut encoded: Vec<Vec<u64>> = ctx.par_map_slice(strings, |s| {
+        s.iter().map(|&c| u64::from(c) + 1).collect::<Vec<u64>>()
+    });
+
+    // Step 4 threshold: keep contracting until at most n / log n symbols
+    // remain (or every string is a single symbol).
+    let threshold = (total_symbols / (sfcp_pram::ceil_log2(total_symbols.max(2)) as usize).max(1))
+        .max(64);
+
+    loop {
+        let current_total: usize = encoded.iter().map(Vec::len).sum();
+        let max_len = encoded.iter().map(Vec::len).max().unwrap_or(0);
+        ctx.charge_step(m as u64);
+        if max_len <= 1 || current_total <= threshold {
+            break;
+        }
+
+        // Steps 2–3: cut every string into pairs, rank all pairs globally,
+        // rewrite every string as its sequence of pair ranks.
+        let pairs_per_string: Vec<u64> =
+            ctx.par_map_slice(&encoded, |s| s.len().div_ceil(2) as u64);
+        let (offsets, total_pairs) = sfcp_parprim::scan::exclusive_scan(ctx, &pairs_per_string);
+        let total_pairs = total_pairs as usize;
+
+        let mut pairs: Vec<(u64, u64)> = vec![(0, 0); total_pairs];
+        {
+            let ptr = SendPtr(pairs.as_mut_ptr());
+            let encoded_ref = &encoded;
+            ctx.par_for_idx(m, |i| {
+                let s = &encoded_ref[i];
+                let base = offsets[i] as usize;
+                let p = ptr;
+                for g in 0..s.len().div_ceil(2) {
+                    let a = s[2 * g];
+                    let b = if 2 * g + 1 < s.len() { s[2 * g + 1] } else { 0 };
+                    // Safety: every (string, group) pair owns one distinct slot.
+                    unsafe {
+                        *p.0.add(base + g) = (a, b);
+                    }
+                }
+            });
+            ctx.charge_work(current_total as u64);
+        }
+
+        let (ranks, _distinct) = dense_ranks_of_pairs(ctx, &pairs);
+
+        encoded = ctx.par_map_idx(m, |i| {
+            let base = offsets[i] as usize;
+            let count = pairs_per_string[i] as usize;
+            // Shift by +1 to keep 0 reserved as the blank in the next round.
+            (0..count).map(|g| u64::from(ranks[base + g]) + 1).collect()
+        });
+    }
+
+    // Step 5: comparison sort of the contracted instance.  Keys are
+    // (encoded string, original index) so that equal strings stay in their
+    // original relative order.
+    let mut keyed: Vec<(Vec<u64>, u32)> = encoded
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (s, i as u32))
+        .collect();
+    ctx.charge_step(m as u64);
+    sort_keyed(ctx, &mut keyed);
+    keyed.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Final comparison sort: if the contracted strings are single symbols we can
+/// sort fixed-size keys with the parallel merge sort; otherwise fall back to
+/// a slice-comparison sort (still on an instance of ≤ n / log n symbols).
+fn sort_keyed(ctx: &Ctx, keyed: &mut [(Vec<u64>, u32)]) {
+    let all_unit = keyed.iter().all(|(s, _)| s.len() <= 1);
+    if all_unit {
+        let mut fixed: Vec<(u64, u32)> = keyed
+            .iter()
+            .map(|(s, i)| (s.first().copied().map_or(0, |x| x), *i))
+            .collect();
+        parallel_merge_sort(ctx, &mut fixed);
+        let lookup: std::collections::HashMap<u32, usize> = fixed
+            .iter()
+            .enumerate()
+            .map(|(pos, &(_, i))| (i, pos))
+            .collect();
+        keyed.sort_by_key(|(_, i)| lookup[i]);
+        ctx.charge_step(keyed.len() as u64);
+    } else {
+        let total: u64 = keyed.iter().map(|(s, _)| s.len() as u64).sum();
+        ctx.charge_work(total * u64::from(sfcp_pram::ceil_log2(keyed.len().max(2))));
+        ctx.charge_rounds(u64::from(sfcp_pram::ceil_log2(keyed.len().max(2))));
+        if ctx.is_parallel() {
+            use rayon::prelude::*;
+            keyed.par_sort();
+        } else {
+            keyed.sort();
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn reference_sort(strings: &[Vec<u32>]) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..strings.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            strings[a as usize]
+                .cmp(&strings[b as usize])
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    fn check(strings: &[Vec<u32>]) {
+        let ctx = Ctx::parallel().with_grain(16);
+        let expected = reference_sort(strings);
+        assert_eq!(
+            sort_strings(&ctx, strings, StringSortMethod::Contraction),
+            expected,
+            "contraction sort on {strings:?}"
+        );
+        assert_eq!(
+            sort_strings(&ctx, strings, StringSortMethod::Comparison),
+            expected,
+            "comparison sort on {strings:?}"
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        check(&[]);
+        check(&[vec![]]);
+        check(&[vec![3, 1, 4]]);
+    }
+
+    #[test]
+    fn basic_cases() {
+        check(&[vec![2], vec![1], vec![3]]);
+        check(&[vec![1, 2], vec![1], vec![1, 2, 3], vec![1, 1]]);
+        // Prefix relationships.
+        check(&[vec![1, 2, 3], vec![1, 2], vec![1], vec![], vec![1, 2, 3, 0]]);
+        // Duplicates must stay in input order (stability).
+        check(&[vec![5, 5], vec![5, 5], vec![5], vec![5, 5]]);
+    }
+
+    #[test]
+    fn different_length_scales() {
+        let strings = vec![
+            vec![1; 100],
+            vec![1; 99],
+            {
+                let mut s = vec![1; 99];
+                s.push(0);
+                s
+            },
+            vec![0; 3],
+            vec![2],
+            vec![],
+        ];
+        check(&strings);
+    }
+
+    #[test]
+    fn large_random_instance() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let strings: Vec<Vec<u32>> = (0..2000)
+            .map(|_| {
+                let len = rng.gen_range(0..40);
+                (0..len).map(|_| rng.gen_range(0..6)).collect()
+            })
+            .collect();
+        check(&strings);
+    }
+
+    #[test]
+    fn skewed_lengths() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // A few very long strings sharing long prefixes plus many short ones:
+        // the regime where contraction pays off.
+        let mut strings: Vec<Vec<u32>> = Vec::new();
+        let shared: Vec<u32> = (0..1000).map(|_| rng.gen_range(0..3)).collect();
+        for _ in 0..8 {
+            let mut s = shared.clone();
+            let extra = rng.gen_range(0..10);
+            for _ in 0..extra {
+                s.push(rng.gen_range(0..3));
+            }
+            strings.push(s);
+        }
+        for _ in 0..200 {
+            let len = rng.gen_range(0..5);
+            strings.push((0..len).map(|_| rng.gen_range(0..3)).collect());
+        }
+        check(&strings);
+    }
+
+    /// Lemma 3.8's observable consequence at test sizes: the contraction
+    /// sort's work per input symbol stays flat as the number of strings
+    /// grows, while a comparison sort's grows with `log m` (every comparison
+    /// re-reads the shared prefixes).  Experiment E5 reports the full curve.
+    #[test]
+    fn contraction_work_grows_slower_than_comparison() {
+        let work_of = |m: usize, method: StringSortMethod| -> f64 {
+            let mut rng = StdRng::seed_from_u64(3);
+            let shared: Vec<u32> = (0..14).map(|_| rng.gen_range(0..3)).collect();
+            let strings: Vec<Vec<u32>> = (0..m)
+                .map(|_| {
+                    let mut s = shared.clone();
+                    s.push(rng.gen_range(0..5));
+                    s.push(rng.gen_range(0..5));
+                    s
+                })
+                .collect();
+            let total: usize = strings.iter().map(Vec::len).sum();
+            let ctx = Ctx::parallel();
+            let _ = sort_strings(&ctx, &strings, method);
+            ctx.stats().work as f64 / total as f64
+        };
+        let (m1, m2) = (512usize, 8192usize);
+        let comparison_growth =
+            work_of(m2, StringSortMethod::Comparison) / work_of(m1, StringSortMethod::Comparison);
+        let contraction_growth =
+            work_of(m2, StringSortMethod::Contraction) / work_of(m1, StringSortMethod::Contraction);
+        assert!(
+            contraction_growth < comparison_growth,
+            "per-symbol work growth: contraction {contraction_growth:.3} should be below comparison {comparison_growth:.3}"
+        );
+        assert!(
+            contraction_growth < 1.2,
+            "contraction per-symbol work grew by {contraction_growth:.3}× over a 16× instance increase"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn matches_reference(
+            strings in proptest::collection::vec(
+                proptest::collection::vec(0u32..5, 0..20),
+                0..60,
+            )
+        ) {
+            check(&strings);
+        }
+
+        #[test]
+        fn matches_reference_large_alphabet(
+            strings in proptest::collection::vec(
+                proptest::collection::vec(0u32..1_000_000, 0..8),
+                0..40,
+            )
+        ) {
+            check(&strings);
+        }
+    }
+}

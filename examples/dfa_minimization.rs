@@ -1,0 +1,96 @@
+//! DFA minimisation over a single-letter alphabet — the application the
+//! coarsest partition literature (Hopcroft, Paige–Tarjan–Bonic, Srikant)
+//! always cites.
+//!
+//! A DFA with one input letter is exactly a function `f : states → states`;
+//! two states are equivalent iff they agree on acceptance after every number
+//! of steps — i.e. the coarsest partition of the acceptance partition under
+//! `f`.  This example builds a unary DFA that recognises "the number of
+//! remaining steps to an accepting sink is ≡ r (mod m)", adds redundant
+//! states, minimises it with the parallel algorithm, and checks the result
+//! against an explicit product construction.
+//!
+//! Run with: `cargo run --example dfa_minimization --release`
+
+use rand::prelude::*;
+use sfcp::{coarsest_partition, Algorithm, Instance};
+use sfcp_pram::Ctx;
+
+fn main() {
+    let modulus = 6usize;
+    let copies = 2_000usize; // duplicated chains to make the DFA redundant
+    let chain_len = 48usize;
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // States: a core cycle 0..modulus (the "mod counter"), plus `copies`
+    // chains of length `chain_len` that feed into random cycle states.
+    let n = modulus + copies * chain_len;
+    let mut delta = vec![0u32; n];
+    for s in 0..modulus {
+        delta[s] = ((s + 1) % modulus) as u32;
+    }
+    for c in 0..copies {
+        let base = modulus + c * chain_len;
+        for i in 0..chain_len {
+            delta[base + i] = if i + 1 < chain_len {
+                (base + i + 1) as u32
+            } else {
+                rng.gen_range(0..modulus) as u32
+            };
+        }
+    }
+
+    // Accepting states: cycle state 0, i.e. "multiples of m steps from state 0".
+    let accepting: Vec<u32> = (0..n).map(|s| u32::from(s == 0)).collect();
+    let instance = Instance::new(delta.clone(), accepting);
+
+    let ctx = Ctx::parallel();
+    let start = std::time::Instant::now();
+    let minimal = coarsest_partition(&ctx, &instance, Algorithm::Parallel);
+    let elapsed = start.elapsed();
+    sfcp::verify::assert_valid(&instance, &minimal);
+
+    println!(
+        "unary DFA with {n} states minimised to {} states in {:.1} ms (work {}, rounds {})",
+        minimal.num_blocks(),
+        elapsed.as_secs_f64() * 1e3,
+        ctx.stats().work,
+        ctx.stats().rounds,
+    );
+
+    // Cross-check: the minimal automaton must distinguish states exactly by
+    // the number of steps until acceptance, capped by when they merge into
+    // the counter cycle.  Compute that signature explicitly for a sample.
+    let steps_to_accept = |mut s: usize| -> Vec<bool> {
+        let mut sig = Vec::with_capacity(2 * n.min(200));
+        for _ in 0..200 {
+            sig.push(s == 0);
+            s = delta[s] as usize;
+        }
+        sig
+    };
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..2_000 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let same_class = minimal.label(a as u32) == minimal.label(b as u32);
+        let same_signature = steps_to_accept(a) == steps_to_accept(b);
+        // A 200-step signature is enough to separate states here because every
+        // state reaches the 6-cycle within 48 steps.
+        assert_eq!(
+            same_class, same_signature,
+            "states {a} and {b} disagree between the minimiser and the signature check"
+        );
+    }
+    println!("sampled 2000 state pairs: minimiser classes match behavioural signatures");
+
+    // The minimal DFA for this language has exactly `modulus` live states on
+    // the cycle plus the distinguishable chain suffixes; report the shape.
+    println!(
+        "counter cycle states remaining: {} (expected {modulus})",
+        (0..modulus)
+            .map(|s| minimal.label(s as u32))
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    );
+}

@@ -1,0 +1,51 @@
+//! Work/depth report: measure the PRAM-style cost of every algorithm on a
+//! sweep of random instances and print the table the paper's Section 1
+//! comparison is phrased in (operations and parallel time), together with the
+//! Brent-predicted speedups.
+//!
+//! Run with: `cargo run --example work_depth_report --release`
+
+use sfcp::{coarsest_partition, Algorithm, Instance, ALL_ALGORITHMS};
+use sfcp_pram::{BrentModel, Ctx, Mode};
+
+fn main() {
+    println!("work/depth of each algorithm on random functional graphs (8 initial blocks)\n");
+    println!(
+        "{:>9}  {:>18}  {:>12}  {:>9}  {:>10}  {:>10}",
+        "n", "algorithm", "work", "rounds", "work/n", "rounds/log n"
+    );
+    for exp in [12u32, 14, 16, 18] {
+        let n = 1usize << exp;
+        let instance = Instance::random(n, 8, 42);
+        for algorithm in ALL_ALGORITHMS {
+            // The naive oracle is quadratic in the worst case; skip it for
+            // the largest sizes to keep the report quick.
+            if algorithm == Algorithm::Naive && n > (1 << 16) {
+                continue;
+            }
+            let ctx = Ctx::new(Mode::Parallel);
+            let q = coarsest_partition(&ctx, &instance, algorithm);
+            assert!(q.num_blocks() > 0);
+            let model = BrentModel::from_stats(n, ctx.stats());
+            println!(
+                "{:>9}  {:>18}  {:>12}  {:>9}  {:>10.2}  {:>10.2}",
+                n,
+                format!("{algorithm:?}"),
+                model.work,
+                model.rounds,
+                model.work_per_n(),
+                model.rounds_per_log_n()
+            );
+        }
+        println!();
+    }
+
+    println!("Brent-predicted speedup of the paper's parallel algorithm (n = 2^18):");
+    let instance = Instance::random(1 << 18, 8, 42);
+    let ctx = Ctx::new(Mode::Parallel);
+    let _ = coarsest_partition(&ctx, &instance, Algorithm::Parallel);
+    let model = BrentModel::from_stats(1 << 18, ctx.stats());
+    for p in [1usize, 2, 4, 8, 16, 64, 1024] {
+        println!("  p = {:>5}: predicted speedup {:.2}×", p, model.speedup_on(p));
+    }
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the SFCP reproduction workspace.
+//!
+//! This crate only re-exports the member crates so that the examples and
+//! integration tests in the workspace root can use a single dependency.
+//! Library users should depend on the individual crates directly:
+//!
+//! * [`sfcp`] — the coarsest partition solvers (the paper's contribution),
+//! * [`sfcp_forest`] — functional graph (pseudo-forest) substrate,
+//! * [`sfcp_strings`] — circular string canonization and string sorting,
+//! * [`sfcp_parprim`] — parallel primitives (scan, sort, list ranking, Euler tour),
+//! * [`sfcp_pram`] — the PRAM work/depth cost model.
+
+pub use sfcp;
+pub use sfcp_forest;
+pub use sfcp_parprim;
+pub use sfcp_pram;
+pub use sfcp_strings;
