@@ -11,8 +11,7 @@ fn bench(c: &mut Criterion) {
     for &n in &[1usize << 14, 1 << 17] {
         let instance = random_instance(n);
         for algorithm in ALL_ALGORITHMS {
-            let slow_sequential =
-                algorithm == Algorithm::Naive || algorithm == Algorithm::Hopcroft;
+            let slow_sequential = algorithm == Algorithm::Naive || algorithm == Algorithm::Hopcroft;
             if slow_sequential && n > (1 << 14) {
                 continue; // the quadratic oracle / splitter baseline is too slow here
             }

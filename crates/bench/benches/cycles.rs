@@ -10,7 +10,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("coarsest_cycles_only");
     for &n in &[1usize << 14, 1 << 17] {
         let instance = cycles_instance(n);
-        for algorithm in [Algorithm::SequentialLinear, Algorithm::Doubling, Algorithm::Parallel] {
+        for algorithm in [
+            Algorithm::SequentialLinear,
+            Algorithm::Doubling,
+            Algorithm::Parallel,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{algorithm:?}"), n),
                 &instance,

@@ -10,7 +10,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("find_cycles");
     for &n in &[1usize << 15, 1 << 18] {
         let g = random_function(n, 77);
-        for method in [CycleMethod::Sequential, CycleMethod::Jump, CycleMethod::Euler] {
+        for method in [
+            CycleMethod::Sequential,
+            CycleMethod::Jump,
+            CycleMethod::Euler,
+        ] {
             group.bench_with_input(BenchmarkId::new(format!("{method:?}"), n), &g, |b, g| {
                 b.iter(|| {
                     let ctx = Ctx::untracked(Mode::Parallel);

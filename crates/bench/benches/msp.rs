@@ -11,7 +11,12 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("msp");
     for &n in &[1usize << 15, 1 << 18] {
         let s = random_string(n, 8);
-        for method in [MspMethod::Booth, MspMethod::Simple, MspMethod::Doubling, MspMethod::Efficient] {
+        for method in [
+            MspMethod::Booth,
+            MspMethod::Simple,
+            MspMethod::Doubling,
+            MspMethod::Efficient,
+        ] {
             group.bench_with_input(BenchmarkId::new(format!("{method:?}"), n), &s, |b, s| {
                 b.iter(|| {
                     let ctx = Ctx::untracked(Mode::Parallel);

@@ -11,7 +11,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("cycle_grouping");
     for &(k, len) in &[(1024usize, 64usize), (4096, 64), (1024, 512)] {
         let strings = canonical_cycle_strings(k, len);
-        for method in [GroupingMethod::Partition, GroupingMethod::StringSort, GroupingMethod::Hash] {
+        for method in [
+            GroupingMethod::Partition,
+            GroupingMethod::StringSort,
+            GroupingMethod::Hash,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{method:?}"), format!("{k}x{len}")),
                 &strings,

@@ -7,7 +7,9 @@ use sfcp_pram::{Ctx, Mode};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("primitives");
     for &n in &[1usize << 16, 1 << 19] {
-        let values: Vec<u64> = (0..n as u64).map(|i| (i * 2_654_435_761) % 1_000_003).collect();
+        let values: Vec<u64> = (0..n as u64)
+            .map(|i| (i * 2_654_435_761) % 1_000_003)
+            .collect();
         group.bench_with_input(BenchmarkId::new("prefix_sums", n), &values, |b, v| {
             b.iter(|| {
                 let ctx = Ctx::untracked(Mode::Parallel);
@@ -30,12 +32,16 @@ fn bench(c: &mut Criterion) {
         });
         let mut next: Vec<u32> = (1..=n as u32).collect();
         next[n - 1] = (n - 1) as u32;
-        group.bench_with_input(BenchmarkId::new("list_rank_ruling_set", n), &next, |b, v| {
-            b.iter(|| {
-                let ctx = Ctx::untracked(Mode::Parallel);
-                sfcp_parprim::listrank::list_rank_ruling_set(&ctx, v)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("list_rank_ruling_set", n),
+            &next,
+            |b, v| {
+                b.iter(|| {
+                    let ctx = Ctx::untracked(Mode::Parallel);
+                    sfcp_parprim::listrank::list_rank_ruling_set(&ctx, v)
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("list_rank_wyllie", n), &next, |b, v| {
             b.iter(|| {
                 let ctx = Ctx::untracked(Mode::Parallel);

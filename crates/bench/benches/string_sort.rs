@@ -11,12 +11,16 @@ fn bench(c: &mut Criterion) {
     for &n in &[1usize << 15, 1 << 18] {
         let strings = string_list(n);
         for method in [StringSortMethod::Comparison, StringSortMethod::Contraction] {
-            group.bench_with_input(BenchmarkId::new(format!("{method:?}"), n), &strings, |b, s| {
-                b.iter(|| {
-                    let ctx = Ctx::untracked(Mode::Parallel);
-                    sort_strings(&ctx, s, method)
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("{method:?}"), n),
+                &strings,
+                |b, s| {
+                    b.iter(|| {
+                        let ctx = Ctx::untracked(Mode::Parallel);
+                        sort_strings(&ctx, s, method)
+                    })
+                },
+            );
         }
     }
     group.finish();

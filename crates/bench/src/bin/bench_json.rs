@@ -1,0 +1,152 @@
+//! Machine-readable perf trajectory for the sort/rank engine: times the
+//! packed (zero-allocation, cache-aware) engine against the permutation
+//! baseline — same inputs, same run — and writes `BENCH_parprim.json`.
+//!
+//! Benchmarked routines, at n ∈ {1e5, 1e6}:
+//!
+//! * `dense_ranks_by_sort` — the doubling loops' hot primitive,
+//! * `radix_sort_pairs`   — the pair-contraction sort,
+//! * `coarsest_parallel`  — the end-to-end parallel algorithm.
+//!
+//! Each row records the best-of-k wall-clock per engine plus the tracked
+//! work/depth of both engines (asserted equal: the engines differ only in
+//! wall-clock and allocations, never in charges).
+//!
+//! Run with: `cargo run -p sfcp-bench --bin bench_json --release [out.json]`
+
+use rand::prelude::*;
+use sfcp::{coarsest_partition, Algorithm, Instance};
+use sfcp_pram::{Ctx, Mode, SortEngine, Stats};
+use std::time::Instant;
+
+/// Best-of-k wall-clock milliseconds of `f` with a fresh context per run.
+fn best_ms<F: FnMut(&Ctx)>(engine: SortEngine, reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let ctx = Ctx::untracked(Mode::Parallel).with_sort_engine(engine);
+        let t = Instant::now();
+        f(&ctx);
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Tracked work/depth of `f` under `engine`.
+fn charges<F: FnMut(&Ctx)>(engine: SortEngine, mut f: F) -> Stats {
+    let ctx = Ctx::parallel().with_sort_engine(engine);
+    f(&ctx);
+    ctx.stats()
+}
+
+struct Row {
+    name: &'static str,
+    n: usize,
+    packed_ms: f64,
+    permutation_ms: f64,
+    work: u64,
+    rounds: u64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"n\": {}, ",
+                "\"packed_ms\": {:.3}, \"permutation_ms\": {:.3}, ",
+                "\"speedup\": {:.3}, \"work\": {}, \"rounds\": {}}}"
+            ),
+            self.name,
+            self.n,
+            self.packed_ms,
+            self.permutation_ms,
+            self.permutation_ms / self.packed_ms,
+            self.work,
+            self.rounds,
+        )
+    }
+}
+
+fn measure<F: FnMut(&Ctx) + Clone>(name: &'static str, n: usize, reps: usize, f: F) -> Row {
+    let packed_ms = best_ms(SortEngine::Packed, reps, f.clone());
+    let permutation_ms = best_ms(SortEngine::Permutation, reps, f.clone());
+    let cp = charges(SortEngine::Packed, f.clone());
+    let cb = charges(SortEngine::Permutation, f);
+    assert_eq!(cp, cb, "{name}: engines must charge identical work/depth");
+    println!(
+        "{name:>22} n={n:>8}: packed {packed_ms:9.3} ms  permutation {permutation_ms:9.3} ms  ({:.2}x)",
+        permutation_ms / packed_ms
+    );
+    Row {
+        name,
+        n,
+        packed_ms,
+        permutation_ms,
+        work: cp.work,
+        rounds: cp.rounds,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parprim.json".to_string());
+    let sizes = [100_000usize, 1_000_000];
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &n in &sizes {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ n as u64);
+        let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..2 * n as u64)).collect();
+        let pairs: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0..n as u64), rng.gen_range(0..n as u64)))
+            .collect();
+        let reps = if n >= 1_000_000 { 3 } else { 5 };
+
+        rows.push(measure("dense_ranks_by_sort", n, reps, |ctx: &Ctx| {
+            let (ranks, _) = sfcp_parprim::rank::dense_ranks_by_sort(ctx, &keys);
+            std::hint::black_box(&ranks);
+        }));
+        rows.push(measure("radix_sort_pairs", n, reps, |ctx: &Ctx| {
+            let order = sfcp_parprim::intsort::radix_sort_pairs(ctx, &pairs);
+            std::hint::black_box(&order);
+        }));
+        let inst = Instance::random(n, 8, 0xC0FFEE);
+        rows.push(measure("coarsest_parallel", n, reps, |ctx: &Ctx| {
+            let q = coarsest_partition(ctx, &inst, Algorithm::Parallel);
+            std::hint::black_box(q.num_blocks());
+        }));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"sfcp_parprim_sort_rank_engine\",\n");
+    json.push_str(&format!(
+        "  \"threads\": {},\n",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    ));
+    json.push_str("  \"engines\": [\"packed\", \"permutation\"],\n");
+    json.push_str("  \"results\": [\n");
+    let body: Vec<String> = rows.iter().map(Row::json).collect();
+    json.push_str(&body.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("failed to write benchmark json");
+    println!("wrote {out_path}");
+
+    // The acceptance gate for the packed engine: end-to-end coarsest_parallel
+    // at the largest size must not be slower than the permutation baseline.
+    // Enforced (with slack for noisy shared runners): a genuine regression
+    // fails this binary and therefore the CI bench-smoke step.
+    let end_to_end = rows
+        .iter()
+        .filter(|r| r.name == "coarsest_parallel")
+        .max_by_key(|r| r.n)
+        .expect("end-to-end row present");
+    let speedup = end_to_end.permutation_ms / end_to_end.packed_ms;
+    println!(
+        "end-to-end n={}: packed is {speedup:.2}x the baseline",
+        end_to_end.n
+    );
+    assert!(
+        speedup > 0.9,
+        "perf regression: packed engine is {speedup:.2}x the permutation baseline \
+         end-to-end (must stay >= ~1.0; 0.9 allows for runner noise)"
+    );
+}

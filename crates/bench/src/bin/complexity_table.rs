@@ -28,9 +28,22 @@ fn measure(instance: &Instance, algorithm: Algorithm) -> (sfcp_pram::Stats, f64,
     (stats, seq_time, par_time)
 }
 
-fn table_full_problem(title: &str, make: impl Fn(usize) -> Instance, sizes: &[usize], skip_naive_above: usize) {
+fn table_full_problem(
+    title: &str,
+    make: impl Fn(usize) -> Instance,
+    sizes: &[usize],
+    skip_naive_above: usize,
+) {
     let header = [
-        "n", "algorithm", "work", "rounds", "work/n", "rounds/log n", "t_seq(ms)", "t_par(ms)", "speedup",
+        "n",
+        "algorithm",
+        "work",
+        "rounds",
+        "work/n",
+        "rounds/log n",
+        "t_seq(ms)",
+        "t_par(ms)",
+        "speedup",
     ];
     let mut rows = Vec::new();
     for &n in sizes {
@@ -62,7 +75,12 @@ fn table_msp(sizes: &[usize]) {
     let mut rows = Vec::new();
     for &n in sizes {
         let s = workloads::random_string(n, 8);
-        for method in [MspMethod::Booth, MspMethod::Simple, MspMethod::Doubling, MspMethod::Efficient] {
+        for method in [
+            MspMethod::Booth,
+            MspMethod::Simple,
+            MspMethod::Doubling,
+            MspMethod::Efficient,
+        ] {
             let ctx = Ctx::parallel();
             let t = Instant::now();
             let msp = minimal_starting_point(&ctx, &s, method);
@@ -79,11 +97,26 @@ fn table_msp(sizes: &[usize]) {
             ]);
         }
     }
-    println!("{}\n", render("T4 (E4): minimal starting point of a circular string", &header, &rows));
+    println!(
+        "{}\n",
+        render(
+            "T4 (E4): minimal starting point of a circular string",
+            &header,
+            &rows
+        )
+    );
 }
 
 fn table_string_sort(sizes: &[usize]) {
-    let header = ["total n", "#strings", "method", "work", "rounds", "work/n", "t_par(ms)"];
+    let header = [
+        "total n",
+        "#strings",
+        "method",
+        "work",
+        "rounds",
+        "work/n",
+        "t_par(ms)",
+    ];
     let mut rows = Vec::new();
     for &n in sizes {
         let strings = workloads::string_list(n);
@@ -106,7 +139,10 @@ fn table_string_sort(sizes: &[usize]) {
             ]);
         }
     }
-    println!("{}\n", render("T5 (E5): sorting variable-length strings", &header, &rows));
+    println!(
+        "{}\n",
+        render("T5 (E5): sorting variable-length strings", &header, &rows)
+    );
 }
 
 fn table_tree_ablation(sizes: &[usize]) {
@@ -137,7 +173,11 @@ fn table_tree_ablation(sizes: &[usize]) {
     }
     println!(
         "{}\n",
-        render("T7 (E7): tree labelling ablation on deep path instances", &header, &rows)
+        render(
+            "T7 (E7): tree labelling ablation on deep path instances",
+            &header,
+            &rows
+        )
     );
 }
 
@@ -147,7 +187,11 @@ fn table_find_cycles(sizes: &[usize]) {
     let mut rows = Vec::new();
     for &n in sizes {
         let g = sfcp_forest::generators::random_function(n, 77);
-        for method in [CycleMethod::Sequential, CycleMethod::Jump, CycleMethod::Euler] {
+        for method in [
+            CycleMethod::Sequential,
+            CycleMethod::Jump,
+            CycleMethod::Euler,
+        ] {
             let ctx = Ctx::parallel();
             let t = Instant::now();
             let marks = cycle_nodes(&ctx, &g, method);
@@ -163,32 +207,55 @@ fn table_find_cycles(sizes: &[usize]) {
             ]);
         }
     }
-    println!("{}\n", render("T8 (E8): cycle-node detection", &header, &rows));
+    println!(
+        "{}\n",
+        render("T8 (E8): cycle-node detection", &header, &rows)
+    );
 }
 
 fn table_primitives(sizes: &[usize]) {
     let header = ["n", "primitive", "work", "rounds", "work/n"];
     let mut rows = Vec::new();
     for &n in sizes {
-        let values: Vec<u64> = (0..n as u64).map(|i| (i * 2_654_435_761) % 1_000_003).collect();
+        let values: Vec<u64> = (0..n as u64)
+            .map(|i| (i * 2_654_435_761) % 1_000_003)
+            .collect();
         {
             let ctx = Ctx::parallel();
             let _ = sfcp_parprim::scan::inclusive_scan(&ctx, &values);
             let s = ctx.stats();
-            rows.push(vec![n.to_string(), "prefix sums".into(), s.work.to_string(), s.rounds.to_string(), f3(s.work as f64 / n as f64)]);
+            rows.push(vec![
+                n.to_string(),
+                "prefix sums".into(),
+                s.work.to_string(),
+                s.rounds.to_string(),
+                f3(s.work as f64 / n as f64),
+            ]);
         }
         {
             let ctx = Ctx::parallel();
             let _ = sfcp_parprim::intsort::radix_sort_u64(&ctx, &values);
             let s = ctx.stats();
-            rows.push(vec![n.to_string(), "integer sort".into(), s.work.to_string(), s.rounds.to_string(), f3(s.work as f64 / n as f64)]);
+            rows.push(vec![
+                n.to_string(),
+                "integer sort".into(),
+                s.work.to_string(),
+                s.rounds.to_string(),
+                f3(s.work as f64 / n as f64),
+            ]);
         }
         {
             let ctx = Ctx::parallel();
             let mut data = values.clone();
             sfcp_parprim::merge::parallel_merge_sort(&ctx, &mut data);
             let s = ctx.stats();
-            rows.push(vec![n.to_string(), "comparison sort".into(), s.work.to_string(), s.rounds.to_string(), f3(s.work as f64 / n as f64)]);
+            rows.push(vec![
+                n.to_string(),
+                "comparison sort".into(),
+                s.work.to_string(),
+                s.rounds.to_string(),
+                f3(s.work as f64 / n as f64),
+            ]);
         }
         {
             // A single list spanning all elements.
@@ -197,7 +264,13 @@ fn table_primitives(sizes: &[usize]) {
             let ctx = Ctx::parallel();
             let _ = sfcp_parprim::listrank::list_rank_ruling_set(&ctx, &next);
             let s = ctx.stats();
-            rows.push(vec![n.to_string(), "list ranking (ruling set)".into(), s.work.to_string(), s.rounds.to_string(), f3(s.work as f64 / n as f64)]);
+            rows.push(vec![
+                n.to_string(),
+                "list ranking (ruling set)".into(),
+                s.work.to_string(),
+                s.rounds.to_string(),
+                f3(s.work as f64 / n as f64),
+            ]);
         }
         {
             let mut next: Vec<u32> = (1..=n as u32).collect();
@@ -205,10 +278,19 @@ fn table_primitives(sizes: &[usize]) {
             let ctx = Ctx::parallel();
             let _ = sfcp_parprim::listrank::list_rank_wyllie(&ctx, &next);
             let s = ctx.stats();
-            rows.push(vec![n.to_string(), "list ranking (Wyllie)".into(), s.work.to_string(), s.rounds.to_string(), f3(s.work as f64 / n as f64)]);
+            rows.push(vec![
+                n.to_string(),
+                "list ranking (Wyllie)".into(),
+                s.work.to_string(),
+                s.rounds.to_string(),
+                f3(s.work as f64 / n as f64),
+            ]);
         }
     }
-    println!("{}\n", render("T10 (E11): parallel primitives", &header, &rows));
+    println!(
+        "{}\n",
+        render("T10 (E11): parallel primitives", &header, &rows)
+    );
 }
 
 fn main() {
@@ -216,7 +298,11 @@ fn main() {
         .nth(1)
         .map(|a| {
             a.split(',')
-                .map(|x| x.trim().parse().expect("size list: comma-separated integers"))
+                .map(|x| {
+                    x.trim()
+                        .parse()
+                        .expect("size list: comma-separated integers")
+                })
                 .collect()
         })
         .unwrap_or_else(|| vec![1 << 12, 1 << 14, 1 << 16, 1 << 18]);

@@ -53,7 +53,13 @@ fn main() {
     }
 
     let t1 = time_with_threads(1, &instance);
-    let header = ["threads", "t_par(ms)", "self-speedup", "vs linear seq", "vs Hopcroft"];
+    let header = [
+        "threads",
+        "t_par(ms)",
+        "self-speedup",
+        "vs linear seq",
+        "vs Hopcroft",
+    ];
     let mut rows = Vec::new();
     for &p in &threads {
         let tp = time_with_threads(p, &instance);

@@ -59,7 +59,9 @@ pub fn canonical_cycle_strings(k: usize, len: usize) -> Vec<Vec<u32>> {
     let pool: Vec<Vec<u32>> = (0..(k / 4).max(1))
         .map(|_| (0..len).map(|_| rng.gen_range(0..4)).collect())
         .collect();
-    (0..k).map(|_| pool[rng.gen_range(0..pool.len())].clone()).collect()
+    (0..k)
+        .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+        .collect()
 }
 
 #[cfg(test)]

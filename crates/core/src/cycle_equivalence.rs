@@ -222,7 +222,11 @@ mod tests {
         // they are equivalent.
         check_grouping(&[vec![1, 2, 1, 3], vec![1, 2, 1, 3]]);
         let ctx = Ctx::parallel();
-        let class = group_cycles(&ctx, &[vec![1, 2, 1, 3], vec![1, 2, 1, 3]], GroupingMethod::Partition);
+        let class = group_cycles(
+            &ctx,
+            &[vec![1, 2, 1, 3], vec![1, 2, 1, 3]],
+            GroupingMethod::Partition,
+        );
         assert_eq!(class[0], class[1]);
     }
 

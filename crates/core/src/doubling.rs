@@ -10,10 +10,14 @@
 //! versus the paper's `O(n log log n)`.
 
 use crate::problem::{Instance, Partition};
-use sfcp_parprim::rank::{dense_ranks_by_sort, dense_ranks_of_pairs};
+use sfcp_parprim::rank::{dense_ranks_by_sort, dense_ranks_of_pairs_into};
 use sfcp_pram::Ctx;
 
 /// Compute the coarsest stable refinement by label doubling.
+///
+/// All per-round scratch (the pair list, the next label array, the next jump
+/// array) is checked out from the context workspace once and ping-ponged
+/// across the `O(log n)` rounds, so the loop allocates O(1) buffers per run.
 #[must_use]
 pub fn coarsest_doubling(ctx: &Ctx, instance: &Instance) -> Partition {
     let n = instance.len();
@@ -24,26 +28,42 @@ pub fn coarsest_doubling(ctx: &Ctx, instance: &Instance) -> Partition {
 
     let (mut labels, mut distinct) = dense_ranks_by_sort(
         ctx,
-        &instance.blocks().iter().map(|&x| u64::from(x)).collect::<Vec<_>>(),
+        &instance
+            .blocks()
+            .iter()
+            .map(|&x| u64::from(x))
+            .collect::<Vec<_>>(),
     );
     let mut jump: Vec<u32> = f.to_vec();
+
+    let ws = ctx.workspace();
+    let mut pairs = ws.take_pairs(n);
+    let mut next_labels = ws.take_u32(0);
+    let mut next_jump = ws.take_u32(n);
 
     let rounds = sfcp_pram::ceil_log2(n + 1).max(1);
     for _ in 0..rounds {
         if distinct == n {
             break; // already fully refined: all labels distinct
         }
-        let pairs: Vec<(u64, u64)> = ctx.par_map_idx(n, |x| {
-            (u64::from(labels[x]), u64::from(labels[jump[x] as usize]))
-        });
-        let (new_labels, new_distinct) = dense_ranks_of_pairs(ctx, &pairs);
-        let new_jump: Vec<u32> = ctx.par_map_idx(n, |x| jump[jump[x] as usize]);
+        {
+            let labels = &labels;
+            let jump = &jump;
+            ctx.par_update(&mut pairs, |x, p| {
+                *p = (u64::from(labels[x]), u64::from(labels[jump[x] as usize]));
+            });
+        }
+        let new_distinct = dense_ranks_of_pairs_into(ctx, &pairs, &mut next_labels);
+        {
+            let jump_ref = &jump;
+            ctx.par_update(&mut next_jump, |x, j| *j = jump_ref[jump_ref[x] as usize]);
+        }
         // The refinement is monotone: once the block count stops growing the
         // partition is stable under further doubling and we can stop early.
         let stop = new_distinct == distinct;
-        labels = new_labels;
+        std::mem::swap(&mut labels, &mut *next_labels);
         distinct = new_distinct;
-        jump = new_jump;
+        std::mem::swap(&mut jump, &mut *next_jump);
         if stop {
             break;
         }

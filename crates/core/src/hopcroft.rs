@@ -97,7 +97,8 @@ pub fn coarsest_hopcroft(instance: &Instance) -> Partition {
             }
             // Split block b into (members hitting the splitter) and the rest.
             let members = std::mem::take(&mut blocks[b as usize]);
-            let (mut inside, mut outside) = (Vec::with_capacity(hit), Vec::with_capacity(size - hit));
+            let (mut inside, mut outside) =
+                (Vec::with_capacity(hit), Vec::with_capacity(size - hit));
             for x in members {
                 if pre_epoch[x as usize] == epoch {
                     inside.push(x);

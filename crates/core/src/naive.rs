@@ -24,9 +24,8 @@ pub fn coarsest_naive(instance: &Instance) -> Partition {
     }
     let mut num_blocks = count_blocks(&labels);
     loop {
-        let signatures: Vec<(u32, u32)> = (0..n)
-            .map(|x| (labels[x], labels[f[x] as usize]))
-            .collect();
+        let signatures: Vec<(u32, u32)> =
+            (0..n).map(|x| (labels[x], labels[f[x] as usize])).collect();
         let new_labels = dense_pairs(&signatures);
         let new_num = count_blocks(&new_labels);
         labels = new_labels;

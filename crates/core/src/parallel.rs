@@ -21,7 +21,7 @@ use crate::cycle_equivalence::{group_cycles, GroupingMethod};
 use crate::problem::{Instance, Partition};
 use sfcp_forest::cycles::CycleMethod;
 use sfcp_forest::{decompose, Decomposition};
-use sfcp_parprim::rank::{dense_ranks_by_sort, dense_ranks_of_pairs};
+use sfcp_parprim::rank::{dense_ranks_by_sort, dense_ranks_of_pairs, dense_ranks_of_pairs_into};
 use sfcp_pram::fxhash::FxHashMap;
 use sfcp_pram::Ctx;
 use sfcp_strings::canonical::booth_msp;
@@ -81,11 +81,7 @@ pub fn coarsest_parallel(ctx: &Ctx, instance: &Instance) -> Partition {
 
 /// Compute the coarsest stable refinement with an explicit configuration.
 #[must_use]
-pub fn coarsest_parallel_with(
-    ctx: &Ctx,
-    instance: &Instance,
-    config: ParallelConfig,
-) -> Partition {
+pub fn coarsest_parallel_with(ctx: &Ctx, instance: &Instance, config: ParallelConfig) -> Partition {
     let n = instance.len();
     if n == 0 {
         return Partition::new(Vec::new());
@@ -203,6 +199,7 @@ fn label_tree_nodes(
 /// Level-by-level labelling: `Q(x)` is determined by `(B(x), Q(f(x)))`
 /// (Lemma 2.1(i)); levels are processed in increasing order so the image is
 /// always labelled first.
+#[allow(clippy::needless_range_loop)] // level indexes a per-level bucket list
 fn label_tree_nodes_levelwise(
     ctx: &Ctx,
     instance: &Instance,
@@ -286,9 +283,7 @@ fn label_tree_nodes_doubling(
             dec.cycles[c][pos as usize]
         }
     });
-    let ok: Vec<bool> = ctx.par_map_idx(n, |x| {
-        dec.is_cycle[x] || b[x] == b[corr[x] as usize]
-    });
+    let ok: Vec<bool> = ctx.par_map_idx(n, |x| dec.is_cycle[x] || b[x] == b[corr[x] as usize]);
 
     // Step 3: unmark all descendants of an unmatching node — a node is truly
     // marked iff it matches and has no unmatching proper ancestor, computed
@@ -317,8 +312,7 @@ fn label_tree_nodes_doubling(
     // (Lemma 4.2): x ≡ y iff the B-label strings of their paths to the roots
     // of the unmarked forest are equal and the labels of the roots' parents
     // are equal.
-    let unmarked_ids: Vec<u32> =
-        sfcp_parprim::compact::compact_indices(ctx, n, |x| !marked[x]);
+    let unmarked_ids: Vec<u32> = sfcp_parprim::compact::compact_indices(ctx, n, |x| !marked[x]);
     let u = unmarked_ids.len();
     if u == 0 {
         return;
@@ -350,14 +344,23 @@ fn label_tree_nodes_doubling(
         let mut it = dense.iter();
         let expanded: Vec<u32> = anchor_label_of
             .iter()
-            .map(|&a| if a == u32::MAX { u32::MAX } else { *it.next().unwrap() })
+            .map(|&a| {
+                if a == u32::MAX {
+                    u32::MAX
+                } else {
+                    *it.next().unwrap()
+                }
+            })
             .collect();
         (expanded, count)
     };
 
     // Extended node set: unmarked nodes 0..u, then terminals u..u+T.
+    // All per-round scratch below is workspace-backed and ping-ponged across
+    // the doubling rounds (O(1) buffers per run, not per round).
     let total = u + num_terminals;
-    let ptr_next: Vec<u32> = ctx.par_map_idx(total, |i| {
+    let ws = ctx.workspace();
+    let mut jump: Vec<u32> = ctx.par_map_idx(total, |i| {
         if i < u {
             let x = unmarked_ids[i] as usize;
             let parent = f[x] as usize;
@@ -371,15 +374,19 @@ fn label_tree_nodes_doubling(
         }
     });
     // Initial labels: tag B-labels and terminal ids apart.
-    let init_keys: Vec<(u64, u64)> = ctx.par_map_idx(total, |i| {
-        if i < u {
-            (0, u64::from(b[unmarked_ids[i] as usize]))
-        } else {
-            (1, (i - u) as u64)
-        }
-    });
-    let (mut lab, mut distinct) = dense_ranks_of_pairs(ctx, &init_keys);
-    let mut jump = ptr_next;
+    let mut pairs = ws.take_pairs(total);
+    {
+        let unmarked_ids = &unmarked_ids;
+        ctx.par_update(&mut pairs, |i, p| {
+            *p = if i < u {
+                (0, u64::from(b[unmarked_ids[i] as usize]))
+            } else {
+                (1, (i - u) as u64)
+            };
+        });
+    }
+    let mut lab = ws.take_u32(0);
+    let mut distinct = dense_ranks_of_pairs_into(ctx, &pairs, &mut lab);
 
     // Residual-forest depth bounds the number of doubling rounds.
     let depth_flags: Vec<u64> = ctx.par_map_idx(n, |x| u64::from(!marked[x]));
@@ -392,18 +399,26 @@ fn label_tree_nodes_doubling(
     ctx.charge_step(u as u64);
     let rounds = sfcp_pram::ceil_log2(max_depth as usize + 2) + 1;
 
+    let mut next_lab = ws.take_u32(0);
+    let mut next_jump = ws.take_u32(total);
     for _ in 0..rounds {
         if distinct == total {
             break;
         }
-        let pairs: Vec<(u64, u64)> = ctx.par_map_idx(total, |i| {
-            (u64::from(lab[i]), u64::from(lab[jump[i] as usize]))
-        });
-        let (new_lab, new_distinct) = dense_ranks_of_pairs(ctx, &pairs);
-        let new_jump: Vec<u32> = ctx.par_map_idx(total, |i| jump[jump[i] as usize]);
-        lab = new_lab;
-        distinct = new_distinct;
-        jump = new_jump;
+        {
+            let lab = &lab;
+            let jump = &jump;
+            ctx.par_update(&mut pairs, |i, p| {
+                *p = (u64::from(lab[i]), u64::from(lab[jump[i] as usize]));
+            });
+        }
+        distinct = dense_ranks_of_pairs_into(ctx, &pairs, &mut next_lab);
+        {
+            let jump_ref = &jump;
+            ctx.par_update(&mut next_jump, |i, j| *j = jump_ref[jump_ref[i] as usize]);
+        }
+        std::mem::swap(&mut *lab, &mut *next_lab);
+        std::mem::swap(&mut jump, &mut *next_jump);
     }
 
     // Fresh labels for the unmarked nodes: offset their (dense) classes past
@@ -557,7 +572,10 @@ mod tests {
         assert!(a.same_partition(&b));
         let (ws, wp) = (seq.stats().work as f64, par.stats().work as f64);
         let ratio = wp.max(ws) / wp.min(ws);
-        assert!(ratio < 1.5, "work diverged across modes by {ratio:.2}× ({ws} vs {wp})");
+        assert!(
+            ratio < 1.5,
+            "work diverged across modes by {ratio:.2}× ({ws} vs {wp})"
+        );
     }
 
     proptest! {

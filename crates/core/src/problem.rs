@@ -107,14 +107,27 @@ impl Instance {
     /// given `period`: a workload where many cycles are equivalent, stressing
     /// the cycle-equivalence machinery of Section 3.2.
     #[must_use]
-    pub fn periodic_cycles(k: usize, len: usize, period: usize, num_blocks: usize, seed: u64) -> Self {
-        assert!(period > 0 && len % period == 0, "period must divide the cycle length");
+    pub fn periodic_cycles(
+        k: usize,
+        len: usize,
+        period: usize,
+        num_blocks: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            period > 0 && len.is_multiple_of(period),
+            "period must divide the cycle length"
+        );
         let graph = generators::equal_cycles(k, len, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5151);
         // A small pool of period-patterns shared by the cycles.
         let num_patterns = (k / 3).max(1);
         let patterns: Vec<Vec<u32>> = (0..num_patterns)
-            .map(|_| (0..period).map(|_| rng.gen_range(0..num_blocks.max(1)) as u32).collect())
+            .map(|_| {
+                (0..period)
+                    .map(|_| rng.gen_range(0..num_blocks.max(1)) as u32)
+                    .collect()
+            })
             .collect();
         // Assign labels by walking each cycle.
         let n = graph.len();

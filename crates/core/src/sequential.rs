@@ -101,9 +101,8 @@ pub fn coarsest_sequential(instance: &Instance) -> Partition {
             children[f[x as usize] as usize].push(x);
         }
     }
-    let mut queue: std::collections::VecDeque<u32> = (0..n as u32)
-        .filter(|&x| !removed[x as usize])
-        .collect();
+    let mut queue: std::collections::VecDeque<u32> =
+        (0..n as u32).filter(|&x| !removed[x as usize]).collect();
     // The queue initially holds cycle nodes; their tree children follow.
     while let Some(y) = queue.pop_front() {
         for &x in &children[y as usize] {

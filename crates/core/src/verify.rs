@@ -28,22 +28,40 @@ pub enum VerifyError {
     NotStable { x: u32, y: u32 },
     /// The labelling is a stable refinement but has more blocks than the
     /// coarsest one.
-    NotCoarsest { blocks: usize, coarsest_blocks: usize },
+    NotCoarsest {
+        blocks: usize,
+        coarsest_blocks: usize,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            VerifyError::LengthMismatch { instance, partition } => {
-                write!(fm, "partition has {partition} labels but the instance has {instance} elements")
+            VerifyError::LengthMismatch {
+                instance,
+                partition,
+            } => {
+                write!(
+                    fm,
+                    "partition has {partition} labels but the instance has {instance} elements"
+                )
             }
             VerifyError::NotARefinement { x, y } => {
-                write!(fm, "elements {x} and {y} share a Q-block but different B-blocks")
+                write!(
+                    fm,
+                    "elements {x} and {y} share a Q-block but different B-blocks"
+                )
             }
             VerifyError::NotStable { x, y } => {
-                write!(fm, "elements {x} and {y} share a Q-block but f(x) and f(y) do not")
+                write!(
+                    fm,
+                    "elements {x} and {y} share a Q-block but f(x) and f(y) do not"
+                )
             }
-            VerifyError::NotCoarsest { blocks, coarsest_blocks } => {
+            VerifyError::NotCoarsest {
+                blocks,
+                coarsest_blocks,
+            } => {
                 write!(fm, "the labelling has {blocks} blocks but the coarsest partition has {coarsest_blocks}")
             }
         }

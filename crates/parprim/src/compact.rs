@@ -5,7 +5,7 @@
 //! positions" and "write the groups of each substring contiguously"; both
 //! are compactions driven by an exclusive prefix sum of 0/1 flags.
 
-use crate::scan::exclusive_scan;
+use crate::scan::exclusive_scan_into;
 use sfcp_pram::Ctx;
 
 /// Indices `i` (in increasing order) for which `keep(i)` is true.
@@ -19,6 +19,10 @@ where
 
 /// Stable compaction with a projection: collects `project(i)` for every index
 /// `i` with `keep(i)`, in increasing order of `i`.
+///
+/// The flag and offset intermediates are checked out from the context
+/// workspace, so repeated compactions (the m.s.p. contraction loop marks runs
+/// every round) do not allocate; only the returned vector is fresh.
 #[must_use]
 pub fn compact_with<T, F, P>(ctx: &Ctx, n: usize, keep: F, project: P) -> Vec<T>
 where
@@ -29,8 +33,11 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let flags: Vec<u64> = ctx.par_map_idx(n, |i| u64::from(keep(i)));
-    let (offsets, total) = exclusive_scan(ctx, &flags);
+    let ws = ctx.workspace();
+    let mut flags = ws.take_u64(n);
+    ctx.par_update(&mut flags, |i, f| *f = u64::from(keep(i)));
+    let mut offsets = ws.take_u64(n);
+    let total = exclusive_scan_into(ctx, &flags, &mut offsets);
     let mut out = vec![T::default(); total as usize];
     // Each kept index writes its own slot — disjoint writes.
     let out_ptr = SendPtr(out.as_mut_ptr());

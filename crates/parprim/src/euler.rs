@@ -202,7 +202,7 @@ impl EulerTour {
         let succ: Vec<u32> = ctx.par_map_idx(num_arcs, |a| {
             let arc = a as u32;
             let v = arc / 2;
-            if arc % 2 == 0 {
+            if arc.is_multiple_of(2) {
                 // Down arc into v: continue to v's first child, or bounce back up.
                 match forest.children(v).first() {
                     Some(&c) => down(c),
@@ -304,7 +304,7 @@ impl EulerTour {
     /// Number of nodes in the subtree rooted at every node.
     #[must_use]
     pub fn subtree_sizes(&self, ctx: &Ctx) -> Vec<u32> {
-        ctx.par_map_idx(self.len(), |v| (self.exit[v] - self.entry[v] + 1) / 2)
+        ctx.par_map_idx(self.len(), |v| (self.exit[v] - self.entry[v]).div_ceil(2))
     }
 
     /// For every node `v`, the sum of `values[u]` over all *proper* ancestors
@@ -359,8 +359,8 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
+    #[allow(clippy::needless_range_loop)]
     fn random_forest(n: usize, roots: usize, seed: u64) -> Vec<u32> {
         let mut rng = StdRng::seed_from_u64(seed);
         let roots = roots.clamp(1, n);

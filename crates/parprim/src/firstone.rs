@@ -70,7 +70,10 @@ mod tests {
             assert_eq!(first_true(&ctx, &[]), None);
             assert_eq!(first_true(&ctx, &[false, false]), None);
             assert_eq!(first_true(&ctx, &[true]), Some(0));
-            assert_eq!(first_true(&ctx, &[false, false, true, true, false]), Some(2));
+            assert_eq!(
+                first_true(&ctx, &[false, false, true, true, false]),
+                Some(2)
+            );
         }
     }
 

@@ -5,7 +5,7 @@
 //! uses the Bhatt–Diks–Hagerup–Prasad–Radzik–Saxena deterministic integer
 //! sorting algorithm (`O(log n / log log n)` time, `O(n log log n)` work) to
 //! sort keys drawn from `[1, n^{O(1)}]`.  The practical analogue implemented
-//! here is a least-significant-digit radix sort with 8-bit digits:
+//! here is a least-significant-digit radix sort with adaptive digit widths:
 //!
 //! * work `O(n · ⌈b/8⌉)` where `b` is the number of significant key bits —
 //!   linear in `n` for the polynomial-range keys the algorithms produce,
@@ -13,17 +13,41 @@
 //! * **stable**, which the pair-contraction steps of *efficient m.s.p.* and
 //!   *sorting strings* rely on.
 //!
-//! All entry points return a *permutation* (`Vec<u32>` of indices in sorted
-//! order) rather than moving the caller's data, because every caller needs to
-//! carry auxiliary per-item information (original positions, string ids, …).
+//! Two engines implement the same contract (selected via
+//! [`Ctx::sort_engine`]):
+//!
+//! * [`SortEngine::Packed`] — the cache-aware engine: `(u64 key, u32
+//!   payload)` records ([`Rec`]) are physically moved between ping-pong
+//!   buffers checked out from the [`Ctx`] workspace.  Every counting pass
+//!   reads and writes the record stream sequentially; no pass gathers
+//!   through an index permutation, and no pass allocates (histogram
+//!   matrices and ping-pong buffers come from the workspace pool).
+//! * [`SortEngine::Permutation`] — the baseline: passes reorder an index
+//!   permutation and gather `keys[order[i]]` through it, allocating fresh
+//!   histogram vectors per pass.  Kept so benches and tests can measure the
+//!   packed engine against it in the same run.
+//!
+//! Both engines charge **identical** work/depth to the tracker (a
+//! regression-tested invariant — see `DESIGN.md`, "Charge discipline"), so
+//! the complexity tables are engine-independent.
+//!
+//! The classic entry points ([`radix_sort_u64`], [`radix_sort_pairs`],
+//! [`counting_sort_by_key`]) return a *permutation* (`Vec<u32>` of indices in
+//! sorted order); with the packed engine they are thin wrappers that sort
+//! records carrying the index as payload and read the payload column back
+//! out.  Callers that can consume sorted records directly (the dense-rank
+//! pipeline in [`crate::rank`]) skip the read-back entirely.
 
-use sfcp_pram::Ctx;
+use rayon::prelude::*;
+use sfcp_pram::{Ctx, Rec, SortEngine};
 
 /// Default small-key bound for single-pass counting sorts.
 const RADIX: usize = 1 << 8;
 /// Widest digit the sorter will use; bounded so the per-block histogram
-/// matrices stay small.
-const MAX_DIGIT_BITS: u32 = 15;
+/// matrices stay small.  11 bits keeps the (blocks × radix) offset matrix of
+/// a 40-bit pair-key sort inside L2 (~0.5 MB) — the wider 15-bit digits save
+/// a pass but pay for it several times over in histogram/offset traffic.
+const MAX_DIGIT_BITS: u32 = 11;
 
 /// Pick the digit width that minimises the number of counting passes for keys
 /// of the given significant width.  The paper's integer sort exploits exactly
@@ -36,12 +60,293 @@ fn plan_digits(significant_bits: u32) -> (u32, u32) {
     (digit_bits, sig.div_ceil(digit_bits))
 }
 
-/// Stable sort of `0..keys.len()` by `keys[i]`, returning the index
-/// permutation in sorted order.  Keys may be any `u64`s; only the significant
-/// bits of the maximum key are processed, with an adaptive digit width so
-/// that dense (polynomial-range) keys need only a couple of counting passes.
-#[must_use]
-pub fn radix_sort_u64(ctx: &Ctx, keys: &[u64]) -> Vec<u32> {
+/// Number of significant bits of `x` (at least 1).
+#[inline]
+pub(crate) fn sig_bits(x: u64) -> u32 {
+    (64 - x.leading_zeros()).max(1)
+}
+
+/// The block decomposition shared by both engines: enough blocks to
+/// parallelise, few enough that the histogram matrix (blocks × radix) stays
+/// cheap (≤ ~4M counters).
+fn block_plan(ctx: &Ctx, n: usize, radix: usize) -> (usize, usize) {
+    let max_blocks = ((1usize << 22) / radix).clamp(1, 256);
+    let num_blocks = if ctx.is_parallel() {
+        (n / 8192).clamp(1, max_blocks)
+    } else {
+        1
+    };
+    (num_blocks, n.div_ceil(num_blocks))
+}
+
+/// Run `f(block_index)` for each block, in parallel when the context is
+/// parallel.  Charges nothing: callers account for the pass explicitly so
+/// that both engines charge identically.
+fn for_each_block<F>(ctx: &Ctx, num_blocks: usize, f: F)
+where
+    F: Fn(usize) + Sync + Send,
+{
+    if ctx.is_parallel() && num_blocks > 1 {
+        (0..num_blocks).into_par_iter().for_each(f);
+    } else {
+        for b in 0..num_blocks {
+            f(b);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packed record engine.
+// ---------------------------------------------------------------------------
+
+/// Bits needed to store an index in `0..n` (at least 1).
+#[inline]
+pub(crate) fn idx_bits_for(n: usize) -> u32 {
+    sig_bits(n.saturating_sub(1) as u64)
+}
+
+/// An item a counting pass can extract a digit from.
+pub(crate) trait RadixItem: Copy + Default + Send + Sync + 'static {
+    fn digit_at(&self, shift: u32, mask: u64) -> usize;
+}
+
+impl RadixItem for Rec {
+    #[inline]
+    fn digit_at(&self, shift: u32, mask: u64) -> usize {
+        ((self.key >> shift) & mask) as usize
+    }
+}
+
+impl RadixItem for u64 {
+    #[inline]
+    fn digit_at(&self, shift: u32, mask: u64) -> usize {
+        ((self >> shift) & mask) as usize
+    }
+}
+
+/// Stable in-place radix sort of `recs` by [`Rec::key`].  `scratch` is the
+/// ping-pong partner (resized as needed); after the call `recs` holds the
+/// sorted records and `scratch` holds garbage.
+///
+/// This is the zero-allocation hot path: counting passes stream the record
+/// array sequentially (histogram) and write each record exactly once per
+/// pass (scatter) — no index-permutation gathers.  The per-pass histogram
+/// matrix is checked out from the context workspace.
+///
+/// Records are the wide-key representation (16 bytes).  When the key and
+/// payload together fit in 64 bits the engine instead uses
+/// [`radix_sort_words`] — a single `u64` per element, halving the memory
+/// traffic of every pass.
+pub fn radix_sort_recs(ctx: &Ctx, recs: &mut Vec<Rec>, scratch: &mut Vec<Rec>) {
+    let n = recs.len();
+    if n <= 1 {
+        return;
+    }
+    let max_key = recs.iter().map(|r| r.key).max().unwrap();
+    ctx.charge_step(n as u64);
+    radix_sort_recs_prebounded(ctx, recs, scratch, sig_bits(max_key));
+}
+
+/// [`radix_sort_recs`] for callers that already know a bound on the
+/// significant key bits (skips the max scan and its charge, mirroring the
+/// permutation engine's second pass of the wide pair sort).
+pub fn radix_sort_recs_prebounded(
+    ctx: &Ctx,
+    recs: &mut Vec<Rec>,
+    scratch: &mut Vec<Rec>,
+    significant_bits: u32,
+) {
+    let n = recs.len();
+    if n <= 1 {
+        return;
+    }
+    let (digit_bits, passes) = plan_digits(significant_bits);
+    scratch.resize(n, Rec::default());
+    for pass in 0..passes {
+        counting_pass_items(ctx, recs, scratch, pass * digit_bits, digit_bits);
+        std::mem::swap(recs, scratch);
+    }
+}
+
+/// Stable radix sort of packed words `key << idx_bits | index` by the key
+/// digits only: the counting passes skip the low `idx_bits`, and LSD
+/// stability makes the embedded ascending index a free tie-break, so the
+/// result is exactly a stable sort by key.  One 8-byte word per element —
+/// the tightest streaming representation, used whenever
+/// `key_bits + idx_bits <= 64`.
+///
+/// The number of passes depends only on `key_bits`, so the charge profile is
+/// identical to sorting the bare keys with either engine.
+pub(crate) fn radix_sort_words(
+    ctx: &Ctx,
+    words: &mut Vec<u64>,
+    scratch: &mut Vec<u64>,
+    key_bits: u32,
+    idx_bits: u32,
+) {
+    let n = words.len();
+    if n <= 1 {
+        return;
+    }
+    let (digit_bits, passes) = plan_digits(key_bits);
+    scratch.resize(n, 0);
+    for pass in 0..passes {
+        counting_pass_items(
+            ctx,
+            words,
+            scratch,
+            idx_bits + pass * digit_bits,
+            digit_bits,
+        );
+        std::mem::swap(words, scratch);
+    }
+}
+
+/// One stable counting pass: reorder `src` into `dst` by the
+/// `digit_bits`-wide digit at `shift`.  Charges exactly what the permutation
+/// engine's pass charges.
+pub(crate) fn counting_pass_items<T: RadixItem>(
+    ctx: &Ctx,
+    src: &[T],
+    dst: &mut [T],
+    shift: u32,
+    digit_bits: u32,
+) {
+    let n = src.len();
+    let radix = 1usize << digit_bits;
+    let mask = (radix - 1) as u64;
+    let (num_blocks, block_size) = block_plan(ctx, n, radix);
+
+    // Flat histogram matrix [block][digit], reused across passes and calls.
+    let ws = ctx.workspace();
+    let mut hist = ws.take_u32(num_blocks * radix);
+
+    // Count: each block zeroes and fills its own row — a sequential read of
+    // the record stream, no indirections.
+    {
+        let hist_ptr = SendPtr(hist.as_mut_ptr());
+        for_each_block(ctx, num_blocks, |b| {
+            let hp = hist_ptr;
+            let start = b * block_size;
+            let end = (start + block_size).min(n);
+            // Safety: rows of the histogram matrix are disjoint per block.
+            let row = unsafe { std::slice::from_raw_parts_mut(hp.0.add(b * radix), radix) };
+            row.fill(0);
+            for r in &src[start..end] {
+                row[r.digit_at(shift, mask)] += 1;
+            }
+        });
+        // Same charge as the permutation engine's histogram round
+        // (par_map_idx over blocks).
+        ctx.charge_step(num_blocks as u64);
+    }
+
+    // Global stable offsets: digit-major, then block-major.
+    let mut running = 0u32;
+    for d in 0..radix {
+        for b in 0..num_blocks {
+            let cell = &mut hist[b * radix + d];
+            let c = *cell;
+            *cell = running;
+            running += c;
+        }
+    }
+    ctx.charge_step((radix * num_blocks) as u64);
+
+    // Scatter: stream the block again, moving whole records; each
+    // (block, digit) offset range is disjoint, so every destination slot is
+    // written exactly once.  The histogram row doubles as the running write
+    // cursors — no per-block clone.
+    {
+        let hist_ptr = SendPtr(hist.as_mut_ptr());
+        let dst_ptr = SendPtr(dst.as_mut_ptr());
+        for_each_block(ctx, num_blocks, |b| {
+            let hp = hist_ptr;
+            let dp = dst_ptr;
+            let start = b * block_size;
+            let end = (start + block_size).min(n);
+            // Safety: disjoint histogram rows (see above).
+            let row = unsafe { std::slice::from_raw_parts_mut(hp.0.add(b * radix), radix) };
+            for r in &src[start..end] {
+                let d = r.digit_at(shift, mask);
+                // Safety: offsets of different (block, digit) pairs are
+                // disjoint ranges, so each output slot is written once.
+                unsafe {
+                    *dp.0.add(row[d] as usize) = *r;
+                }
+                row[d] += 1;
+            }
+        });
+        ctx.charge_step(num_blocks as u64);
+        ctx.charge_work(n as u64);
+    }
+}
+
+/// Copy the payload column out of a sorted record buffer (the permutation).
+/// Uncharged: the permutation engine returns its order array without an
+/// extra pass, and the charge parity between engines is regression-tested.
+fn extract_payload(ctx: &Ctx, recs: &[Rec]) -> Vec<u32> {
+    if ctx.is_parallel() {
+        recs.par_iter()
+            .with_min_len(ctx.grain())
+            .map(|r| r.pay)
+            .collect()
+    } else {
+        recs.iter().map(|r| r.pay).collect()
+    }
+}
+
+/// Extract the embedded index column out of sorted packed words (uncharged,
+/// see [`extract_payload`]).
+fn extract_payload_words(ctx: &Ctx, words: &[u64], idx_bits: u32) -> Vec<u32> {
+    let mask = (1u64 << idx_bits) - 1;
+    if ctx.is_parallel() {
+        words
+            .par_iter()
+            .with_min_len(ctx.grain())
+            .map(|&w| (w & mask) as u32)
+            .collect()
+    } else {
+        words.iter().map(|&w| (w & mask) as u32).collect()
+    }
+}
+
+/// Fill `items[i] = make(i)` without charging (used where the permutation
+/// engine's identity-order setup is also uncharged).
+fn fill_items_uncharged<T, F>(ctx: &Ctx, items: &mut [T], make: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync + Send,
+{
+    let n = items.len();
+    let ptr = SendPtr(items.as_mut_ptr());
+    if ctx.is_parallel() {
+        let grain = ctx.grain();
+        (0..n.div_ceil(grain)).into_par_iter().for_each(|c| {
+            let start = c * grain;
+            let end = (start + grain).min(n);
+            let p = ptr;
+            for i in start..end {
+                // Safety: disjoint chunks; each slot written once.
+                unsafe {
+                    p.0.add(i).write(make(i));
+                }
+            }
+        });
+    } else {
+        for (i, item) in items.iter_mut().enumerate() {
+            *item = make(i);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Permutation engine (the measured baseline).
+// ---------------------------------------------------------------------------
+
+/// Baseline implementation: sort an index permutation, gathering
+/// `keys[order[i]]` through it in every pass.
+fn radix_sort_u64_permutation(ctx: &Ctx, keys: &[u64]) -> Vec<u32> {
     let n = keys.len();
     let mut order: Vec<u32> = ctx.par_map_idx(n, |i| i as u32);
     if n <= 1 {
@@ -61,8 +366,10 @@ pub fn radix_sort_u64(ctx: &Ctx, keys: &[u64]) -> Vec<u32> {
     order
 }
 
-/// One stable counting pass: reorder `order` into `out` by the
-/// `digit_bits`-wide digit of `keys[·]` at `shift`.
+/// One stable counting pass of the permutation engine: reorder `order` into
+/// `out` by the `digit_bits`-wide digit of `keys[·]` at `shift`.  Note the
+/// `keys[idx]` gather in both the histogram and the scatter loop — the
+/// cache-hostile access pattern the packed engine exists to avoid.
 fn counting_pass(
     ctx: &Ctx,
     keys: &[u64],
@@ -74,16 +381,7 @@ fn counting_pass(
     let n = order.len();
     let radix = 1usize << digit_bits;
     let digit = |idx: u32| ((keys[idx as usize] >> shift) as usize) & (radix - 1);
-
-    // Choose a block count: enough to parallelise, small enough that the
-    // histogram matrix (blocks × radix) stays cheap (≤ ~4M counters).
-    let max_blocks = ((1usize << 22) / radix).clamp(1, 256);
-    let num_blocks = if ctx.is_parallel() {
-        (n / 8192).clamp(1, max_blocks)
-    } else {
-        1
-    };
-    let block_size = n.div_ceil(num_blocks);
+    let (num_blocks, block_size) = block_plan(ctx, n, radix);
 
     // Per-block digit histograms.
     let mut histograms: Vec<Vec<u32>> = ctx.par_map_idx(num_blocks, |b| {
@@ -128,10 +426,73 @@ fn counting_pass(
     ctx.charge_work(n as u64);
 }
 
-#[derive(Clone, Copy)]
-struct SendPtr<T>(*mut T);
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
+/// Stable sort of the already-ordered index list `order` by `keys[·]`
+/// (used for the second pass of the permutation engine's two-pass pair sort).
+fn stable_reorder_sort(ctx: &Ctx, keys: &[u64], order: &[u32]) -> Vec<u32> {
+    let n = order.len();
+    if n <= 1 {
+        return order.to_vec();
+    }
+    let max_key = order.iter().map(|&i| keys[i as usize]).max().unwrap();
+    let significant_bits = 64 - max_key.leading_zeros();
+    let (digit_bits, passes) = plan_digits(significant_bits);
+    let mut current = order.to_vec();
+    let mut scratch = vec![0u32; n];
+    for pass in 0..passes {
+        counting_pass(
+            ctx,
+            keys,
+            &current,
+            &mut scratch,
+            pass * digit_bits,
+            digit_bits,
+        );
+        std::mem::swap(&mut current, &mut scratch);
+    }
+    current
+}
+
+// ---------------------------------------------------------------------------
+// Public permutation-returning API (engine-dispatching).
+// ---------------------------------------------------------------------------
+
+/// Stable sort of `0..keys.len()` by `keys[i]`, returning the index
+/// permutation in sorted order.  Keys may be any `u64`s; only the significant
+/// bits of the maximum key are processed, with an adaptive digit width so
+/// that dense (polynomial-range) keys need only a couple of counting passes.
+#[must_use]
+pub fn radix_sort_u64(ctx: &Ctx, keys: &[u64]) -> Vec<u32> {
+    match ctx.sort_engine() {
+        SortEngine::Permutation => radix_sort_u64_permutation(ctx, keys),
+        SortEngine::Packed => {
+            let n = keys.len();
+            if n <= 1 {
+                // Matches the baseline's identity-order setup charge.
+                ctx.charge_step(n as u64);
+                return (0..n as u32).collect();
+            }
+            let max_key = *keys.iter().max().unwrap();
+            ctx.charge_step(n as u64); // max scan, charged as in the baseline
+            let key_bits = sig_bits(max_key);
+            let idx_bits = idx_bits_for(n);
+            let ws = ctx.workspace();
+            if key_bits + idx_bits <= 64 {
+                let mut words = ws.take_u64(n);
+                let mut scratch = ws.take_u64(n);
+                // Charged like the baseline's identity-order setup.
+                ctx.par_update(&mut words, |i, w| *w = (keys[i] << idx_bits) | i as u64);
+                radix_sort_words(ctx, &mut words, &mut scratch, key_bits, idx_bits);
+                extract_payload_words(ctx, &words, idx_bits)
+            } else {
+                let mut recs = ws.take_recs(n);
+                let mut scratch = ws.take_recs(n);
+                ctx.par_update(&mut recs, |i, r| *r = Rec::new(keys[i], i as u32));
+                radix_sort_recs_prebounded(ctx, &mut recs, &mut scratch, key_bits);
+                extract_payload(ctx, &recs)
+            }
+        }
+    }
+}
 
 /// Stable sort of index pairs `(a, b)` in lexicographic order, returning the
 /// index permutation.  This is the exact shape required by step 3 of
@@ -150,37 +511,72 @@ pub fn radix_sort_pairs(ctx: &Ctx, pairs: &[(u64, u64)]) -> Vec<u32> {
     // number of significant bits of the largest `b`, so the packed keys stay
     // as narrow as possible (fewer counting passes); otherwise fall back to
     // two stable passes (sort by b, then stably by a).
-    let b_bits = (64 - max_b.leading_zeros()).max(1);
-    let a_bits = (64 - max_a.leading_zeros()).max(1);
-    if a_bits + b_bits <= 64 {
-        let keys: Vec<u64> = ctx.par_map_slice(pairs, |&(a, b)| (a << b_bits) | b);
-        radix_sort_u64(ctx, &keys)
-    } else {
-        let keys_b: Vec<u64> = ctx.par_map_slice(pairs, |&(_, b)| b);
-        let by_b = radix_sort_u64(ctx, &keys_b);
-        // Stable second pass over the order produced by the first pass.
-        let keys_a: Vec<u64> = ctx.par_map_slice(pairs, |&(a, _)| a);
-        stable_reorder_sort(ctx, &keys_a, &by_b)
+    let b_bits = sig_bits(max_b);
+    let a_bits = sig_bits(max_a);
+    match ctx.sort_engine() {
+        SortEngine::Permutation => {
+            if a_bits + b_bits <= 64 {
+                let keys: Vec<u64> = ctx.par_map_slice(pairs, |&(a, b)| (a << b_bits) | b);
+                radix_sort_u64(ctx, &keys)
+            } else {
+                let keys_b: Vec<u64> = ctx.par_map_slice(pairs, |&(_, b)| b);
+                let by_b = radix_sort_u64(ctx, &keys_b);
+                // Stable second pass over the order produced by the first.
+                let keys_a: Vec<u64> = ctx.par_map_slice(pairs, |&(a, _)| a);
+                stable_reorder_sort(ctx, &keys_a, &by_b)
+            }
+        }
+        SortEngine::Packed => {
+            let ws = ctx.workspace();
+            let idx_bits = idx_bits_for(n);
+            if a_bits + b_bits + idx_bits <= 64 {
+                // Tightest path: key and index in one u64 word.
+                let mut words = ws.take_u64(n);
+                let mut scratch = ws.take_u64(n);
+                // One pass packs key and index (charged like the baseline's
+                // key-packing map)…
+                ctx.par_update(&mut words, |i, w| {
+                    let (a, b) = pairs[i];
+                    *w = (((a << b_bits) | b) << idx_bits) | i as u64;
+                });
+                // …plus the baseline's identity-order setup and max-scan
+                // charges (the key width is already known here).
+                ctx.charge_step(n as u64);
+                ctx.charge_step(n as u64);
+                radix_sort_words(ctx, &mut words, &mut scratch, a_bits + b_bits, idx_bits);
+                extract_payload_words(ctx, &words, idx_bits)
+            } else if a_bits + b_bits <= 64 {
+                let mut recs = ws.take_recs(n);
+                let mut scratch = ws.take_recs(n);
+                // Packed records (charged like the baseline's key-packing
+                // map, plus its identity-order setup and max scan — the key
+                // width is already exact: the pair containing max_a pins
+                // sig_bits(max packed key) to a_bits + b_bits).
+                ctx.par_update(&mut recs, |i, r| {
+                    let (a, b) = pairs[i];
+                    *r = Rec::new((a << b_bits) | b, i as u32);
+                });
+                ctx.charge_step(n as u64);
+                ctx.charge_step(n as u64);
+                radix_sort_recs_prebounded(ctx, &mut recs, &mut scratch, a_bits + b_bits);
+                extract_payload(ctx, &recs)
+            } else {
+                // Wide pairs: two stable record passes (by b, then by a).
+                // Both key widths are already known, so neither sort
+                // re-scans for the max (the baseline's max scan of pass one
+                // is charged explicitly).
+                let mut recs = ws.take_recs(n);
+                let mut scratch = ws.take_recs(n);
+                ctx.par_update(&mut recs, |i, r| *r = Rec::new(pairs[i].1, i as u32));
+                ctx.charge_step(n as u64); // baseline identity-order setup
+                ctx.charge_step(n as u64); // baseline max scan of pass one
+                radix_sort_recs_prebounded(ctx, &mut recs, &mut scratch, b_bits);
+                ctx.par_update(&mut recs, |_, r| r.key = pairs[r.pay as usize].0);
+                radix_sort_recs_prebounded(ctx, &mut recs, &mut scratch, a_bits);
+                extract_payload(ctx, &recs)
+            }
+        }
     }
-}
-
-/// Stable sort of the already-ordered index list `order` by `keys[·]`
-/// (used for the second pass of the two-pass pair sort).
-fn stable_reorder_sort(ctx: &Ctx, keys: &[u64], order: &[u32]) -> Vec<u32> {
-    let n = order.len();
-    if n <= 1 {
-        return order.to_vec();
-    }
-    let max_key = order.iter().map(|&i| keys[i as usize]).max().unwrap();
-    let significant_bits = 64 - max_key.leading_zeros();
-    let (digit_bits, passes) = plan_digits(significant_bits);
-    let mut current = order.to_vec();
-    let mut scratch = vec![0u32; n];
-    for pass in 0..passes {
-        counting_pass(ctx, keys, &current, &mut scratch, pass * digit_bits, digit_bits);
-        std::mem::swap(&mut current, &mut scratch);
-    }
-    current
 }
 
 /// Stable counting sort of arbitrary items by a small integer key
@@ -197,30 +593,73 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let keys: Vec<u64> = ctx.par_map_idx(n, |i| {
-        let k = key(i);
-        debug_assert!(k < bound, "key {k} out of bound {bound}");
-        k as u64
-    });
     // A single 8-bit counting pass only handles bound <= 256; otherwise fall
-    // back to the full radix sort (still linear work for polynomial-range keys).
+    // back to the full radix sort (still linear work for polynomial-range
+    // keys).
     if bound > RADIX {
+        let keys: Vec<u64> = ctx.par_map_idx(n, |i| {
+            let k = key(i);
+            debug_assert!(k < bound, "key {k} out of bound {bound}");
+            k as u64
+        });
         return radix_sort_u64(ctx, &keys);
     }
-    let order: Vec<u32> = (0..n as u32).collect();
-    let mut out = vec![0u32; n];
-    ctx.charge_step(bound as u64);
-    counting_pass(ctx, &keys, &order, &mut out, 0, 8);
-    out
+    match ctx.sort_engine() {
+        SortEngine::Permutation => {
+            let keys: Vec<u64> = ctx.par_map_idx(n, |i| {
+                let k = key(i);
+                debug_assert!(k < bound, "key {k} out of bound {bound}");
+                k as u64
+            });
+            let order: Vec<u32> = (0..n as u32).collect();
+            let mut out = vec![0u32; n];
+            ctx.charge_step(bound as u64);
+            counting_pass(ctx, &keys, &order, &mut out, 0, 8);
+            out
+        }
+        SortEngine::Packed => {
+            let ws = ctx.workspace();
+            // Indices are u32 everywhere in this file, so an 8-bit key plus
+            // the index always fits in one word.
+            let idx_bits = idx_bits_for(n);
+            debug_assert!(8 + idx_bits <= 64);
+            // Charged like the baseline's key map; the identity-order setup
+            // is uncharged in both engines.
+            ctx.charge_step(n as u64);
+            let mut words = ws.take_u64(n);
+            let mut scratch = ws.take_u64(n);
+            fill_items_uncharged(ctx, &mut words, |i| {
+                let k = key(i);
+                debug_assert!(k < bound, "key {k} out of bound {bound}");
+                ((k as u64) << idx_bits) | i as u64
+            });
+            ctx.charge_step(bound as u64);
+            counting_pass_items(ctx, &words, &mut scratch, idx_bits, 8);
+            extract_payload_words(ctx, &scratch, idx_bits)
+        }
+    }
 }
+
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
     use sfcp_pram::Mode;
+
+    fn both_engines() -> [SortEngine; 2] {
+        [SortEngine::Packed, SortEngine::Permutation]
+    }
 
     fn check_is_stable_sort(keys: &[u64], order: &[u32]) {
         assert_eq!(order.len(), keys.len());
@@ -242,82 +681,127 @@ mod tests {
 
     #[test]
     fn empty_and_single() {
-        let ctx = Ctx::parallel();
-        assert!(radix_sort_u64(&ctx, &[]).is_empty());
-        assert_eq!(radix_sort_u64(&ctx, &[42]), vec![0]);
+        for engine in both_engines() {
+            let ctx = Ctx::parallel().with_sort_engine(engine);
+            assert!(radix_sort_u64(&ctx, &[]).is_empty());
+            assert_eq!(radix_sort_u64(&ctx, &[42]), vec![0]);
+        }
     }
 
     #[test]
     fn small_with_duplicates() {
-        let ctx = Ctx::sequential();
-        let keys = [5u64, 3, 5, 1, 3, 3, 0];
-        let order = radix_sort_u64(&ctx, &keys);
-        check_is_stable_sort(&keys, &order);
-        assert_eq!(order, vec![6, 3, 1, 4, 5, 0, 2]);
+        for engine in both_engines() {
+            let ctx = Ctx::sequential().with_sort_engine(engine);
+            let keys = [5u64, 3, 5, 1, 3, 3, 0];
+            let order = radix_sort_u64(&ctx, &keys);
+            check_is_stable_sort(&keys, &order);
+            assert_eq!(order, vec![6, 3, 1, 4, 5, 0, 2]);
+        }
     }
 
     #[test]
-    fn large_random_both_modes() {
+    fn large_random_both_modes_and_engines() {
         let mut rng = StdRng::seed_from_u64(7);
         let keys: Vec<u64> = (0..100_000).map(|_| rng.gen_range(0..1_000_000)).collect();
         for mode in [Mode::Sequential, Mode::Parallel] {
-            let ctx = Ctx::new(mode);
+            for engine in both_engines() {
+                let ctx = Ctx::new(mode).with_sort_engine(engine);
+                let order = radix_sort_u64(&ctx, &keys);
+                check_is_stable_sort(&keys, &order);
+            }
+        }
+    }
+
+    #[test]
+    fn large_keys_use_more_passes() {
+        for engine in both_engines() {
+            let ctx = Ctx::parallel().with_sort_engine(engine);
+            let keys = [u64::from(u32::MAX) + 17, 3, 1 << 40, 12, 1 << 40];
             let order = radix_sort_u64(&ctx, &keys);
             check_is_stable_sort(&keys, &order);
         }
     }
 
     #[test]
-    fn large_keys_use_more_passes() {
-        let ctx = Ctx::parallel();
-        let keys = [u64::from(u32::MAX) + 17, 3, 1 << 40, 12, 1 << 40];
-        let order = radix_sort_u64(&ctx, &keys);
-        check_is_stable_sort(&keys, &order);
-    }
-
-    #[test]
     fn pair_sort_lexicographic() {
-        let ctx = Ctx::parallel();
-        let pairs = [(1u64, 3u64), (2, 3), (4, 3), (1, 2), (3, 4), (2, 0), (1, 1), (1, 3), (2, 2), (3, 2)];
-        let order = radix_sort_pairs(&ctx, &pairs);
-        let sorted: Vec<(u64, u64)> = order.iter().map(|&i| pairs[i as usize]).collect();
-        let mut expected = pairs.to_vec();
-        expected.sort();
-        assert_eq!(sorted, expected);
-        // Stability on the duplicate (1,3).
-        let pos_first = order.iter().position(|&i| i == 0).unwrap();
-        let pos_second = order.iter().position(|&i| i == 7).unwrap();
-        assert!(pos_first < pos_second);
+        for engine in both_engines() {
+            let ctx = Ctx::parallel().with_sort_engine(engine);
+            let pairs = [
+                (1u64, 3u64),
+                (2, 3),
+                (4, 3),
+                (1, 2),
+                (3, 4),
+                (2, 0),
+                (1, 1),
+                (1, 3),
+                (2, 2),
+                (3, 2),
+            ];
+            let order = radix_sort_pairs(&ctx, &pairs);
+            let sorted: Vec<(u64, u64)> = order.iter().map(|&i| pairs[i as usize]).collect();
+            let mut expected = pairs.to_vec();
+            expected.sort();
+            assert_eq!(sorted, expected);
+            // Stability on the duplicate (1,3).
+            let pos_first = order.iter().position(|&i| i == 0).unwrap();
+            let pos_second = order.iter().position(|&i| i == 7).unwrap();
+            assert!(pos_first < pos_second);
+        }
     }
 
     #[test]
     fn pair_sort_wide_values() {
-        let ctx = Ctx::parallel();
-        let big = 1u64 << 40;
-        let pairs = [(big, 1u64), (1, big), (big, 0), (0, big), (big, big)];
-        let order = radix_sort_pairs(&ctx, &pairs);
-        let sorted: Vec<(u64, u64)> = order.iter().map(|&i| pairs[i as usize]).collect();
-        let mut expected = pairs.to_vec();
-        expected.sort();
-        assert_eq!(sorted, expected);
+        for engine in both_engines() {
+            let ctx = Ctx::parallel().with_sort_engine(engine);
+            let big = 1u64 << 40;
+            let pairs = [(big, 1u64), (1, big), (big, 0), (0, big), (big, big)];
+            let order = radix_sort_pairs(&ctx, &pairs);
+            let sorted: Vec<(u64, u64)> = order.iter().map(|&i| pairs[i as usize]).collect();
+            let mut expected = pairs.to_vec();
+            expected.sort();
+            assert_eq!(sorted, expected);
+        }
+    }
+
+    #[test]
+    fn pair_sort_wide_values_stability() {
+        // Wide pairs with duplicates exercise the two-pass path's stability.
+        let big = 1u64 << 50;
+        let pairs: Vec<(u64, u64)> = (0..2000u64).map(|i| (big + i % 7, (i % 5) << 40)).collect();
+        for engine in both_engines() {
+            let ctx = Ctx::parallel().with_sort_engine(engine);
+            let order = radix_sort_pairs(&ctx, &pairs);
+            for w in order.windows(2) {
+                let (x, y) = (pairs[w[0] as usize], pairs[w[1] as usize]);
+                assert!(x <= y);
+                if x == y {
+                    assert!(w[0] < w[1], "two-pass pair sort must be stable");
+                }
+            }
+        }
     }
 
     #[test]
     fn counting_sort_small_bound() {
-        let ctx = Ctx::parallel();
-        let data = [3usize, 1, 2, 1, 0, 3, 2];
-        let order = counting_sort_by_key(&ctx, data.len(), 4, |i| data[i]);
-        let keys: Vec<u64> = data.iter().map(|&x| x as u64).collect();
-        check_is_stable_sort(&keys, &order);
+        for engine in both_engines() {
+            let ctx = Ctx::parallel().with_sort_engine(engine);
+            let data = [3usize, 1, 2, 1, 0, 3, 2];
+            let order = counting_sort_by_key(&ctx, data.len(), 4, |i| data[i]);
+            let keys: Vec<u64> = data.iter().map(|&x| x as u64).collect();
+            check_is_stable_sort(&keys, &order);
+        }
     }
 
     #[test]
     fn counting_sort_large_bound_falls_back() {
-        let ctx = Ctx::parallel();
-        let data: Vec<usize> = (0..5000).map(|i| (i * 37) % 4999).collect();
-        let order = counting_sort_by_key(&ctx, data.len(), 4999, |i| data[i]);
-        let keys: Vec<u64> = data.iter().map(|&x| x as u64).collect();
-        check_is_stable_sort(&keys, &order);
+        for engine in both_engines() {
+            let ctx = Ctx::parallel().with_sort_engine(engine);
+            let data: Vec<usize> = (0..5000).map(|i| (i * 37) % 4999).collect();
+            let order = counting_sort_by_key(&ctx, data.len(), 4999, |i| data[i]);
+            let keys: Vec<u64> = data.iter().map(|&x| x as u64).collect();
+            check_is_stable_sort(&keys, &order);
+        }
     }
 
     #[test]
@@ -326,24 +810,102 @@ mod tests {
         let keys: Vec<u64> = (0..200_000u64).rev().collect();
         let _ = radix_sort_u64(&ctx, &keys);
         let stats = ctx.stats();
-        // 3 digit passes (max key < 2^18) at ~2n each plus setup: well under
+        // 2 digit passes (max key < 2^18) at ~2n each plus setup: well under
         // the ~n log n ≈ 3.5M a comparison sort would be charged.
-        assert!(stats.work < 2_500_000, "work {} should be near-linear", stats.work);
+        assert!(
+            stats.work < 2_500_000,
+            "work {} should be near-linear",
+            stats.work
+        );
+    }
+
+    /// The charge-discipline invariant: both engines charge byte-identical
+    /// work/depth for every entry point, in both execution modes.
+    #[test]
+    fn engines_charge_identically() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let keys: Vec<u64> = (0..40_000).map(|_| rng.gen_range(0..5_000_000)).collect();
+        let narrow: Vec<(u64, u64)> = (0..30_000)
+            .map(|_| (rng.gen_range(0..60_000), rng.gen_range(0..60_000)))
+            .collect();
+        // 30+30-bit keys: the packed key fits in 64 bits but not together
+        // with the index — exercises the middle (wide-record) pair branch.
+        let mid: Vec<(u64, u64)> = (0..30_000)
+            .map(|_| {
+                (
+                    rng.gen_range(1 << 29..1u64 << 30),
+                    rng.gen_range(1 << 29..1u64 << 30),
+                )
+            })
+            .collect();
+        let wide: Vec<(u64, u64)> = (0..20_000)
+            .map(|_| {
+                (
+                    rng.gen_range(0..u64::MAX / 2),
+                    rng.gen_range(0..u64::MAX / 2),
+                )
+            })
+            .collect();
+        let small: Vec<usize> = (0..10_000).map(|i| (i * 13) % 256).collect();
+        for mode in [Mode::Sequential, Mode::Parallel] {
+            let packed = Ctx::new(mode).with_sort_engine(SortEngine::Packed);
+            let baseline = Ctx::new(mode).with_sort_engine(SortEngine::Permutation);
+            for ctx in [&packed, &baseline] {
+                let _ = radix_sort_u64(ctx, &keys);
+                let _ = radix_sort_pairs(ctx, &narrow);
+                let _ = radix_sort_pairs(ctx, &mid);
+                let _ = radix_sort_pairs(ctx, &wide);
+                let _ = counting_sort_by_key(ctx, small.len(), 256, |i| small[i]);
+            }
+            assert_eq!(
+                packed.stats(),
+                baseline.stats(),
+                "engines diverged in {mode:?} mode"
+            );
+        }
+    }
+
+    /// After a warm-up call, the packed engine's sorts stop allocating:
+    /// every buffer checkout is served from the workspace pool.
+    #[test]
+    fn packed_engine_reuses_workspace_buffers() {
+        let keys: Vec<u64> = (0..50_000u64).rev().collect();
+        let ctx = Ctx::parallel();
+        let _ = radix_sort_u64(&ctx, &keys); // warm up the pools
+        let before = ctx.workspace().stats();
+        for _ in 0..5 {
+            let _ = radix_sort_u64(&ctx, &keys);
+        }
+        let after = ctx.workspace().stats();
+        assert!(after.checkouts > before.checkouts);
+        assert_eq!(
+            after.misses, before.misses,
+            "warm sorts must not allocate fresh buffers"
+        );
     }
 
     proptest! {
         #[test]
         fn matches_stable_std_sort(keys in proptest::collection::vec(0u64..10_000, 0..3000)) {
-            let ctx = Ctx::parallel().with_grain(64);
-            let order = radix_sort_u64(&ctx, &keys);
-            check_is_stable_sort(&keys, &order);
+            for engine in [SortEngine::Packed, SortEngine::Permutation] {
+                let ctx = Ctx::parallel().with_grain(64).with_sort_engine(engine);
+                let order = radix_sort_u64(&ctx, &keys);
+                check_is_stable_sort(&keys, &order);
+                // Oracle: indices sorted stably by key.
+                let mut expected: Vec<u32> = (0..keys.len() as u32).collect();
+                expected.sort_by_key(|&i| keys[i as usize]);
+                prop_assert_eq!(order, expected);
+            }
         }
 
         #[test]
-        fn pairs_match_std_sort(pairs in proptest::collection::vec((0u64..500, 0u64..500), 0..2000)) {
-            let ctx = Ctx::parallel().with_grain(64);
-            let order = radix_sort_pairs(&ctx, &pairs);
-            let sorted: Vec<(u64, u64)> = order.iter().map(|&i| pairs[i as usize]).collect();
+        fn engines_agree_on_pairs(pairs in proptest::collection::vec((0u64..500, 0u64..500), 0..2000)) {
+            let packed = Ctx::parallel().with_grain(64);
+            let baseline = Ctx::parallel().with_grain(64).with_sort_engine(SortEngine::Permutation);
+            let a = radix_sort_pairs(&packed, &pairs);
+            let b = radix_sort_pairs(&baseline, &pairs);
+            prop_assert_eq!(&a, &b, "engines must produce the identical permutation");
+            let sorted: Vec<(u64, u64)> = a.iter().map(|&i| pairs[i as usize]).collect();
             let mut expected = pairs.clone();
             expected.sort();
             prop_assert_eq!(sorted, expected);

@@ -107,8 +107,8 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
+    #[allow(clippy::needless_range_loop)]
     fn random_forest(n: usize, roots: usize, seed: u64) -> Vec<u32> {
         // Node i > 0 picks a parent among smaller indices; the first `roots`
         // nodes are roots.  Then apply a random relabelling so structure is
@@ -164,6 +164,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn deep_path() {
         let n = 30_000;
         let mut parent: Vec<u32> = (0..n as u32).collect();

@@ -34,10 +34,19 @@ pub mod scan;
 pub use compact::{compact_indices, compact_with};
 pub use euler::{EulerTour, RootedForest};
 pub use firstone::first_true;
-pub use intsort::{counting_sort_by_key, radix_sort_pairs, radix_sort_u64};
+pub use intsort::{
+    counting_sort_by_key, radix_sort_pairs, radix_sort_recs, radix_sort_recs_prebounded,
+    radix_sort_u64,
+};
 pub use jump::{distance_to_root, find_roots};
 pub use listrank::{list_rank, list_rank_wyllie, ListRankMethod};
 pub use merge::{merge_sorted, parallel_merge_sort};
-pub use rank::{dense_ranks, dense_ranks_by_sort};
+pub use rank::{
+    dense_ranks, dense_ranks_by_sort, dense_ranks_by_sort_into, dense_ranks_of_pairs,
+    dense_ranks_of_pairs_into,
+};
 pub use reduce::{max_index, min_index, min_value, sum_u64};
-pub use scan::{exclusive_scan, inclusive_scan, scan_generic};
+pub use scan::{
+    exclusive_scan, exclusive_scan_into, inclusive_scan, inclusive_scan_into, scan_generic,
+    scan_generic_into,
+};

@@ -44,6 +44,9 @@ pub fn list_rank(ctx: &Ctx, next: &[u32], method: ListRankMethod) -> Vec<u32> {
 }
 
 /// Wyllie's pointer-jumping list ranking.
+///
+/// The per-round successor/rank arrays are workspace-backed and ping-ponged,
+/// so the `O(log n)` rounds allocate O(1) buffers per run.
 #[must_use]
 pub fn list_rank_wyllie(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
     let n = next.len();
@@ -55,13 +58,22 @@ pub fn list_rank_wyllie(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
     }
     let mut succ: Vec<u32> = next.to_vec();
     let mut rank: Vec<u32> = ctx.par_map_idx(n, |i| u32::from(next[i] as usize != i));
+    let ws = ctx.workspace();
+    let mut next_rank = ws.take_u32(n);
+    let mut next_succ = ws.take_u32(n);
     let rounds = sfcp_pram::ceil_log2(n) + 1;
     for _ in 0..rounds {
         // Synchronous step: read the old arrays, write fresh ones.
-        let new_rank: Vec<u32> = ctx.par_map_idx(n, |i| rank[i] + rank[succ[i] as usize]);
-        let new_succ: Vec<u32> = ctx.par_map_idx(n, |i| succ[succ[i] as usize]);
-        rank = new_rank;
-        succ = new_succ;
+        {
+            let rank_ref = &rank;
+            let succ_ref = &succ;
+            ctx.par_update(&mut next_rank, |i, r| {
+                *r = rank_ref[i] + rank_ref[succ_ref[i] as usize];
+            });
+            ctx.par_update(&mut next_succ, |i, s| *s = succ_ref[succ_ref[i] as usize]);
+        }
+        std::mem::swap(&mut rank, &mut *next_rank);
+        std::mem::swap(&mut succ, &mut *next_succ);
     }
     rank
 }
@@ -99,7 +111,7 @@ pub fn list_rank_ruling_set(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
     // Deterministic pseudo-random sampling: element i is a ruler iff its hash
     // falls in a 1/k slice, or it is a head, or it is a terminal.
     let is_ruler: Vec<bool> = ctx.par_map_idx(n, |i| {
-        !has_pred[i] || next[i] as usize == i || (hash_u64(i as u64) as usize % k) == 0
+        !has_pred[i] || next[i] as usize == i || (hash_u64(i as u64) as usize).is_multiple_of(k)
     });
 
     // Walk from every ruler to the next ruler, recording for every element on
@@ -107,7 +119,9 @@ pub fn list_rank_ruling_set(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
     // ruler the identity of the next ruler plus the segment length.
     let ruler_ids: Vec<u32> = crate::compact::compact_indices(ctx, n, |i| is_ruler[i]);
     let m = ruler_ids.len();
-    let mut ruler_index = vec![u32::MAX; n];
+    let ws = ctx.workspace();
+    let mut ruler_index = ws.take_u32(n);
+    ruler_index.fill(u32::MAX);
     for (j, &r) in ruler_ids.iter().enumerate() {
         ruler_index[r as usize] = j as u32;
     }
@@ -118,8 +132,10 @@ pub fn list_rank_ruling_set(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
     // interior node record (a) its hop distance to the segment end and
     // (b) which ruler that end is.  Writes are disjoint because each interior
     // node lies in exactly one segment.
-    let mut local_dist = vec![0u32; n];
-    let mut end_ruler = vec![u32::MAX; n];
+    let mut local_dist = ws.take_u32(n);
+    local_dist.fill(0);
+    let mut end_ruler = ws.take_u32(n);
+    end_ruler.fill(u32::MAX);
     let dist_ptr = SendPtr(local_dist.as_mut_ptr());
     let end_ptr = SendPtr(end_ruler.as_mut_ptr());
     let seg_results: Vec<(u32, u32)> = ctx.par_map_idx(m, |j| {
@@ -154,17 +170,32 @@ pub fn list_rank_ruling_set(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
 
     // Contracted list over rulers; rank it with weighted Wyllie
     // (m ≈ n / k elements, weight of ruler j = its segment length in hops).
+    // The round-local arrays ping-pong through the workspace.
     let contracted_rank_in_hops = {
         let mut succ: Vec<u32> = seg_results.iter().map(|&(nr, _)| nr).collect();
         let mut rank: Vec<u64> = (0..m)
-            .map(|j| if succ[j] as usize == j { 0 } else { u64::from(seg_results[j].1) })
+            .map(|j| {
+                if succ[j] as usize == j {
+                    0
+                } else {
+                    u64::from(seg_results[j].1)
+                }
+            })
             .collect();
+        let mut next_rank = ws.take_u64(m);
+        let mut next_succ = ws.take_u32(m);
         let rounds = sfcp_pram::ceil_log2(m.max(2)) + 1;
         for _ in 0..rounds {
-            let new_rank: Vec<u64> = ctx.par_map_idx(m, |j| rank[j] + rank[succ[j] as usize]);
-            let new_succ: Vec<u32> = ctx.par_map_idx(m, |j| succ[succ[j] as usize]);
-            rank = new_rank;
-            succ = new_succ;
+            {
+                let rank_ref = &rank;
+                let succ_ref = &succ;
+                ctx.par_update(&mut next_rank, |j, r| {
+                    *r = rank_ref[j] + rank_ref[succ_ref[j] as usize];
+                });
+                ctx.par_update(&mut next_succ, |j, s| *s = succ_ref[succ_ref[j] as usize]);
+            }
+            std::mem::swap(&mut rank, &mut *next_rank);
+            std::mem::swap(&mut succ, &mut *next_succ);
         }
         rank
     };
@@ -196,6 +227,7 @@ mod tests {
     use sfcp_pram::Mode;
 
     /// Reference ranking by walking each list.
+    #[allow(clippy::needless_range_loop)]
     fn reference_ranks(next: &[u32]) -> Vec<u32> {
         let n = next.len();
         let mut rank = vec![0u32; n];
@@ -263,7 +295,11 @@ mod tests {
         for mode in [Mode::Sequential, Mode::Parallel] {
             let ctx = Ctx::new(mode);
             assert_eq!(list_rank_wyllie(&ctx, &next), expected, "wyllie {mode:?}");
-            assert_eq!(list_rank_ruling_set(&ctx, &next), expected, "ruling set {mode:?}");
+            assert_eq!(
+                list_rank_ruling_set(&ctx, &next),
+                expected,
+                "ruling set {mode:?}"
+            );
         }
     }
 

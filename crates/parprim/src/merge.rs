@@ -69,7 +69,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
     use sfcp_pram::Mode;
 
     #[test]

@@ -12,11 +12,29 @@
 //! * [`dense_ranks`] — order-arbitrary renaming by first occurrence, `O(n)`
 //!   expected work with a hash map (the practical stand-in for the arbitrary
 //!   CRCW `BB` table).
+//!
+//! With the default [`SortEngine::Packed`] engine the whole pipeline is
+//! fused and allocation-free: the keys are packed into `(key, index)`
+//! records, radix-sorted by streaming passes, and then a **single blocked
+//! pass** over the sorted records detects group boundaries, prefix-sums the
+//! per-block boundary counts, and scatters the ranks — replacing the
+//! baseline's three separate passes (boundary map, scan, scatter) and their
+//! three intermediate full-length vectors.  The fused pass charges exactly
+//! what the unfused pipeline charges (see `DESIGN.md`, "Charge discipline"),
+//! so work/depth tables are engine-independent; the invariant is
+//! regression-tested below.
+//!
+//! The `_into` variants write the ranks into a caller-provided buffer so
+//! that doubling loops can reuse one rank buffer across all `O(log n)`
+//! rounds.
 
-use crate::intsort::radix_sort_u64;
-use crate::scan::inclusive_scan;
+use crate::intsort::{
+    idx_bits_for, radix_sort_recs_prebounded, radix_sort_u64, radix_sort_words, sig_bits,
+};
+use crate::scan::{charge_scan_cost, inclusive_scan, SCAN_BLOCK};
+use rayon::prelude::*;
 use sfcp_pram::fxhash::FxHashMap;
-use sfcp_pram::Ctx;
+use sfcp_pram::{Ctx, Rec, SortEngine};
 
 /// Order-preserving dense ranks of `keys`: returns `(ranks, distinct)`, where
 /// `ranks[i] < distinct`, `ranks[i] == ranks[j]` iff `keys[i] == keys[j]`, and
@@ -25,10 +43,69 @@ use sfcp_pram::Ctx;
 /// Work: that of a radix sort plus `O(n)`; depth `O(log n)`.
 #[must_use]
 pub fn dense_ranks_by_sort(ctx: &Ctx, keys: &[u64]) -> (Vec<u32>, usize) {
+    let mut ranks = Vec::new();
+    let distinct = dense_ranks_by_sort_into(ctx, keys, &mut ranks);
+    (ranks, distinct)
+}
+
+/// [`dense_ranks_by_sort`] writing the ranks into a reusable buffer;
+/// returns the number of distinct keys.
+pub fn dense_ranks_by_sort_into(ctx: &Ctx, keys: &[u64], ranks: &mut Vec<u32>) -> usize {
     let n = keys.len();
     if n == 0 {
-        return (Vec::new(), 0);
+        ranks.clear();
+        return 0;
     }
+    match ctx.sort_engine() {
+        SortEngine::Packed => {
+            if n == 1 {
+                // Mirror the baseline's charges for the trivial case (its
+                // radix sort returns before the max scan).
+                ctx.charge_step(1); // identity-order setup
+                ranks.resize(1, 0);
+                ranks[0] = 0;
+                ctx.charge_step(1); // boundary flags
+                charge_scan_cost(ctx, 1);
+                ctx.charge_step(1); // rank scatter
+                return 1;
+            }
+            let max_key = *keys.iter().max().unwrap();
+            ctx.charge_step(n as u64); // max scan, charged as in the baseline
+            let key_bits = sig_bits(max_key);
+            let idx_bits = idx_bits_for(n);
+            let ws = ctx.workspace();
+            ranks.resize(n, 0);
+            if key_bits + idx_bits <= 64 {
+                let mut words = ws.take_u64(n);
+                let mut scratch = ws.take_u64(n);
+                // Charged like the baseline's identity-order setup inside
+                // the permutation radix sort.
+                ctx.par_update(&mut words, |i, w| *w = (keys[i] << idx_bits) | i as u64);
+                radix_sort_words(ctx, &mut words, &mut scratch, key_bits, idx_bits);
+                let mask = (1u64 << idx_bits) - 1;
+                fused_rank_finish(
+                    ctx,
+                    &words,
+                    |&w| w >> idx_bits,
+                    |&w| (w & mask) as u32,
+                    ranks,
+                )
+            } else {
+                let mut recs = ws.take_recs(n);
+                let mut scratch = ws.take_recs(n);
+                ctx.par_update(&mut recs, |i, r| *r = Rec::new(keys[i], i as u32));
+                radix_sort_recs_prebounded(ctx, &mut recs, &mut scratch, key_bits);
+                fused_rank_finish(ctx, &recs, |r: &Rec| r.key, |r: &Rec| r.pay, ranks)
+            }
+        }
+        SortEngine::Permutation => dense_ranks_unfused(ctx, keys, ranks),
+    }
+}
+
+/// The baseline pipeline: permutation sort, boundary map, scan, scatter —
+/// three extra full passes with three intermediate vectors.
+fn dense_ranks_unfused(ctx: &Ctx, keys: &[u64], ranks: &mut Vec<u32>) -> usize {
+    let n = keys.len();
     let order = radix_sort_u64(ctx, keys);
     // boundary[i] = 1 if the i-th element in sorted order starts a new group.
     let boundary: Vec<u64> = ctx.par_map_idx(n, |i| {
@@ -40,7 +117,7 @@ pub fn dense_ranks_by_sort(ctx: &Ctx, keys: &[u64]) -> (Vec<u32>, usize) {
     });
     let group = inclusive_scan(ctx, &boundary);
     let distinct = (*group.last().unwrap() + 1) as usize;
-    let mut ranks = vec![0u32; n];
+    ranks.resize(n, 0);
     let ranks_ptr = SendPtr(ranks.as_mut_ptr());
     ctx.par_for_idx(n, |i| {
         let ptr = ranks_ptr;
@@ -49,7 +126,97 @@ pub fn dense_ranks_by_sort(ctx: &Ctx, keys: &[u64]) -> (Vec<u32>, usize) {
             *ptr.0.add(order[i] as usize) = group[i] as u32;
         }
     });
-    (ranks, distinct)
+    distinct
+}
+
+/// The fused finish: one blocked pass over the *sorted* items detects
+/// boundaries, ranks every item, and scatters `ranks[payload] = rank`.
+/// `key`/`pay` project the sort key and embedded payload out of an item
+/// (a packed `u64` word or a wide [`Rec`]).  Returns the number of distinct
+/// keys.
+///
+/// Model cost (charged up front): exactly the unfused boundary map + scan +
+/// scatter, so both engines stay charge-identical.
+fn fused_rank_finish<T, K, P>(ctx: &Ctx, items: &[T], key: K, pay: P, ranks: &mut [u32]) -> usize
+where
+    T: Sync,
+    K: Fn(&T) -> u64 + Sync + Send,
+    P: Fn(&T) -> u32 + Sync + Send,
+{
+    let n = items.len();
+    debug_assert_eq!(ranks.len(), n);
+    ctx.charge_step(n as u64); // boundary flags (unfused par_map_idx)
+    charge_scan_cost(ctx, n); // group ids (unfused inclusive_scan)
+    ctx.charge_step(n as u64); // rank scatter (unfused par_for_idx)
+
+    if !ctx.is_parallel() || n <= SCAN_BLOCK {
+        // Single sequential sweep.
+        let mut group = 0u32;
+        let mut prev = key(&items[0]);
+        ranks[pay(&items[0]) as usize] = 0;
+        for r in &items[1..] {
+            let k = key(r);
+            if k != prev {
+                group += 1;
+                prev = k;
+            }
+            ranks[pay(r) as usize] = group;
+        }
+        return group as usize + 1;
+    }
+
+    // Blocked: per-block boundary counts, a tiny sequential prefix scan over
+    // the blocks, then a per-block rank-and-scatter sweep.
+    let num_blocks = n.div_ceil(SCAN_BLOCK);
+    let ws = ctx.workspace();
+    let mut block_bounds = ws.take_u32(num_blocks);
+    {
+        let counts_ptr = SendPtr(block_bounds.as_mut_ptr());
+        let key = &key;
+        (0..num_blocks).into_par_iter().for_each(|b| {
+            let cp = counts_ptr;
+            let start = b * SCAN_BLOCK;
+            let end = (start + SCAN_BLOCK).min(n);
+            let mut count = 0u32;
+            for i in start.max(1)..end {
+                count += u32::from(key(&items[i]) != key(&items[i - 1]));
+            }
+            // Safety: one write per block index.
+            unsafe {
+                *cp.0.add(b) = count;
+            }
+        });
+    }
+    // Exclusive prefix over the per-block boundary counts.
+    let mut running = 0u32;
+    for b in 0..num_blocks {
+        let c = block_bounds[b];
+        block_bounds[b] = running;
+        running += c;
+    }
+    let distinct = running as usize + 1;
+    {
+        let ranks_ptr = SendPtr(ranks.as_mut_ptr());
+        let base = &block_bounds;
+        let key = &key;
+        let pay = &pay;
+        (0..num_blocks).into_par_iter().for_each(|b| {
+            let start = b * SCAN_BLOCK;
+            let end = (start + SCAN_BLOCK).min(n);
+            let mut group = base[b];
+            let ptr = ranks_ptr;
+            for i in start..end {
+                if i > 0 && key(&items[i]) != key(&items[i - 1]) {
+                    group += 1;
+                }
+                // Safety: payloads form a permutation — one write per slot.
+                unsafe {
+                    *ptr.0.add(pay(&items[i]) as usize) = group;
+                }
+            }
+        });
+    }
+    distinct
 }
 
 /// Order-preserving dense ranks of pairs, ranked lexicographically.
@@ -58,9 +225,18 @@ pub fn dense_ranks_by_sort(ctx: &Ctx, keys: &[u64]) -> (Vec<u32>, usize) {
 /// do), otherwise falls back to a sort of the raw pairs.
 #[must_use]
 pub fn dense_ranks_of_pairs(ctx: &Ctx, pairs: &[(u64, u64)]) -> (Vec<u32>, usize) {
+    let mut ranks = Vec::new();
+    let distinct = dense_ranks_of_pairs_into(ctx, pairs, &mut ranks);
+    (ranks, distinct)
+}
+
+/// [`dense_ranks_of_pairs`] writing the ranks into a reusable buffer;
+/// returns the number of distinct pairs.
+pub fn dense_ranks_of_pairs_into(ctx: &Ctx, pairs: &[(u64, u64)], ranks: &mut Vec<u32>) -> usize {
     let n = pairs.len();
     if n == 0 {
-        return (Vec::new(), 0);
+        ranks.clear();
+        return 0;
     }
     let max_a = pairs.iter().map(|p| p.0).max().unwrap();
     let max_b = pairs.iter().map(|p| p.1).max().unwrap();
@@ -71,13 +247,57 @@ pub fn dense_ranks_of_pairs(ctx: &Ctx, pairs: &[(u64, u64)]) -> (Vec<u32>, usize
     let b_bits = (64 - max_b.leading_zeros()).max(1);
     let a_bits = (64 - max_a.leading_zeros()).max(1);
     if a_bits + b_bits <= 64 {
-        let packed: Vec<u64> = ctx.par_map_slice(pairs, |&(a, b)| (a << b_bits) | b);
-        dense_ranks_by_sort(ctx, &packed)
+        match ctx.sort_engine() {
+            SortEngine::Packed => {
+                let ws = ctx.workspace();
+                let key_bits = a_bits + b_bits;
+                let idx_bits = idx_bits_for(n);
+                ranks.resize(n, 0);
+                // The packing pass is charged like the baseline's key-packing
+                // map; the extra charge_step(n) mirrors the baseline's
+                // identity-order setup, and (for n > 1) the second one its
+                // max scan — the key width is already known here.
+                ctx.charge_step(n as u64);
+                if n > 1 {
+                    ctx.charge_step(n as u64);
+                }
+                if key_bits + idx_bits <= 64 {
+                    let mut words = ws.take_u64(n);
+                    let mut scratch = ws.take_u64(n);
+                    ctx.par_update(&mut words, |i, w| {
+                        let (a, b) = pairs[i];
+                        *w = (((a << b_bits) | b) << idx_bits) | i as u64;
+                    });
+                    radix_sort_words(ctx, &mut words, &mut scratch, key_bits, idx_bits);
+                    let mask = (1u64 << idx_bits) - 1;
+                    fused_rank_finish(
+                        ctx,
+                        &words,
+                        |&w| w >> idx_bits,
+                        |&w| (w & mask) as u32,
+                        ranks,
+                    )
+                } else {
+                    let mut recs = ws.take_recs(n);
+                    let mut scratch = ws.take_recs(n);
+                    ctx.par_update(&mut recs, |i, r| {
+                        let (a, b) = pairs[i];
+                        *r = Rec::new((a << b_bits) | b, i as u32);
+                    });
+                    radix_sort_recs_prebounded(ctx, &mut recs, &mut scratch, key_bits);
+                    fused_rank_finish(ctx, &recs, |r: &Rec| r.key, |r: &Rec| r.pay, ranks)
+                }
+            }
+            SortEngine::Permutation => {
+                let packed: Vec<u64> = ctx.par_map_slice(pairs, |&(a, b)| (a << b_bits) | b);
+                dense_ranks_unfused(ctx, &packed, ranks)
+            }
+        }
     } else {
         // Rare path: rank via a full comparison sort of the pairs.
         let mut idx: Vec<u32> = (0..n as u32).collect();
         ctx.par_sort_unstable_by_key(&mut idx, |&i| pairs[i as usize]);
-        let mut ranks = vec![0u32; n];
+        ranks.resize(n, 0);
         let mut distinct = 0u32;
         for (j, &i) in idx.iter().enumerate() {
             if j > 0 && pairs[idx[j - 1] as usize] != pairs[i as usize] {
@@ -86,7 +306,7 @@ pub fn dense_ranks_of_pairs(ctx: &Ctx, pairs: &[(u64, u64)]) -> (Vec<u32>, usize
             ranks[i as usize] = distinct;
         }
         ctx.charge_step(n as u64);
-        (ranks, distinct as usize + 1)
+        distinct as usize + 1
     }
 }
 
@@ -116,6 +336,8 @@ unsafe impl<T> Sync for SendPtr<T> {}
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use rand::prelude::*;
+    use sfcp_pram::Mode;
 
     fn check_consistent(keys: &[u64], ranks: &[u32], distinct: usize, ordered: bool) {
         assert_eq!(keys.len(), ranks.len());
@@ -125,7 +347,11 @@ mod tests {
         }
         for i in 0..keys.len() {
             for j in 0..keys.len() {
-                assert_eq!(keys[i] == keys[j], ranks[i] == ranks[j], "equality preserved");
+                assert_eq!(
+                    keys[i] == keys[j],
+                    ranks[i] == ranks[j],
+                    "equality preserved"
+                );
                 if ordered {
                     assert_eq!(keys[i] < keys[j], ranks[i] < ranks[j], "order preserved");
                 }
@@ -135,12 +361,14 @@ mod tests {
 
     #[test]
     fn by_sort_small() {
-        let ctx = Ctx::parallel();
-        let keys = [30u64, 10, 20, 10, 30, 30];
-        let (ranks, distinct) = dense_ranks_by_sort(&ctx, &keys);
-        assert_eq!(distinct, 3);
-        assert_eq!(ranks, vec![2, 0, 1, 0, 2, 2]);
-        check_consistent(&keys, &ranks, distinct, true);
+        for engine in [SortEngine::Packed, SortEngine::Permutation] {
+            let ctx = Ctx::parallel().with_sort_engine(engine);
+            let keys = [30u64, 10, 20, 10, 30, 30];
+            let (ranks, distinct) = dense_ranks_by_sort(&ctx, &keys);
+            assert_eq!(distinct, 3);
+            assert_eq!(ranks, vec![2, 0, 1, 0, 2, 2]);
+            check_consistent(&keys, &ranks, distinct, true);
+        }
     }
 
     #[test]
@@ -160,7 +388,16 @@ mod tests {
         let ctx = Ctx::parallel();
         let bl = 0u64; // blank
         let pairs: Vec<(u64, u64)> = vec![
-            (2, 4), (3, 4), (5, 4), (2, 3), (4, 5), (3, bl), (2, 2), (2, 4), (3, 3), (4, 3),
+            (2, 4),
+            (3, 4),
+            (5, 4),
+            (2, 3),
+            (4, 5),
+            (3, bl),
+            (2, 2),
+            (2, 4),
+            (3, 3),
+            (4, 3),
         ];
         let (ranks, distinct) = dense_ranks_of_pairs(&ctx, &pairs);
         assert_eq!(distinct, 9);
@@ -176,7 +413,10 @@ mod tests {
         assert_eq!(ranks[5], 3); // (2,#) — the padded pair sorts before (2,2)
         assert_eq!(ranks[2], 8); // (4,3) is the largest
         check_consistent(
-            &pairs.iter().map(|&(a, b)| (a << 32) | b).collect::<Vec<_>>(),
+            &pairs
+                .iter()
+                .map(|&(a, b)| (a << 32) | b)
+                .collect::<Vec<_>>(),
             &ranks,
             distinct,
             true,
@@ -196,19 +436,108 @@ mod tests {
         assert_eq!(ranks[3], 2);
     }
 
+    /// The fused finish must agree with the unfused pipeline — including at
+    /// block boundaries — and charge byte-identical work/depth.
+    #[test]
+    fn engines_agree_and_charge_identically() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for n in [
+            1usize,
+            2,
+            SCAN_BLOCK - 1,
+            SCAN_BLOCK,
+            SCAN_BLOCK + 1,
+            40_000,
+        ] {
+            let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1 + n as u64 / 2)).collect();
+            for mode in [Mode::Sequential, Mode::Parallel] {
+                let packed = Ctx::new(mode);
+                let baseline = Ctx::new(mode).with_sort_engine(SortEngine::Permutation);
+                let (ra, da) = dense_ranks_by_sort(&packed, &keys);
+                let (rb, db) = dense_ranks_by_sort(&baseline, &keys);
+                assert_eq!(ra, rb, "rank mismatch at n={n}, mode={mode:?}");
+                assert_eq!(da, db);
+                assert_eq!(
+                    packed.stats(),
+                    baseline.stats(),
+                    "charge mismatch at n={n}, mode={mode:?}"
+                );
+            }
+        }
+    }
+
+    /// Same engine-parity invariant for the pair path (packed and wide).
+    #[test]
+    fn pair_engines_agree_and_charge_identically() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let narrow: Vec<(u64, u64)> = (0..20_000)
+            .map(|_| (rng.gen_range(0..500), rng.gen_range(0..500)))
+            .collect();
+        // 30+30-bit keys: packed key fits in 64 bits, key + index does not —
+        // the middle (wide-record) branch of the packed pair path.
+        let mid: Vec<(u64, u64)> = (0..20_000)
+            .map(|_| {
+                (
+                    rng.gen_range(1 << 29..1u64 << 30),
+                    rng.gen_range(1 << 29..1u64 << 30),
+                )
+            })
+            .collect();
+        let wide: Vec<(u64, u64)> = (0..5_000)
+            .map(|_| {
+                (
+                    rng.gen_range(0..u64::MAX / 2),
+                    rng.gen_range(0..u64::MAX / 2),
+                )
+            })
+            .collect();
+        for pairs in [&narrow, &mid, &wide] {
+            for mode in [Mode::Sequential, Mode::Parallel] {
+                let packed = Ctx::new(mode);
+                let baseline = Ctx::new(mode).with_sort_engine(SortEngine::Permutation);
+                let (ra, da) = dense_ranks_of_pairs(&packed, pairs);
+                let (rb, db) = dense_ranks_of_pairs(&baseline, pairs);
+                assert_eq!(ra, rb);
+                assert_eq!(da, db);
+                assert_eq!(packed.stats(), baseline.stats(), "mode={mode:?}");
+            }
+        }
+    }
+
+    /// The `_into` variants stop allocating once the workspace is warm.
+    #[test]
+    fn into_variant_reuses_buffers_across_rounds() {
+        let keys: Vec<u64> = (0..30_000u64).map(|i| i % 977).collect();
+        let ctx = Ctx::parallel();
+        let mut ranks = Vec::new();
+        let _ = dense_ranks_by_sort_into(&ctx, &keys, &mut ranks); // warm-up
+        let before = ctx.workspace().stats();
+        for _ in 0..8 {
+            let distinct = dense_ranks_by_sort_into(&ctx, &keys, &mut ranks);
+            assert_eq!(distinct, 977);
+        }
+        let after = ctx.workspace().stats();
+        assert_eq!(
+            after.misses, before.misses,
+            "warm dense-rank rounds must not allocate fresh buffers"
+        );
+    }
+
     proptest! {
         #[test]
         fn sort_ranks_match_reference(keys in proptest::collection::vec(0u64..200, 0..1500)) {
-            let ctx = Ctx::parallel().with_grain(64);
-            let (ranks, distinct) = dense_ranks_by_sort(&ctx, &keys);
-            // Reference: rank = number of distinct smaller keys.
-            let mut uniq: Vec<u64> = keys.clone();
-            uniq.sort_unstable();
-            uniq.dedup();
-            prop_assert_eq!(distinct, uniq.len());
-            for (i, &k) in keys.iter().enumerate() {
-                let expected = uniq.binary_search(&k).unwrap() as u32;
-                prop_assert_eq!(ranks[i], expected);
+            for engine in [SortEngine::Packed, SortEngine::Permutation] {
+                let ctx = Ctx::parallel().with_grain(64).with_sort_engine(engine);
+                let (ranks, distinct) = dense_ranks_by_sort(&ctx, &keys);
+                // Reference: rank = number of distinct smaller keys.
+                let mut uniq: Vec<u64> = keys.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                prop_assert_eq!(distinct, uniq.len());
+                for (i, &k) in keys.iter().enumerate() {
+                    let expected = uniq.binary_search(&k).unwrap() as u32;
+                    prop_assert_eq!(ranks[i], expected);
+                }
             }
         }
 

@@ -9,8 +9,10 @@
 
 use sfcp_pram::Ctx;
 
-/// Block size used by the parallel two-pass scan.
-const SCAN_BLOCK: usize = 4096;
+/// Block size used by the parallel two-pass scan (public so that fused
+/// passes elsewhere — e.g. the dense-rank finish — can mirror the same block
+/// decomposition and charge profile).
+pub const SCAN_BLOCK: usize = 4096;
 
 /// Inclusive prefix sums of `values` (`out[i] = values[0] + … + values[i]`).
 #[must_use]
@@ -18,13 +20,46 @@ pub fn inclusive_scan(ctx: &Ctx, values: &[u64]) -> Vec<u64> {
     scan_generic(ctx, values, 0u64, |a, b| a + b, true)
 }
 
+/// [`inclusive_scan`] writing into a reusable output buffer.
+pub fn inclusive_scan_into(ctx: &Ctx, values: &[u64], out: &mut Vec<u64>) {
+    scan_generic_into(ctx, values, 0u64, |a, b| a + b, true, out);
+}
+
 /// Exclusive prefix sums of `values` (`out[i] = values[0] + … + values[i-1]`,
 /// `out[0] = 0`).  Returns the scanned vector and the total sum.
 #[must_use]
 pub fn exclusive_scan(ctx: &Ctx, values: &[u64]) -> (Vec<u64>, u64) {
-    let total: u64 = values.iter().sum();
-    let out = scan_generic(ctx, values, 0u64, |a, b| a + b, false);
+    let mut out = Vec::new();
+    let total = exclusive_scan_into(ctx, values, &mut out);
     (out, total)
+}
+
+/// [`exclusive_scan`] writing into a reusable output buffer; returns the
+/// total sum.
+pub fn exclusive_scan_into(ctx: &Ctx, values: &[u64], out: &mut Vec<u64>) -> u64 {
+    let total: u64 = values.iter().sum();
+    scan_generic_into(ctx, values, 0u64, |a, b| a + b, false, out);
+    total
+}
+
+/// Charge (without executing) exactly what a length-`n` scan charges.  Fused
+/// passes that replace a scan with structurally different code use this so
+/// that the tracker's work/depth stay byte-identical to the unfused
+/// pipeline; the equivalence is regression-tested against [`inclusive_scan`].
+pub fn charge_scan_cost(ctx: &Ctx, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let num_blocks = n.div_ceil(SCAN_BLOCK).max(1);
+    ctx.charge_rounds(sfcp_pram::ceil_log2(num_blocks) as u64);
+    if !ctx.is_parallel() || n <= SCAN_BLOCK {
+        ctx.charge_step(n as u64);
+    } else {
+        ctx.charge_work(2 * n as u64); // the two per-element passes
+        ctx.charge_step(num_blocks as u64); // block totals (par_map_idx)
+        ctx.charge_work(num_blocks as u64); // sequential block-offset scan
+        ctx.charge_step(num_blocks as u64); // block sweep (par_for_idx)
+    }
 }
 
 /// Generic blocked scan with an associative operation `op` and identity
@@ -39,17 +74,37 @@ where
     T: Copy + Send + Sync,
     F: Fn(T, T) -> T + Sync + Send,
 {
+    let mut out = Vec::new();
+    scan_generic_into(ctx, values, identity, op, inclusive, &mut out);
+    out
+}
+
+/// [`scan_generic`] writing into a reusable output buffer (cleared and
+/// refilled; the buffer's capacity is reused across calls).
+#[allow(clippy::needless_range_loop)] // index drives a raw-pointer write
+pub fn scan_generic_into<T, F>(
+    ctx: &Ctx,
+    values: &[T],
+    identity: T,
+    op: F,
+    inclusive: bool,
+    out: &mut Vec<T>,
+) where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync + Send,
+{
     let n = values.len();
+    out.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     // Depth of the implicit block-sum combine tree.
     ctx.charge_rounds(sfcp_pram::ceil_log2(n.div_ceil(SCAN_BLOCK).max(1)) as u64);
 
     if !ctx.is_parallel() || n <= SCAN_BLOCK {
-        // Straight sequential scan (still charges n work via par_map below).
+        // Straight sequential scan (still charges n work via the step).
         ctx.charge_step(n as u64);
-        let mut out = Vec::with_capacity(n);
+        out.reserve(n);
         let mut acc = identity;
         for &v in values {
             if inclusive {
@@ -60,7 +115,7 @@ where
                 acc = op(acc, v);
             }
         }
-        return out;
+        return;
     }
 
     // Pass 1: per-block totals.  The two passes touch every element once each.
@@ -86,7 +141,7 @@ where
     ctx.charge_work(num_blocks as u64);
 
     // Pass 2: per-block sweep with the block offset.
-    let mut out: Vec<T> = Vec::with_capacity(n);
+    out.reserve(n);
     // Safety: fully overwritten below before reading.
     #[allow(clippy::uninit_vec)]
     unsafe {
@@ -111,7 +166,6 @@ where
             }
         }
     });
-    out
 }
 
 /// A raw pointer wrapper that asserts cross-thread transferability.  Every
@@ -227,6 +281,51 @@ mod tests {
         }
     }
 
+    /// `charge_scan_cost` must mirror the real scan's charges exactly: the
+    /// fused dense-rank finish depends on this to stay charge-identical to
+    /// the unfused pipeline.
+    #[test]
+    fn charge_scan_cost_matches_real_scan() {
+        for mode in [Mode::Sequential, Mode::Parallel] {
+            for n in [
+                0usize,
+                1,
+                100,
+                SCAN_BLOCK,
+                SCAN_BLOCK + 1,
+                3 * SCAN_BLOCK + 17,
+                100_000,
+            ] {
+                let real = Ctx::new(mode);
+                let v: Vec<u64> = vec![1; n];
+                let _ = inclusive_scan(&real, &v);
+                let model = Ctx::new(mode);
+                charge_scan_cost(&model, n);
+                assert_eq!(
+                    real.stats(),
+                    model.stats(),
+                    "charge model diverged at n={n}, mode={mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let ctx = Ctx::parallel();
+        let v: Vec<u64> = (0..10_000).map(|i| i % 5).collect();
+        let mut out = Vec::new();
+        inclusive_scan_into(&ctx, &v, &mut out);
+        assert_eq!(out, reference_inclusive(&v));
+        let cap = out.capacity();
+        let w: Vec<u64> = (0..8_000).map(|i| i % 3).collect();
+        let total = exclusive_scan_into(&ctx, &w, &mut out);
+        assert_eq!(total, w.iter().sum::<u64>());
+        assert_eq!(out.capacity(), cap, "buffer capacity must be reused");
+        assert_eq!(out[0], 0);
+        assert_eq!(out[7999], w[..7999].iter().sum::<u64>());
+    }
+
     #[test]
     fn charges_linear_work() {
         let ctx = Ctx::parallel();
@@ -234,7 +333,11 @@ mod tests {
         let _ = inclusive_scan(&ctx, &v);
         let stats = ctx.stats();
         assert!(stats.work >= 100_000);
-        assert!(stats.work < 400_000, "scan should be linear work, got {}", stats.work);
+        assert!(
+            stats.work < 400_000,
+            "scan should be linear work, got {}",
+            stats.work
+        );
     }
 
     proptest! {

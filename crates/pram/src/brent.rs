@@ -98,7 +98,10 @@ mod tests {
         };
         assert!((predicted_time(stats, 1) - 1010.0).abs() < 1e-9);
         assert!((predicted_time(stats, 10) - 110.0).abs() < 1e-9);
-        assert!((predicted_time(stats, 0) - 1010.0).abs() < 1e-9, "p=0 behaves like p=1");
+        assert!(
+            (predicted_time(stats, 0) - 1010.0).abs() < 1e-9,
+            "p=0 behaves like p=1"
+        );
     }
 
     #[test]

@@ -175,11 +175,10 @@ impl<K: Eq + Hash> CrcwTable<K> {
 
     #[inline]
     fn shard_of(&self, key: &K) -> usize {
-        use std::hash::{BuildHasher, Hasher};
-        let mut h = self.hasher.build_hasher();
-        key.hash(&mut h);
+        use std::hash::BuildHasher;
+
         // Use the high bits: the low bits pick the bucket inside the shard.
-        (h.finish() >> 57) as usize & (SHARDS - 1)
+        (self.hasher.hash_one(key) >> 57) as usize & (SHARDS - 1)
     }
 
     /// Insert `value` for `key` if absent; return the stored value (the

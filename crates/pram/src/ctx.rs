@@ -10,6 +10,7 @@
 //! thread or sixteen; only the wall-clock time differs.
 
 use crate::tracker::{Stats, Tracker};
+use crate::workspace::Workspace;
 use rayon::prelude::*;
 
 /// How parallel loops are executed.
@@ -29,12 +30,34 @@ pub enum Mode {
 /// of the loop body for the fine-grained loops used by the algorithms.
 pub const DEFAULT_GRAIN: usize = 2048;
 
-/// Execution context shared by all algorithms: execution mode + cost tracker.
+/// Which integer-sort/rank engine `sfcp-parprim` routes through.
+///
+/// Both engines are **stable**, produce identical results, and charge
+/// identical work/depth (a regression-tested invariant), so the choice only
+/// affects wall-clock time and allocation behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortEngine {
+    /// Packed key–payload records physically moved between ping-pong
+    /// workspace buffers each counting pass (sequential streaming reads and
+    /// writes), with the dense-rank finish fused into one blocked pass.
+    #[default]
+    Packed,
+    /// The permutation-returning engine: every counting pass gathers
+    /// `keys[order[i]]` through the index permutation and the dense-rank
+    /// pipeline runs boundary/scan/scatter as three separate passes with
+    /// fresh intermediate vectors.  Kept as the measured baseline.
+    Permutation,
+}
+
+/// Execution context shared by all algorithms: execution mode + cost tracker
+/// + scratch-buffer workspace.
 #[derive(Debug)]
 pub struct Ctx {
     mode: Mode,
     tracker: Tracker,
     grain: usize,
+    engine: SortEngine,
+    workspace: Workspace,
 }
 
 impl Default for Ctx {
@@ -51,6 +74,8 @@ impl Ctx {
             mode,
             tracker: Tracker::new(),
             grain: DEFAULT_GRAIN,
+            engine: SortEngine::default(),
+            workspace: Workspace::new(),
         }
     }
 
@@ -74,6 +99,8 @@ impl Ctx {
             mode,
             tracker: Tracker::disabled(),
             grain: DEFAULT_GRAIN,
+            engine: SortEngine::default(),
+            workspace: Workspace::new(),
         }
     }
 
@@ -82,6 +109,28 @@ impl Ctx {
     pub fn with_grain(mut self, grain: usize) -> Self {
         self.grain = grain.max(1);
         self
+    }
+
+    /// Select the integer-sort/rank engine (default: [`SortEngine::Packed`]).
+    #[must_use]
+    pub fn with_sort_engine(mut self, engine: SortEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The selected integer-sort/rank engine.
+    #[inline]
+    #[must_use]
+    pub fn sort_engine(&self) -> SortEngine {
+        self.engine
+    }
+
+    /// The scratch-buffer workspace: checkout/return of reusable vectors so
+    /// that per-round allocations in doubling loops amortise to zero.
+    #[inline]
+    #[must_use]
+    pub fn workspace(&self) -> &Workspace {
+        &self.workspace
     }
 
     /// The execution mode.
@@ -96,6 +145,13 @@ impl Ctx {
     #[must_use]
     pub fn is_parallel(&self) -> bool {
         self.mode == Mode::Parallel
+    }
+
+    /// The task grain size (minimum items per rayon task).
+    #[inline]
+    #[must_use]
+    pub fn grain(&self) -> usize {
+        self.grain
     }
 
     /// The underlying cost tracker.
@@ -163,10 +219,7 @@ impl Ctx {
         self.charge_step(n as u64);
         match self.mode {
             Mode::Sequential => (0..n).for_each(f),
-            Mode::Parallel => (0..n)
-                .into_par_iter()
-                .with_min_len(self.grain)
-                .for_each(f),
+            Mode::Parallel => (0..n).into_par_iter().with_min_len(self.grain).for_each(f),
         }
     }
 
@@ -180,11 +233,7 @@ impl Ctx {
         self.charge_step(items.len() as u64);
         match self.mode {
             Mode::Sequential => items.iter().map(f).collect(),
-            Mode::Parallel => items
-                .par_iter()
-                .with_min_len(self.grain)
-                .map(f)
-                .collect(),
+            Mode::Parallel => items.par_iter().with_min_len(self.grain).map(f).collect(),
         }
     }
 

@@ -15,6 +15,11 @@
 //! * arbitrary-CRCW shared-memory cells ([`crcw::ArbitraryCell`]) and an
 //!   insert-if-absent table ([`crcw::CrcwTable`]) standing in for the paper's
 //!   `BB[1..n, 1..n]` auxiliary array;
+//! * a scratch-buffer [`Workspace`] on every [`Ctx`] — checkout/return pools
+//!   of reusable vectors so the `O(log n)`-round doubling loops allocate
+//!   O(1) buffers per run, plus the [`SortEngine`] selector that routes the
+//!   integer-sort/rank layer between the packed cache-aware engine and the
+//!   permutation baseline;
 //! * [`brent::predicted_time`], Brent's scheduling principle
 //!   (`time ≈ work / p + depth`), used by the benchmark harness to convert
 //!   (work, depth) pairs into the per-processor running times that the
@@ -38,11 +43,13 @@ pub mod crcw;
 pub mod ctx;
 pub mod fxhash;
 pub mod tracker;
+pub mod workspace;
 
 pub use brent::{predicted_time, BrentModel};
 pub use crcw::{ArbitraryCell, CommonCell, CrcwTable};
-pub use ctx::{Ctx, Mode};
+pub use ctx::{Ctx, Mode, SortEngine};
 pub use tracker::{Stats, Tracker};
+pub use workspace::{Rec, Scratch, Workspace, WorkspaceStats};
 
 /// Convenience: smallest power of two `>= x` (returns 1 for `x == 0`).
 ///

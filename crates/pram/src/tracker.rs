@@ -182,10 +182,22 @@ mod tests {
 
     #[test]
     fn stats_plus_and_work_per() {
-        let a = Stats { work: 10, rounds: 1 };
-        let b = Stats { work: 30, rounds: 4 };
+        let a = Stats {
+            work: 10,
+            rounds: 1,
+        };
+        let b = Stats {
+            work: 30,
+            rounds: 4,
+        };
         let c = a.plus(b);
-        assert_eq!(c, Stats { work: 40, rounds: 5 });
+        assert_eq!(
+            c,
+            Stats {
+                work: 40,
+                rounds: 5
+            }
+        );
         assert!((c.work_per(10) - 4.0).abs() < 1e-12);
         assert_eq!(Stats::ZERO.work_per(0), 0.0);
     }

@@ -1,0 +1,257 @@
+//! Scratch-buffer workspace: checkout/return pools of reusable vectors.
+//!
+//! Every doubling-style algorithm in this workspace runs `O(log n)` rounds,
+//! and each round used to allocate (and immediately drop) a handful of
+//! full-length vectors — pair lists, rank arrays, radix ping-pong buffers.
+//! The [`Workspace`] turns those into *checkouts* from per-type pools: a
+//! buffer is taken with [`Workspace::take_u32`] (etc.), used for the round,
+//! and automatically returned to the pool when its [`Scratch`] guard drops.
+//! A converged doubling loop therefore allocates O(1) buffers per *run*
+//! instead of O(1) per *round* (see DESIGN.md, "Workspace").
+//!
+//! Buffers keep their capacity in the pool, so a checkout at a size that has
+//! been seen before costs only a pop + `Vec::resize` truncation (no element
+//! writes).  Newly grown regions are zero-filled — contents of a checked-out
+//! buffer are unspecified (stale or zero), and callers must fully overwrite
+//! what they read.
+//!
+//! The pools sit behind mutexes, but checkouts happen at *round* granularity
+//! (a handful per parallel step), so contention is negligible.
+
+use parking_lot::Mutex;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A 16-byte key–payload record: the unit the packed radix sort physically
+/// moves between ping-pong buffers (`sfcp-parprim`'s cache-aware engine
+/// streams these instead of gathering keys through an index permutation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[repr(C)]
+pub struct Rec {
+    /// Sort key.
+    pub key: u64,
+    /// Payload carried alongside the key (callers usually store an index).
+    pub pay: u32,
+}
+
+impl Rec {
+    #[inline]
+    #[must_use]
+    pub fn new(key: u64, pay: u32) -> Self {
+        Rec { key, pay }
+    }
+}
+
+/// Allocation statistics, for asserting buffer reuse in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkspaceStats {
+    /// Total checkouts served.
+    pub checkouts: u64,
+    /// Checkouts that could not pop a pooled buffer (fresh `Vec`).
+    pub misses: u64,
+}
+
+/// Pools of reusable scratch vectors, one per element type.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    u32s: Mutex<Vec<Vec<u32>>>,
+    u64s: Mutex<Vec<Vec<u64>>>,
+    recs: Mutex<Vec<Vec<Rec>>>,
+    pairs: Mutex<Vec<Vec<(u64, u64)>>>,
+    checkouts: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Element types the workspace pools.
+pub trait Poolable: Copy + Default + Send + Sync + 'static {
+    fn pool(ws: &Workspace) -> &Mutex<Vec<Vec<Self>>>;
+}
+
+impl Poolable for u32 {
+    fn pool(ws: &Workspace) -> &Mutex<Vec<Vec<u32>>> {
+        &ws.u32s
+    }
+}
+
+impl Poolable for u64 {
+    fn pool(ws: &Workspace) -> &Mutex<Vec<Vec<u64>>> {
+        &ws.u64s
+    }
+}
+
+impl Poolable for Rec {
+    fn pool(ws: &Workspace) -> &Mutex<Vec<Vec<Rec>>> {
+        &ws.recs
+    }
+}
+
+impl Poolable for (u64, u64) {
+    fn pool(ws: &Workspace) -> &Mutex<Vec<Vec<(u64, u64)>>> {
+        &ws.pairs
+    }
+}
+
+impl Workspace {
+    /// A fresh workspace with empty pools.
+    #[must_use]
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Check out a buffer of exactly `len` elements.  Contents are
+    /// unspecified (stale pool data or zeros); the caller must fully
+    /// overwrite every element it reads.
+    #[must_use]
+    pub fn take<T: Poolable>(&self, len: usize) -> Scratch<'_, T> {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        let mut buf = match T::pool(self).lock().pop() {
+            Some(buf) => buf,
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        };
+        buf.resize(len, T::default());
+        Scratch { buf, ws: self }
+    }
+
+    /// Check out a `Vec<u32>` of length `len`.
+    #[must_use]
+    pub fn take_u32(&self, len: usize) -> Scratch<'_, u32> {
+        self.take(len)
+    }
+
+    /// Check out a `Vec<u64>` of length `len`.
+    #[must_use]
+    pub fn take_u64(&self, len: usize) -> Scratch<'_, u64> {
+        self.take(len)
+    }
+
+    /// Check out a record buffer of length `len` (radix ping-pong).
+    #[must_use]
+    pub fn take_recs(&self, len: usize) -> Scratch<'_, Rec> {
+        self.take(len)
+    }
+
+    /// Check out a pair buffer of length `len`.
+    #[must_use]
+    pub fn take_pairs(&self, len: usize) -> Scratch<'_, (u64, u64)> {
+        self.take(len)
+    }
+
+    /// Checkout/miss counters (monotone; misses stop growing once the pools
+    /// are warm — the property the reuse regression tests assert).
+    #[must_use]
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII guard for a checked-out buffer; dereferences to `Vec<T>` and returns
+/// the buffer (with its capacity) to the pool on drop.
+#[derive(Debug)]
+pub struct Scratch<'ws, T: Poolable> {
+    buf: Vec<T>,
+    ws: &'ws Workspace,
+}
+
+impl<T: Poolable> Deref for Scratch<'_, T> {
+    type Target = Vec<T>;
+
+    fn deref(&self) -> &Vec<T> {
+        &self.buf
+    }
+}
+
+impl<T: Poolable> DerefMut for Scratch<'_, T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        &mut self.buf
+    }
+}
+
+impl<T: Poolable> Drop for Scratch<'_, T> {
+    fn drop(&mut self) {
+        T::pool(self.ws).lock().push(std::mem::take(&mut self.buf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_has_requested_length() {
+        let ws = Workspace::new();
+        let a = ws.take_u32(100);
+        assert_eq!(a.len(), 100);
+        let b = ws.take_u64(7);
+        assert_eq!(b.len(), 7);
+        let c = ws.take_recs(3);
+        assert_eq!(c.len(), 3);
+        let d = ws.take_pairs(2);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn buffers_are_reused_after_return() {
+        let ws = Workspace::new();
+        {
+            let mut a = ws.take_u32(1000);
+            a[999] = 7;
+        }
+        // Second checkout pops the returned buffer: no miss.
+        let before = ws.stats();
+        let b = ws.take_u32(500);
+        assert_eq!(b.len(), 500);
+        let after = ws.stats();
+        assert_eq!(
+            after.misses, before.misses,
+            "warm checkout must not allocate"
+        );
+        assert_eq!(after.checkouts, before.checkouts + 1);
+    }
+
+    #[test]
+    fn growing_a_reused_buffer_zero_fills_the_tail() {
+        let ws = Workspace::new();
+        {
+            let mut a = ws.take_u64(4);
+            for x in a.iter_mut() {
+                *x = u64::MAX;
+            }
+        }
+        let b = ws.take_u64(8);
+        // The tail beyond any previously initialised length is zeroed.
+        assert!(b[4..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn pools_are_type_separated() {
+        let ws = Workspace::new();
+        drop(ws.take_u32(10));
+        let s = ws.stats();
+        assert_eq!(s.checkouts, 1);
+        // A u64 checkout cannot reuse the returned u32 buffer.
+        drop(ws.take_u64(10));
+        assert_eq!(ws.stats().misses, 2);
+    }
+
+    #[test]
+    fn nested_checkouts_get_distinct_buffers() {
+        let ws = Workspace::new();
+        let mut a = ws.take_u32(16);
+        let mut b = ws.take_u32(16);
+        a[0] = 1;
+        b[0] = 2;
+        assert_eq!(a[0], 1);
+        assert_eq!(b[0], 2);
+    }
+
+    #[test]
+    fn rec_layout_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<Rec>(), 16);
+    }
+}

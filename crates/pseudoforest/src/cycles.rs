@@ -171,7 +171,11 @@ pub fn cycle_nodes_euler(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
                 let next_edge = next_endpoint >> 1;
                 let next_is_tail = next_endpoint & 1 == 1;
                 // Outgoing arc of the next endpoint: the arc leaving v.
-                let out_arc = if next_is_tail { 2 * next_edge } else { 2 * next_edge + 1 };
+                let out_arc = if next_is_tail {
+                    2 * next_edge
+                } else {
+                    2 * next_edge + 1
+                };
                 // Safety: each incoming arc is written exactly once (it has a
                 // unique endpoint position).
                 unsafe {
@@ -208,14 +212,23 @@ mod tests {
     use proptest::prelude::*;
 
     fn all_methods() -> [CycleMethod; 3] {
-        [CycleMethod::Sequential, CycleMethod::Jump, CycleMethod::Euler]
+        [
+            CycleMethod::Sequential,
+            CycleMethod::Jump,
+            CycleMethod::Euler,
+        ]
     }
 
     fn check_agreement(g: &FunctionalGraph) -> Vec<bool> {
         let ctx = Ctx::parallel().with_grain(16);
         let expected = cycle_nodes_seq(&ctx, g);
         for m in all_methods() {
-            assert_eq!(cycle_nodes(&ctx, g, m), expected, "{m:?} on f = {:?}", g.table());
+            assert_eq!(
+                cycle_nodes(&ctx, g, m),
+                expected,
+                "{m:?} on f = {:?}",
+                g.table()
+            );
         }
         expected
     }
@@ -239,7 +252,10 @@ mod tests {
     fn paper_example_is_all_cycles() {
         let g = generators::paper_example_function();
         let marks = check_agreement(&g);
-        assert!(marks.iter().all(|&m| m), "Fig. 1 consists of two simple cycles");
+        assert!(
+            marks.iter().all(|&m| m),
+            "Fig. 1 consists of two simple cycles"
+        );
     }
 
     #[test]

@@ -85,9 +85,8 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
     }
     ctx.charge_step(leaders.len() as u64);
 
-    let cycle_len_of_leader: Vec<u32> = ctx.par_map_idx(leaders.len(), |c| {
-        dist_to_end[leaders[c] as usize] + 1
-    });
+    let cycle_len_of_leader: Vec<u32> =
+        ctx.par_map_idx(leaders.len(), |c| dist_to_end[leaders[c] as usize] + 1);
 
     {
         let pos_ptr = SendPtr(cycle_pos.as_mut_ptr());
@@ -212,7 +211,11 @@ mod tests {
                 assert!(d.is_cycle[x as usize]);
                 assert_eq!(d.cycle_of[x as usize], c as u32);
                 assert_eq!(d.cycle_pos[x as usize], i as u32);
-                assert_eq!(g.apply(x), cycle[(i + 1) % cycle.len()], "cycle {c} broken at {x}");
+                assert_eq!(
+                    g.apply(x),
+                    cycle[(i + 1) % cycle.len()],
+                    "cycle {c} broken at {x}"
+                );
             }
         }
         // Every cycle node appears in exactly one cycle.

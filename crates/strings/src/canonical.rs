@@ -36,7 +36,7 @@ pub fn booth_msp(s: &[u32]) -> usize {
         }
         if i == usize::MAX && sj != s[(k + i.wrapping_add(1)) % n] {
             // i == MAX means no border; compare with the first character.
-            if sj < s[(k + 0) % n] {
+            if sj < s[k % n] {
                 k = j;
             }
             f[j - k] = usize::MAX;

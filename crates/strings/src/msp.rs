@@ -29,7 +29,7 @@
 
 use crate::canonical::booth_msp;
 use crate::period::smallest_period;
-use sfcp_parprim::rank::dense_ranks_of_pairs;
+use sfcp_parprim::rank::dense_ranks_of_pairs_into;
 use sfcp_parprim::reduce::min_value;
 use sfcp_pram::Ctx;
 
@@ -151,6 +151,10 @@ pub fn simple_msp(ctx: &Ctx, s: &[u32]) -> usize {
 /// The paper's *Algorithm efficient m.s.p.*.
 ///
 /// Requires a **nonrepeating** circular string.
+///
+/// All full-length scratch of the contraction loop (the contracted string,
+/// origin map, pair list and rank buffer) is workspace-backed and reused
+/// across rounds: the loop allocates O(1) buffers per run.
 #[must_use]
 pub fn efficient_msp(ctx: &Ctx, s: &[u32]) -> usize {
     let n = s.len();
@@ -164,8 +168,14 @@ pub fn efficient_msp(ctx: &Ctx, s: &[u32]) -> usize {
 
     // Current contracted circular string and, for every contracted position,
     // the original position it stands for.
-    let mut elems: Vec<u64> = ctx.par_map_slice(s, |&c| u64::from(c) + 1);
-    let mut origin: Vec<u32> = ctx.par_map_idx(n, |i| i as u32);
+    let ws = ctx.workspace();
+    let mut elems = ws.take_u64(n);
+    ctx.par_update(&mut elems, |i, e| *e = u64::from(s[i]) + 1);
+    let mut origin = ws.take_u32(n);
+    ctx.par_update(&mut origin, |i, o| *o = i as u32);
+    let mut pairs = ws.take_pairs(0);
+    let mut new_origin = ws.take_u32(0);
+    let mut ranks = ws.take_u32(0);
 
     loop {
         let len = elems.len();
@@ -183,9 +193,8 @@ pub fn efficient_msp(ctx: &Ctx, s: &[u32]) -> usize {
 
         // Step 1: mark the starts of runs of the minimum symbol.
         let m = min_value(ctx, &elems);
-        let marked: Vec<bool> = ctx.par_map_idx(len, |j| {
-            elems[j] == m && elems[(j + len - 1) % len] != m
-        });
+        let marked: Vec<bool> =
+            ctx.par_map_idx(len, |j| elems[j] == m && elems[(j + len - 1) % len] != m);
         let marks: Vec<u32> = sfcp_parprim::compact::compact_indices(ctx, len, |j| marked[j]);
         match marks.len() {
             0 => {
@@ -218,8 +227,8 @@ pub fn efficient_msp(ctx: &Ctx, s: &[u32]) -> usize {
 
         // Build the pair list and the origin of each pair (the original
         // position of its first symbol), in cyclic order of the runs.
-        let mut pairs: Vec<(u64, u64)> = vec![(0, 0); total_pairs];
-        let mut new_origin: Vec<u32> = vec![0; total_pairs];
+        pairs.resize(total_pairs, (0, 0));
+        new_origin.resize(total_pairs, 0);
         {
             let pairs_ptr = SendPtr(pairs.as_mut_ptr());
             let origin_ptr = SendPtr(new_origin.as_mut_ptr());
@@ -249,10 +258,14 @@ pub fn efficient_msp(ctx: &Ctx, s: &[u32]) -> usize {
         }
 
         // Step 3: sort the pairs, replace each by its (order-preserving) rank.
-        let (ranks, _distinct) = dense_ranks_of_pairs(ctx, &pairs);
+        let _distinct = dense_ranks_of_pairs_into(ctx, &pairs, &mut ranks);
         // Shift by one so the blank value stays reserved in the next round.
-        elems = ctx.par_map_slice(&ranks, |&r| u64::from(r) + 1);
-        origin = new_origin;
+        elems.resize(total_pairs, 0);
+        {
+            let ranks = &ranks;
+            ctx.par_update(&mut elems, |g, e| *e = u64::from(ranks[g]) + 1);
+        }
+        std::mem::swap(&mut *origin, &mut *new_origin);
         debug_assert!(elems.len() <= 2 * len / 3 + 1);
     }
 }
@@ -275,17 +288,20 @@ pub fn doubling_msp(ctx: &Ctx, s: &[u32]) -> usize {
         ctx,
         &s.iter().map(|&c| u64::from(c)).collect::<Vec<_>>(),
     );
+    // Per-round scratch is workspace-backed and ping-ponged across rounds.
+    let ws = ctx.workspace();
+    let mut pairs = ws.take_pairs(n);
+    let mut next_rank = ws.take_u32(0);
     let mut width = 1usize;
     while width < n && distinct < n {
-        let pairs: Vec<(u64, u64)> = ctx.par_map_idx(n, |i| {
-            (
-                u64::from(rank[i]),
-                u64::from(rank[(i + width) % n]),
-            )
-        });
-        let (new_rank, new_distinct) = dense_ranks_of_pairs(ctx, &pairs);
-        rank = new_rank;
-        distinct = new_distinct;
+        {
+            let rank = &rank;
+            ctx.par_update(&mut pairs, |i, p| {
+                *p = (u64::from(rank[i]), u64::from(rank[(i + width) % n]));
+            });
+        }
+        distinct = dense_ranks_of_pairs_into(ctx, &pairs, &mut next_rank);
+        std::mem::swap(&mut rank, &mut *next_rank);
         width *= 2;
     }
     // Position of the minimum rank (smallest index on ties, which only occur
@@ -304,7 +320,6 @@ mod tests {
     use crate::canonical::naive_msp;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn all_methods() -> [MspMethod; 4] {
         [
@@ -398,14 +413,18 @@ mod tests {
         let mut s = Vec::new();
         for (a, b) in [(37usize, 11usize), (5, 5), (1, 63)] {
             s.clear();
-            s.extend(std::iter::repeat(1u32).take(a));
+            s.extend(std::iter::repeat_n(1u32, a));
             s.push(0);
-            s.extend(std::iter::repeat(1u32).take(b));
+            s.extend(std::iter::repeat_n(1u32, b));
             s.push(0);
-            s.extend(std::iter::repeat(2u32).take(7));
+            s.extend(std::iter::repeat_n(2u32, 7));
             let expected = naive_msp(&s);
             for m in all_methods() {
-                assert_eq!(minimal_starting_point(&ctx, &s, m), expected, "{m:?} on {s:?}");
+                assert_eq!(
+                    minimal_starting_point(&ctx, &s, m),
+                    expected,
+                    "{m:?} on {s:?}"
+                );
             }
         }
     }

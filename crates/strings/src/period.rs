@@ -45,7 +45,7 @@ pub fn smallest_period_seq(s: &[u32]) -> usize {
         failure[i] = k;
     }
     let p = n - failure[n - 1];
-    if n % p == 0 {
+    if n.is_multiple_of(p) {
         p
     } else {
         n
@@ -66,7 +66,7 @@ pub fn smallest_period(ctx: &Ctx, s: &[u32]) -> usize {
     let mut divisors = Vec::new();
     let mut d = 1usize;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             divisors.push(d);
             if d != n / d {
                 divisors.push(n / d);
@@ -90,12 +90,8 @@ pub fn smallest_period(ctx: &Ctx, s: &[u32]) -> usize {
             continue;
         }
         // s is p-periodic iff s[i] == s[i - p] for all i >= p.
-        let periodic = ctx.par_reduce_idx(
-            n - p,
-            true,
-            |i| s[i + p] == s[i % p.max(1)],
-            |a, b| a && b,
-        );
+        let periodic =
+            ctx.par_reduce_idx(n - p, true, |i| s[i + p] == s[i % p.max(1)], |a, b| a && b);
         if periodic {
             return p;
         }
@@ -121,7 +117,7 @@ mod tests {
             return 0;
         }
         'outer: for p in 1..=n {
-            if n % p != 0 {
+            if !n.is_multiple_of(p) {
                 continue;
             }
             for i in p..n {

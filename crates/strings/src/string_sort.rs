@@ -17,7 +17,7 @@
 //! sorts strictly below every real symbol.
 
 use sfcp_parprim::merge::parallel_merge_sort;
-use sfcp_parprim::rank::dense_ranks_of_pairs;
+use sfcp_parprim::rank::dense_ranks_of_pairs_into;
 use sfcp_pram::Ctx;
 
 /// Which string sorting algorithm to run.
@@ -87,8 +87,14 @@ pub fn sort_strings_contraction(ctx: &Ctx, strings: &[Vec<u32>]) -> Vec<u32> {
 
     // Step 4 threshold: keep contracting until at most n / log n symbols
     // remain (or every string is a single symbol).
-    let threshold = (total_symbols / (sfcp_pram::ceil_log2(total_symbols.max(2)) as usize).max(1))
-        .max(64);
+    let threshold =
+        (total_symbols / (sfcp_pram::ceil_log2(total_symbols.max(2)) as usize).max(1)).max(64);
+
+    // The pair list and rank buffer are workspace-backed and reused across
+    // the O(log log n) contraction rounds.
+    let ws = ctx.workspace();
+    let mut pairs = ws.take_pairs(0);
+    let mut ranks = ws.take_u32(0);
 
     loop {
         let current_total: usize = encoded.iter().map(Vec::len).sum();
@@ -105,7 +111,7 @@ pub fn sort_strings_contraction(ctx: &Ctx, strings: &[Vec<u32>]) -> Vec<u32> {
         let (offsets, total_pairs) = sfcp_parprim::scan::exclusive_scan(ctx, &pairs_per_string);
         let total_pairs = total_pairs as usize;
 
-        let mut pairs: Vec<(u64, u64)> = vec![(0, 0); total_pairs];
+        pairs.resize(total_pairs, (0, 0));
         {
             let ptr = SendPtr(pairs.as_mut_ptr());
             let encoded_ref = &encoded;
@@ -125,7 +131,7 @@ pub fn sort_strings_contraction(ctx: &Ctx, strings: &[Vec<u32>]) -> Vec<u32> {
             ctx.charge_work(current_total as u64);
         }
 
-        let (ranks, _distinct) = dense_ranks_of_pairs(ctx, &pairs);
+        let _distinct = dense_ranks_of_pairs_into(ctx, &pairs, &mut ranks);
 
         encoded = ctx.par_map_idx(m, |i| {
             let base = offsets[i] as usize;
@@ -189,7 +195,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn reference_sort(strings: &[Vec<u32>]) -> Vec<u32> {
         let mut order: Vec<u32> = (0..strings.len() as u32).collect();

@@ -72,7 +72,8 @@ fn main() {
     // same string.
     for i in 0..base_count {
         assert_eq!(
-            canonical[i], canonical[base_count + i],
+            canonical[i],
+            canonical[base_count + i],
             "planted rotation {i} did not collapse"
         );
     }

@@ -26,6 +26,7 @@ fn main() {
     // chains of length `chain_len` that feed into random cycle states.
     let n = modulus + copies * chain_len;
     let mut delta = vec![0u32; n];
+    #[allow(clippy::needless_range_loop)]
     for s in 0..modulus {
         delta[s] = ((s + 1) % modulus) as u32;
     }

@@ -46,6 +46,10 @@ fn main() {
     let _ = coarsest_partition(&ctx, &instance, Algorithm::Parallel);
     let model = BrentModel::from_stats(1 << 18, ctx.stats());
     for p in [1usize, 2, 4, 8, 16, 64, 1024] {
-        println!("  p = {:>5}: predicted speedup {:.2}×", p, model.speedup_on(p));
+        println!(
+            "  p = {:>5}: predicted speedup {:.2}×",
+            p,
+            model.speedup_on(p)
+        );
     }
 }

@@ -34,7 +34,12 @@ fn paper_worked_example_end_to_end() {
 
 #[test]
 fn random_functional_graphs() {
-    for (n, blocks, seed) in [(257usize, 2usize, 1u64), (1024, 4, 2), (4096, 8, 3), (9999, 3, 4)] {
+    for (n, blocks, seed) in [
+        (257usize, 2usize, 1u64),
+        (1024, 4, 2),
+        (4096, 8, 3),
+        (9999, 3, 4),
+    ] {
         let instance = Instance::random(n, blocks, seed);
         check_all_algorithms_agree(&instance);
     }

@@ -1,0 +1,107 @@
+//! Cross-engine regression tests for the zero-allocation sort/rank engine.
+//!
+//! The packed record engine must be observably identical to the permutation
+//! baseline everywhere except wall-clock time and allocation count:
+//!
+//! * identical partitions from every algorithm,
+//! * byte-identical work/depth charges (the tracker-based complexity tables
+//!   must be engine-independent),
+//! * O(1) workspace allocations per *run* once the pools are warm (not per
+//!   doubling round).
+
+use sfcp::{coarsest_partition, Algorithm, Instance};
+use sfcp_pram::{Ctx, Mode, SortEngine};
+
+fn instances() -> Vec<Instance> {
+    vec![
+        Instance::paper_example(),
+        Instance::random(3000, 4, 7),
+        Instance::random_cycles(&[2, 3, 4, 6, 6, 12, 24], 2, 2),
+        Instance::periodic_cycles(9, 24, 6, 3, 3),
+        Instance::deep(2000, 5, 2, 4),
+    ]
+}
+
+#[test]
+fn parallel_algorithm_is_engine_independent() {
+    for inst in instances() {
+        for mode in [Mode::Sequential, Mode::Parallel] {
+            let packed = Ctx::new(mode);
+            let baseline = Ctx::new(mode).with_sort_engine(SortEngine::Permutation);
+            let a = coarsest_partition(&packed, &inst, Algorithm::Parallel);
+            let b = coarsest_partition(&baseline, &inst, Algorithm::Parallel);
+            assert!(
+                a.same_partition(&b),
+                "engines disagree on n={}, mode={mode:?}",
+                inst.len()
+            );
+            assert_eq!(
+                packed.stats(),
+                baseline.stats(),
+                "work/depth diverged on n={}, mode={mode:?}",
+                inst.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn doubling_algorithm_is_engine_independent() {
+    for inst in instances() {
+        let packed = Ctx::parallel();
+        let baseline = Ctx::parallel().with_sort_engine(SortEngine::Permutation);
+        let a = coarsest_partition(&packed, &inst, Algorithm::Doubling);
+        let b = coarsest_partition(&baseline, &inst, Algorithm::Doubling);
+        assert!(a.same_partition(&b), "engines disagree on n={}", inst.len());
+        assert_eq!(
+            packed.stats(),
+            baseline.stats(),
+            "work/depth diverged on n={}",
+            inst.len()
+        );
+    }
+}
+
+/// The tentpole acceptance property: after one warm-up run, repeated runs of
+/// the doubling loop (O(log n) dense-rank rounds each) serve every scratch
+/// checkout from the workspace pool — zero fresh allocations per run.
+#[test]
+fn doubling_loop_allocates_o1_buffers_per_run() {
+    let inst = Instance::random(30_000, 4, 11);
+    let ctx = Ctx::parallel();
+    let _ = coarsest_partition(&ctx, &inst, Algorithm::Doubling); // warm up
+    let before = ctx.workspace().stats();
+    for _ in 0..3 {
+        let _ = coarsest_partition(&ctx, &inst, Algorithm::Doubling);
+    }
+    let after = ctx.workspace().stats();
+    assert!(
+        after.checkouts > before.checkouts,
+        "rounds must use the workspace"
+    );
+    assert_eq!(
+        after.misses, before.misses,
+        "warm doubling runs must not allocate fresh scratch buffers"
+    );
+}
+
+/// Same property for the full parallel algorithm (m.s.p. + tree labelling).
+#[test]
+fn parallel_algorithm_allocates_o1_buffers_per_run() {
+    let inst = Instance::random(30_000, 4, 13);
+    let ctx = Ctx::parallel();
+    let _ = coarsest_partition(&ctx, &inst, Algorithm::Parallel); // warm up
+    let before = ctx.workspace().stats();
+    for _ in 0..3 {
+        let _ = coarsest_partition(&ctx, &inst, Algorithm::Parallel);
+    }
+    let after = ctx.workspace().stats();
+    assert!(
+        after.checkouts > before.checkouts,
+        "runs must use the workspace"
+    );
+    assert_eq!(
+        after.misses, before.misses,
+        "warm parallel runs must not allocate fresh scratch buffers"
+    );
+}

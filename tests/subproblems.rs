@@ -5,7 +5,6 @@
 
 use proptest::prelude::*;
 use rand::prelude::*;
-use rand::Rng as _;
 use sfcp_pram::Ctx;
 use sfcp_strings::msp::{minimal_starting_point, MspMethod};
 use sfcp_strings::string_sort::{sort_strings, StringSortMethod};
@@ -25,7 +24,10 @@ fn canonical_rotation_is_rotation_invariant() {
                 &rotated,
                 minimal_starting_point(&ctx, &rotated, MspMethod::Efficient),
             );
-            assert_eq!(canon, canon2, "rotation by {shift} changed the canonical form");
+            assert_eq!(
+                canon, canon2,
+                "rotation by {shift} changed the canonical form"
+            );
         }
     }
 }

@@ -1,0 +1,226 @@
+//! Vendored stand-in for `criterion`: a minimal wall-clock benchmark harness
+//! with the API subset the workspace's benches use (`criterion_group!`,
+//! `criterion_main!`, `benchmark_group`, `bench_with_input`, `Bencher::iter`).
+//! Reports min/mean/max per benchmark to stdout; no statistics machinery.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from discarding a value (best-effort).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(900),
+        }
+    }
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Criterion calls this at the end of `main`; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    #[must_use]
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            config: self.criterion.clone(),
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.id);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: self.criterion.clone(),
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.into());
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    config: Criterion,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time the closure: warm up for `warm_up_time`, then record
+    /// `sample_size` samples (bounded by `measurement_time`).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(f());
+        }
+        let measure_deadline = Instant::now() + self.config.measurement_time;
+        for i in 0..self.config.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+            // Always record at least one sample; respect the time budget.
+            if i > 0 && Instant::now() > measure_deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("  {group}/{id}: no samples");
+            return;
+        }
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "  {group}/{id}: min {:?}  mean {:?}  max {:?}  ({} samples)",
+            min,
+            mean,
+            max,
+            self.samples.len()
+        );
+    }
+}
+
+/// Mirror of criterion's group macro (both the list and struct forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirror of criterion's main macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_with_input_runs_closure() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 1), &41, |b, &x| {
+            b.iter(|| x + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn macros_compile() {
+        fn target(c: &mut Criterion) {
+            let mut g = c.benchmark_group("m");
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        criterion_group!(groups, target);
+        groups();
+    }
+}

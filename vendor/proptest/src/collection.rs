@@ -1,0 +1,29 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::prelude::*;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `len_range`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: std::ops::Range<usize>,
+}
+
+/// `vec(strategy, 0..100)`: vectors of 0 to 99 elements of `strategy`.
+#[must_use]
+pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.len.is_empty() {
+            self.len.start
+        } else {
+            rng.gen_range(self.len.clone())
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

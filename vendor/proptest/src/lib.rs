@@ -1,0 +1,182 @@
+//! Vendored stand-in for `proptest`: deterministic randomized testing with
+//! the API subset this workspace uses.
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and any
+//!   number of `#[test] fn name(arg in strategy, ...) { ... }` items;
+//! * strategies: integer ranges (`0u64..100`), tuples of strategies,
+//!   `proptest::collection::vec(strategy, len_range)`, and `any::<bool>()`;
+//! * `prop_assert!` / `prop_assert_eq!` (plain assertions here — a failing
+//!   case panics immediately with the generating case index in the message).
+//!
+//! Shrinking is intentionally not implemented: cases are generated from a
+//! deterministic per-case seed, so a failure message's case index is enough
+//! to reproduce the exact inputs under a debugger.
+
+use rand::prelude::*;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Arbitrary, Strategy};
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A strategy for any `T` with a default generation recipe.
+#[must_use]
+pub fn any<T: Arbitrary>() -> strategy::AnyStrategy<T> {
+    strategy::AnyStrategy(std::marker::PhantomData)
+}
+
+/// Deterministic per-(property, case) generator.
+#[must_use]
+pub fn case_rng(property_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in property_name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case))
+}
+
+/// What `use proptest::prelude::*` brings in.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// The property-test macro: expands each property into a `#[test]` that runs
+/// `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr); ) => {};
+    (
+        ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $argpat:pat in $strat:expr ),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for __case in 0..config.cases {
+                let mut __rng = $crate::case_rng(stringify!($name), __case);
+                $( let $argpat = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let Err(payload) = __result {
+                    eprintln!(
+                        concat!(
+                            "proptest failure in ", stringify!($name),
+                            " at case {} (inputs: ", $(stringify!($argpat in $strat), "; ",)+ ")"
+                        ),
+                        __case
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in -5i64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0u32..10, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_work(p in (0u64..4, 10u64..14)) {
+            prop_assert!(p.0 < 4);
+            prop_assert_eq!(p.1 / 10, 1);
+        }
+
+        #[test]
+        fn any_bool_generates(b in any::<bool>()) {
+            let as_int = u8::from(b);
+            prop_assert!(as_int <= 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_header_accepted(x in 0u32..2) {
+            prop_assert!(x < 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::case_rng("p", 3);
+        let mut b = crate::case_rng("p", 3);
+        let sa = crate::Strategy::generate(&(0u64..1000), &mut a);
+        let sb = crate::Strategy::generate(&(0u64..1000), &mut b);
+        assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,168 @@
+//! Vendored stand-in for `rand` 0.8: deterministic seeded generation with the
+//! API subset the workspace uses — `StdRng::seed_from_u64`, `Rng::gen_range`
+//! over integer ranges, `SliceRandom::shuffle`, and `thread_rng`.
+//!
+//! The generator is xoshiro256++ seeded via splitmix64.  It is **not** the
+//! same stream as upstream rand's StdRng (ChaCha12); all workspace uses treat
+//! seeds as arbitrary reproducibility tokens, so only determinism matters.
+
+pub mod rngs;
+
+pub use rngs::StdRng;
+
+/// Low-level entropy source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (only `seed_from_u64` is provided).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from an integer range.
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (u128::from(rng()) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (u128::from(rng()) % span) as i128;
+                (start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level sampling helpers.
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (modulo method; the tiny modulo bias is
+    /// irrelevant for test-data generation).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        let mut draw = || self.next_u64();
+        range.sample_from(&mut draw)
+    }
+
+    /// A uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Shuffling of slices (the `SliceRandom` subset used here).
+pub trait SliceRandom {
+    type Item;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // Fisher–Yates.
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+/// A fresh generator seeded from the system clock and a thread counter
+/// (upstream's `thread_rng` equivalent for non-reproducible uses).
+#[must_use]
+pub fn thread_rng() -> StdRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    StdRng::seed_from_u64(nanos ^ COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed))
+}
+
+/// The prelude: what `use rand::prelude::*` brings in.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{thread_rng, Rng, RngCore, SeedableRng, SliceRandom};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u32 = rng.gen_range(5..17);
+            assert!((5..17).contains(&x));
+            let y: i64 = rng.gen_range(-10..10);
+            assert!((-10..10).contains(&y));
+            let z: usize = rng.gen_range(0..=3);
+            assert!(z <= 3);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle should move something");
+    }
+
+    #[test]
+    fn spread_looks_uniform() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "counts {counts:?}");
+    }
+}

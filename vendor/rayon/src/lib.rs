@@ -1,0 +1,464 @@
+//! Vendored stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements — from scratch, over `std::thread::scope` — exactly the subset
+//! of the rayon API the workspace uses:
+//!
+//! * indexed parallel iteration over `Range<usize>` with `with_min_len`,
+//!   `map`/`for_each`/`reduce`/`collect`,
+//! * parallel slice iteration (`par_iter`, `par_iter_mut`, `par_chunks`,
+//!   `par_chunks_mut`) with `enumerate`,
+//! * the `par_sort*` family (delegating to the std sorts after a parallel
+//!   chunk pre-sort is not worth the unsafety here; see `sorts` below),
+//! * `join`, and a virtual `ThreadPoolBuilder`/`ThreadPool` whose only job is
+//!   to bound the number of worker threads (used by the speedup tables).
+//!
+//! Parallelism model: every parallel operation splits its index range into at
+//! most `current_num_threads()` contiguous chunks (respecting `min_len`) and
+//! runs them on freshly scoped threads.  A global *thread budget* caps the
+//! total number of extra threads alive at once, so nested parallel calls
+//! degrade gracefully to sequential execution instead of oversubscribing.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude;
+pub mod slice;
+
+pub use slice::{ParallelSlice, ParallelSliceMut};
+
+// ---------------------------------------------------------------------------
+// Thread accounting.
+// ---------------------------------------------------------------------------
+
+/// Extra (non-caller) threads currently running across the whole process.
+static EXTRA_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override of the worker-thread limit (set by
+    /// [`ThreadPool::install`] and propagated to scoped workers).
+    static THREAD_LIMIT: Cell<usize> = const { Cell::new(0) };
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, usize::from)
+}
+
+/// The number of threads parallel operations may use on this thread.
+pub fn current_num_threads() -> usize {
+    let limit = THREAD_LIMIT.with(Cell::get);
+    if limit == 0 {
+        hardware_threads()
+    } else {
+        limit
+    }
+}
+
+/// Try to reserve up to `want` extra threads from the global budget; returns
+/// the number actually granted (possibly 0).
+fn budget_acquire(want: usize, limit: usize) -> usize {
+    let cap = limit.saturating_sub(1);
+    let mut cur = EXTRA_THREADS.load(Ordering::Relaxed);
+    loop {
+        let grant = want.min(cap.saturating_sub(cur));
+        if grant == 0 {
+            return 0;
+        }
+        match EXTRA_THREADS.compare_exchange_weak(
+            cur,
+            cur + grant,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return grant,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// RAII reservation of extra threads; releases on drop so the budget
+/// survives panics unwinding out of parallel bodies.
+struct BudgetGrant(usize);
+
+impl BudgetGrant {
+    fn acquire(want: usize, limit: usize) -> BudgetGrant {
+        BudgetGrant(budget_acquire(want, limit))
+    }
+}
+
+impl Drop for BudgetGrant {
+    fn drop(&mut self) {
+        if self.0 > 0 {
+            EXTRA_THREADS.fetch_sub(self.0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Split `0..len` into `pieces` contiguous ranges and run `body(range)` on
+/// scoped threads (the last piece runs on the calling thread).  `body` must
+/// tolerate being called for disjoint ranges concurrently.
+pub(crate) fn run_ranges<F>(len: usize, min_len: usize, body: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let min_len = min_len.max(1);
+    let limit = current_num_threads();
+    let want_pieces = (len.div_ceil(min_len)).min(limit).max(1);
+    if want_pieces <= 1 {
+        body(0..len);
+        return;
+    }
+    let grant = BudgetGrant::acquire(want_pieces - 1, limit);
+    if grant.0 == 0 {
+        body(0..len);
+        return;
+    }
+    let pieces = grant.0 + 1;
+    let chunk = len.div_ceil(pieces);
+    let body = &body;
+    std::thread::scope(|scope| {
+        for p in 1..pieces {
+            let start = p * chunk;
+            if start >= len {
+                break;
+            }
+            let end = (start + chunk).min(len);
+            scope.spawn(move || {
+                // Propagate the caller's thread limit to nested operations.
+                THREAD_LIMIT.with(|l| l.set(limit));
+                body(start..end);
+            });
+        }
+        body(0..chunk.min(len));
+    });
+    // `grant` drops here (and on any panic above), returning the threads.
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let limit = current_num_threads();
+    let grant = BudgetGrant::acquire(1, limit);
+    if grant.0 == 1 {
+        // `grant` is released on drop even if either closure panics.
+        std::thread::scope(|scope| {
+            let hb = scope.spawn(move || {
+                THREAD_LIMIT.with(|l| l.set(limit));
+                b()
+            });
+            let ra = a();
+            let rb = match hb.join() {
+                Ok(rb) => rb,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (ra, rb)
+        })
+    } else {
+        (a(), b())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Virtual thread pool (a concurrency limit, not a worker pool).
+// ---------------------------------------------------------------------------
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (infallible here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    #[must_use]
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Bound the number of threads parallel operations may use (0 = default).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                hardware_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A virtual pool: [`ThreadPool::install`] runs a closure under this pool's
+/// thread limit.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = THREAD_LIMIT.with(Cell::get);
+        THREAD_LIMIT.with(|l| l.set(self.num_threads));
+        let out = f();
+        THREAD_LIMIT.with(|l| l.set(prev));
+        out
+    }
+
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Indexed parallel iteration over ranges.
+// ---------------------------------------------------------------------------
+
+/// Conversion into an indexed parallel iterator (ranges only).
+pub trait IntoParallelIterator {
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter {
+            start: self.start,
+            end: self.end,
+            min_len: 1,
+        }
+    }
+}
+
+/// Parallel iterator over `start..end`.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeParIter {
+    start: usize,
+    end: usize,
+    min_len: usize,
+}
+
+impl RangeParIter {
+    #[must_use]
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync + Send,
+    {
+        let base = self.start;
+        run_ranges(self.end - self.start, self.min_len, |r| {
+            for i in r {
+                f(base + i);
+            }
+        });
+    }
+
+    pub fn map<T, F>(self, f: F) -> RangeMap<F>
+    where
+        F: Fn(usize) -> T + Sync + Send,
+    {
+        RangeMap { iter: self, f }
+    }
+}
+
+/// `map` adapter over [`RangeParIter`].
+pub struct RangeMap<F> {
+    iter: RangeParIter,
+    f: F,
+}
+
+impl<T, F> RangeMap<F>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync + Send,
+{
+    /// Collect into a `Vec<T>`, preserving index order.
+    pub fn collect(self) -> Vec<T> {
+        let n = self.iter.end - self.iter.start;
+        let base = self.iter.start;
+        let mut out: Vec<T> = Vec::with_capacity(n);
+        let ptr = SendMutPtr(out.as_mut_ptr());
+        let f = &self.f;
+        run_ranges(n, self.iter.min_len, |r| {
+            let p = ptr;
+            for i in r {
+                // Safety: each index is written exactly once, into capacity
+                // reserved above; `set_len` only runs after all writes.
+                unsafe {
+                    p.0.add(i).write(f(base + i));
+                }
+            }
+        });
+        // Safety: all n slots were initialised by the loop above.
+        unsafe { out.set_len(n) };
+        out
+    }
+
+    pub fn for_each(self, g: impl Fn(T) + Sync + Send) {
+        let base = self.iter.start;
+        let f = &self.f;
+        run_ranges(self.iter.end - self.iter.start, self.iter.min_len, |r| {
+            for i in r {
+                g(f(base + i));
+            }
+        });
+    }
+
+    /// Reduce with an identity-producing closure and an associative operator.
+    ///
+    /// Matches real rayon's contract: the operator only needs to be
+    /// associative, not commutative — per-chunk partials are combined in
+    /// index order regardless of thread completion order.
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> T
+    where
+        Id: Fn() -> T + Sync + Send,
+        Op: Fn(T, T) -> T + Sync + Send,
+    {
+        let n = self.iter.end - self.iter.start;
+        let base = self.iter.start;
+        if n == 0 {
+            return identity();
+        }
+        let partials = std::sync::Mutex::new(Vec::<(usize, T)>::new());
+        let f = &self.f;
+        run_ranges(n, self.iter.min_len, |r| {
+            let start = r.start;
+            let mut acc = identity();
+            for i in r {
+                acc = op(acc, f(base + i));
+            }
+            partials.lock().unwrap().push((start, acc));
+        });
+        let mut partials = partials.into_inner().unwrap();
+        partials.sort_by_key(|&(start, _)| start);
+        partials
+            .into_iter()
+            .map(|(_, acc)| acc)
+            .fold(identity(), op)
+    }
+}
+
+/// A raw pointer wrapper asserting cross-thread transferability; all uses
+/// write disjoint index ranges from different threads.
+pub(crate) struct SendMutPtr<T>(pub(crate) *mut T);
+impl<T> Clone for SendMutPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendMutPtr<T> {}
+unsafe impl<T> Send for SendMutPtr<T> {}
+unsafe impl<T> Sync for SendMutPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_matches_sequential() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn for_each_covers_every_index() {
+        let flags: Vec<AtomicUsize> = (0..5000).map(|_| AtomicUsize::new(0)).collect();
+        (0..5000).into_par_iter().with_min_len(64).for_each(|i| {
+            flags[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let total = (0..1000usize)
+            .into_par_iter()
+            .map(|i| i as u64)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn reduce_respects_index_order_for_noncommutative_ops() {
+        // Ordered concatenation is associative but not commutative; the
+        // result must come out in index order regardless of which thread
+        // finishes first.
+        let out = (0..10_000usize)
+            .into_par_iter()
+            .with_min_len(64)
+            .map(|i| vec![i])
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        assert_eq!(out.len(), 10_000);
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let out: Vec<u64> = (0..64)
+            .into_par_iter()
+            .map(|i| {
+                (0..256)
+                    .into_par_iter()
+                    .map(move |j| (i * j) as u64)
+                    .reduce(|| 0, |a, b| a + b)
+            })
+            .collect();
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[1], (0..256u64).sum());
+    }
+
+    #[test]
+    fn install_bounds_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 1);
+            let v: Vec<usize> = (0..100).into_par_iter().map(|i| i).collect();
+            assert_eq!(v[99], 99);
+        });
+    }
+}

@@ -1,0 +1,4 @@
+//! The prelude: everything `use rayon::prelude::*` is expected to bring in.
+
+pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+pub use crate::IntoParallelIterator;

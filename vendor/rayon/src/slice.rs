@@ -1,0 +1,383 @@
+//! Parallel slice iteration and sorting for the vendored rayon shim.
+//!
+//! The iteration adapters split the slice into contiguous index ranges and
+//! run them on scoped threads via [`crate::run_ranges`].  The `par_sort*`
+//! family delegates to the std sorts: the workspace's hot paths sort with its
+//! own radix engine, and these entry points only back the comparison-model
+//! baselines, where sequential std sorts keep the semantics (including
+//! stability) trivially correct.
+
+use crate::{run_ranges, SendMutPtr};
+use std::cmp::Ordering;
+
+/// Shared-slice parallel iteration (`par_iter`, `par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> SliceParIter<'_, T>;
+    fn par_chunks(&self, chunk_size: usize) -> ChunksParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceParIter<'_, T> {
+        SliceParIter {
+            slice: self,
+            min_len: 1,
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ChunksParIter<'_, T> {
+        ChunksParIter {
+            slice: self,
+            chunk_size: chunk_size.max(1),
+        }
+    }
+}
+
+/// Mutable-slice parallel iteration and sorting.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksParIterMut<'_, T>;
+
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync;
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T> {
+        SliceParIterMut {
+            slice: self,
+            min_len: 1,
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksParIterMut<'_, T> {
+        ChunksParIterMut {
+            slice: self,
+            chunk_size: chunk_size.max(1),
+        }
+    }
+
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        self.sort_by(cmp);
+    }
+
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.sort_by_key(key);
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-slice adapters.
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+    min_len: usize,
+}
+
+impl<'a, T: Sync> SliceParIter<'a, T> {
+    #[must_use]
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    pub fn map<U, F>(self, f: F) -> SliceMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&T) -> U + Sync + Send,
+    {
+        SliceMap {
+            slice: self.slice,
+            min_len: self.min_len,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&T) + Sync + Send,
+    {
+        let slice = self.slice;
+        run_ranges(slice.len(), self.min_len, |r| {
+            for item in &slice[r] {
+                f(item);
+            }
+        });
+    }
+}
+
+/// `map` adapter over a shared slice.
+pub struct SliceMap<'a, T, F> {
+    slice: &'a [T],
+    min_len: usize,
+    f: F,
+}
+
+impl<T: Sync, U: Send, F: Fn(&T) -> U + Sync + Send> SliceMap<'_, T, F> {
+    pub fn collect(self) -> Vec<U> {
+        let n = self.slice.len();
+        let mut out: Vec<U> = Vec::with_capacity(n);
+        let ptr = SendMutPtr(out.as_mut_ptr());
+        let slice = self.slice;
+        let f = &self.f;
+        run_ranges(n, self.min_len, |r| {
+            let p = ptr;
+            for i in r {
+                // Safety: each index written exactly once; set_len after.
+                unsafe {
+                    p.0.add(i).write(f(&slice[i]));
+                }
+            }
+        });
+        // Safety: all n slots initialised above.
+        unsafe { out.set_len(n) };
+        out
+    }
+}
+
+/// Parallel iterator over chunks of a shared slice.
+pub struct ChunksParIter<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ChunksParIter<'a, T> {
+    #[must_use]
+    pub fn enumerate(self) -> EnumeratedChunks<'a, T> {
+        EnumeratedChunks {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
+}
+
+/// Enumerated chunks of a shared slice.
+pub struct EnumeratedChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<T: Sync> EnumeratedChunks<'_, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &[T])) + Sync + Send,
+    {
+        let num_chunks = self.slice.len().div_ceil(self.chunk_size).max(1);
+        if self.slice.is_empty() {
+            return;
+        }
+        let slice = self.slice;
+        let chunk_size = self.chunk_size;
+        run_ranges(num_chunks, 1, |r| {
+            for c in r {
+                let start = c * chunk_size;
+                let end = (start + chunk_size).min(slice.len());
+                f((c, &slice[start..end]));
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutable-slice adapters.
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceParIterMut<'a, T> {
+    slice: &'a mut [T],
+    min_len: usize,
+}
+
+impl<'a, T: Send> SliceParIterMut<'a, T> {
+    #[must_use]
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    #[must_use]
+    pub fn enumerate(self) -> EnumeratedMut<'a, T> {
+        EnumeratedMut {
+            slice: self.slice,
+            min_len: self.min_len,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync + Send,
+    {
+        self.enumerate().for_each(|(_, item)| f(item));
+    }
+}
+
+/// Enumerated parallel iterator over `&mut [T]`.
+pub struct EnumeratedMut<'a, T> {
+    slice: &'a mut [T],
+    min_len: usize,
+}
+
+impl<T: Send> EnumeratedMut<'_, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync + Send,
+    {
+        let n = self.slice.len();
+        let ptr = SendMutPtr(self.slice.as_mut_ptr());
+        run_ranges(n, self.min_len, |r| {
+            let p = ptr;
+            for i in r {
+                // Safety: ranges are disjoint, so each element is borrowed
+                // mutably by exactly one thread.
+                f((i, unsafe { &mut *p.0.add(i) }));
+            }
+        });
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ChunksParIterMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ChunksParIterMut<'a, T> {
+    #[must_use]
+    pub fn enumerate(self) -> EnumeratedChunksMut<'a, T> {
+        EnumeratedChunksMut {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
+}
+
+/// Enumerated mutable chunks.
+pub struct EnumeratedChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> EnumeratedChunksMut<'_, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync + Send,
+    {
+        if self.slice.is_empty() {
+            return;
+        }
+        let len = self.slice.len();
+        let chunk_size = self.chunk_size;
+        let num_chunks = len.div_ceil(chunk_size);
+        let ptr = SendMutPtr(self.slice.as_mut_ptr());
+        run_ranges(num_chunks, 1, |r| {
+            let p = ptr;
+            for c in r {
+                let start = c * chunk_size;
+                let end = (start + chunk_size).min(len);
+                // Safety: chunk ranges are disjoint, so each element belongs
+                // to exactly one reconstructed sub-slice.
+                let chunk = unsafe { std::slice::from_raw_parts_mut(p.0.add(start), end - start) };
+                f((c, chunk));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_iter_map_collect() {
+        let v: Vec<u32> = (0..1000).collect();
+        let doubled: Vec<u32> = v.par_iter().with_min_len(16).map(|&x| x * 2).collect();
+        assert_eq!(doubled[999], 1998);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate() {
+        let mut v = vec![0u32; 777];
+        v.par_iter_mut()
+            .with_min_len(8)
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u32 + 1);
+        assert_eq!(v[0], 1);
+        assert_eq!(v[776], 777);
+    }
+
+    #[test]
+    fn chunks_mut_disjoint() {
+        let mut v = vec![0u32; 1000];
+        v.par_chunks_mut(64).enumerate().for_each(|(c, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = c as u32;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[64], 1);
+        assert_eq!(v[999], 15);
+    }
+
+    #[test]
+    fn sorts_behave_like_std() {
+        let mut v: Vec<i32> = (0..500).rev().collect();
+        v.par_sort();
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        let mut v2: Vec<(u32, u32)> = (0..100).map(|i| (100 - i, i)).collect();
+        v2.par_sort_by_key(|p| p.0);
+        assert!(v2.windows(2).all(|w| w[0].0 <= w[1].0));
+        v2.par_sort_unstable_by_key(|p| p.1);
+        assert!(v2.windows(2).all(|w| w[0].1 <= w[1].1));
+        let mut v3 = vec![3u32, 1, 2];
+        v3.par_sort_by(|a, b| b.cmp(a));
+        assert_eq!(v3, vec![3, 2, 1]);
+        let mut v4 = vec![9u32, 7, 8];
+        v4.par_sort_unstable();
+        assert_eq!(v4, vec![7, 8, 9]);
+    }
+}
