@@ -13,6 +13,11 @@
 //! wall-clock and allocations, never in charges).
 //!
 //! Run with: `cargo run -p sfcp-bench --bin bench_json --release [out.json]`
+//!
+//! `--smoke` runs only n = 1e5 and additionally compares the fresh
+//! `decompose` row against the committed `BENCH_parprim.json` (or the file
+//! given with `--committed <path>`), failing on a >10% wall-clock
+//! regression — the CI gate for the decomposition pipeline.
 
 use rand::prelude::*;
 use sfcp::{coarsest_partition, Algorithm, Instance};
@@ -86,14 +91,55 @@ fn measure<F: FnMut(&Ctx) + Clone>(name: &'static str, n: usize, reps: usize, f:
     }
 }
 
+/// Extract `field` from the row of `json` whose name/n match, e.g.
+/// `{"name": "decompose", "n": 100000, ..., "packed_ms": 12.3, ...}`.
+/// The file is this binary's own output format, so a string scan suffices.
+fn committed_field(json: &str, name: &str, n: usize, field: &str) -> Option<f64> {
+    let row_key = format!("\"name\": \"{name}\", \"n\": {n},");
+    let row = json.lines().find(|l| l.contains(&row_key))?;
+    let tail = row.split(&format!("\"{field}\": ")).nth(1)?;
+    tail.split([',', '}']).next()?.trim().parse().ok()
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_parprim.json".to_string());
-    let sizes = [100_000usize, 1_000_000];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path: Option<String> = None;
+    let mut committed_path = "BENCH_parprim.json".to_string();
+    let mut smoke = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--committed" => {
+                i += 1;
+                committed_path = args.get(i).expect("--committed needs a path").clone();
+            }
+            other => out_path = Some(other.to_string()),
+        }
+        i += 1;
+    }
+    // A smoke run must never clobber the committed trajectory it is about to
+    // read back, so its default output goes elsewhere.
+    let out_path = out_path.unwrap_or_else(|| {
+        if smoke {
+            "bench_smoke.json".to_string()
+        } else {
+            "BENCH_parprim.json".to_string()
+        }
+    });
+    assert!(
+        !smoke || out_path != committed_path,
+        "--smoke would overwrite the committed baseline {committed_path} before comparing \
+         against it; pass a different output path"
+    );
+    let sizes: &[usize] = if smoke {
+        &[100_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
     let mut rows: Vec<Row> = Vec::new();
 
-    for &n in &sizes {
+    for &n in sizes {
         let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ n as u64);
         let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..2 * n as u64)).collect();
         let pairs: Vec<(u64, u64)> = (0..n)
@@ -108,6 +154,11 @@ fn main() {
         rows.push(measure("radix_sort_pairs", n, reps, |ctx: &Ctx| {
             let order = sfcp_parprim::intsort::radix_sort_pairs(ctx, &pairs);
             std::hint::black_box(&order);
+        }));
+        let g = sfcp_forest::generators::random_function(n, 0xDECADE);
+        rows.push(measure("decompose", n, reps, |ctx: &Ctx| {
+            let d = sfcp_forest::decompose(ctx, &g, sfcp_forest::cycles::CycleMethod::Euler);
+            std::hint::black_box(d.num_cycles());
         }));
         let inst = Instance::random(n, 8, 0xC0FFEE);
         rows.push(measure("coarsest_parallel", n, reps, |ctx: &Ctx| {
@@ -149,4 +200,49 @@ fn main() {
         "perf regression: packed engine is {speedup:.2}x the permutation baseline \
          end-to-end (must stay >= ~1.0; 0.9 allows for runner noise)"
     );
+
+    // Smoke gate: the decompose entry must not regress more than 10% against
+    // the committed trajectory (same n as measured in this run).  The raw
+    // wall-clock ratio is normalized by the radix_sort_pairs ratio of the
+    // same two files: that row does not touch the decomposition code, so a
+    // uniformly slower or faster machine cancels out and the gate tracks
+    // genuine decompose regressions rather than runner hardware.
+    if smoke {
+        let committed = std::fs::read_to_string(&committed_path)
+            .unwrap_or_else(|e| panic!("cannot read committed bench {committed_path}: {e}"));
+        let fresh = rows
+            .iter()
+            .find(|r| r.name == "decompose")
+            .expect("decompose row present");
+        let calib = rows
+            .iter()
+            .find(|r| r.name == "radix_sort_pairs" && r.n == fresh.n)
+            .expect("calibration row present");
+        let committed_ms = committed_field(&committed, "decompose", fresh.n, "packed_ms")
+            .unwrap_or_else(|| panic!("no decompose n={} entry in {committed_path}", fresh.n));
+        let committed_calib_ms =
+            committed_field(&committed, "radix_sort_pairs", fresh.n, "packed_ms").unwrap_or_else(
+                || {
+                    panic!(
+                        "no radix_sort_pairs n={} entry in {committed_path}",
+                        fresh.n
+                    )
+                },
+            );
+        let raw = fresh.packed_ms / committed_ms;
+        let machine = calib.packed_ms / committed_calib_ms;
+        let ratio = raw / machine;
+        println!(
+            "smoke: decompose n={} is {:.3} ms vs committed {:.3} ms \
+             (raw {raw:.2}x, machine-normalized {ratio:.2}x)",
+            fresh.n, fresh.packed_ms, committed_ms
+        );
+        assert!(
+            ratio < 1.10,
+            "decompose regressed {ratio:.2}x machine-normalized (> 1.10) against the \
+             committed {committed_path} entry ({:.3} ms vs {committed_ms:.3} ms, \
+             calibration {machine:.2}x)",
+            fresh.packed_ms
+        );
+    }
 }

@@ -126,7 +126,7 @@ fn label_cycle_nodes(
     }
     let threshold = config.parallel_strings_threshold.max(2);
     let canons: Vec<Canon> = ctx.par_map_idx(num_cycles, |c| {
-        let cycle = &dec.cycles[c];
+        let cycle = dec.cycle(c);
         let s: Vec<u32> = cycle.iter().map(|&x| b[x as usize]).collect();
         let (period, msp) = if s.len() >= threshold {
             let p = smallest_period(ctx, &s);
@@ -264,9 +264,12 @@ fn label_tree_nodes_doubling(
     let n = instance.len();
     let f = instance.f();
     let b = instance.blocks();
+    let ws = ctx.workspace();
 
     // Root (cycle node) of every node's pseudo-tree.
-    let roots = sfcp_parprim::jump::find_roots(ctx, dec.forest.parents());
+    let mut roots = ws.take_u32(0);
+    sfcp_parprim::jump::find_roots_into(ctx, dec.forest.parents(), &mut roots);
+    let roots = &roots;
 
     // Steps 1–2: the corresponding cycle node of every tree node and the
     // per-node B-label match flag (Lemma 4.1).
@@ -276,21 +279,30 @@ fn label_tree_nodes_doubling(
         } else {
             let r = roots[x];
             let c = dec.cycle_of[x] as usize;
-            let k = dec.cycles[c].len() as u32;
+            let cycle = dec.cycle(c);
+            let k = cycle.len() as u32;
             let level = dec.levels[x];
             let pos_r = dec.cycle_pos[r as usize];
             let pos = (pos_r + k - (level % k)) % k;
-            dec.cycles[c][pos as usize]
+            cycle[pos as usize]
         }
     });
     let ok: Vec<bool> = ctx.par_map_idx(n, |x| dec.is_cycle[x] || b[x] == b[corr[x] as usize]);
 
     // Step 3: unmark all descendants of an unmatching node — a node is truly
     // marked iff it matches and has no unmatching proper ancestor, computed
-    // with one Euler-tour ancestor sum.
-    let bad: Vec<u64> = ctx.par_map_idx(n, |x| u64::from(!ok[x]));
-    let bad_ancestors = dec.tour.ancestor_sums(ctx, &bad);
-    let marked: Vec<bool> = ctx.par_map_idx(n, |x| ok[x] && bad_ancestors[x] == 0);
+    // with one Euler-tour ancestor sum (all intermediates workspace-backed).
+    let mut bad = ws.take_u64(n);
+    {
+        let ok = &ok;
+        ctx.par_update(&mut bad, |x, v| *v = u64::from(!ok[x]));
+    }
+    let mut bad_ancestors = ws.take_u64(0);
+    dec.tour.ancestor_counts_into(ctx, &bad, &mut bad_ancestors);
+    let marked: Vec<bool> = {
+        let bad_ancestors = &bad_ancestors;
+        ctx.par_map_idx(n, |x| ok[x] && bad_ancestors[x] == 0)
+    };
 
     // Step 4: marked tree nodes inherit the label of their corresponding
     // cycle node.
@@ -359,7 +371,6 @@ fn label_tree_nodes_doubling(
     // All per-round scratch below is workspace-backed and ping-ponged across
     // the doubling rounds (O(1) buffers per run, not per round).
     let total = u + num_terminals;
-    let ws = ctx.workspace();
     let mut jump: Vec<u32> = ctx.par_map_idx(total, |i| {
         if i < u {
             let x = unmarked_ids[i] as usize;
@@ -389,8 +400,14 @@ fn label_tree_nodes_doubling(
     let mut distinct = dense_ranks_of_pairs_into(ctx, &pairs, &mut lab);
 
     // Residual-forest depth bounds the number of doubling rounds.
-    let depth_flags: Vec<u64> = ctx.par_map_idx(n, |x| u64::from(!marked[x]));
-    let unmarked_depth = dec.tour.ancestor_sums(ctx, &depth_flags);
+    let mut depth_flags = ws.take_u64(n);
+    {
+        let marked = &marked;
+        ctx.par_update(&mut depth_flags, |x, v| *v = u64::from(!marked[x]));
+    }
+    let mut unmarked_depth = ws.take_u64(0);
+    dec.tour
+        .ancestor_counts_into(ctx, &depth_flags, &mut unmarked_depth);
     let max_depth = unmarked_ids
         .iter()
         .map(|&x| unmarked_depth[x as usize])

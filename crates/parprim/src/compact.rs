@@ -5,7 +5,7 @@
 //! positions" and "write the groups of each substring contiguously"; both
 //! are compactions driven by an exclusive prefix sum of 0/1 flags.
 
-use crate::scan::exclusive_scan_into;
+use crate::scan::scan_generic_into;
 use sfcp_pram::Ctx;
 
 /// Indices `i` (in increasing order) for which `keep(i)` is true.
@@ -15,6 +15,16 @@ where
     F: Fn(usize) -> bool + Sync + Send,
 {
     compact_with(ctx, n, keep, |i| i as u32)
+}
+
+/// [`compact_indices`] writing into a reusable output buffer (cleared and
+/// refilled), so per-round compactions in decomposition passes allocate
+/// nothing once the caller's buffer is warm.
+pub fn compact_indices_into<F>(ctx: &Ctx, n: usize, keep: F, out: &mut Vec<u32>)
+where
+    F: Fn(usize) -> bool + Sync + Send,
+{
+    compact_with_into(ctx, n, keep, |i| i as u32, out);
 }
 
 /// Stable compaction with a projection: collects `project(i)` for every index
@@ -30,15 +40,37 @@ where
     F: Fn(usize) -> bool + Sync + Send,
     P: Fn(usize) -> T + Sync + Send,
 {
+    let mut out = Vec::new();
+    compact_with_into(ctx, n, keep, project, &mut out);
+    out
+}
+
+/// [`compact_with`] writing into a reusable output buffer.
+pub fn compact_with_into<T, F, P>(ctx: &Ctx, n: usize, keep: F, project: P, out: &mut Vec<T>)
+where
+    T: Send + Sync + Copy + Default,
+    F: Fn(usize) -> bool + Sync + Send,
+    P: Fn(usize) -> T + Sync + Send,
+{
+    out.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
+    // u32 flag/offset intermediates (counts are bounded by the index range),
+    // halving the scan's memory traffic; the scan charges are element-type
+    // independent, so this is charge-identical to a u64 scan.
+    assert!(
+        n <= u32::MAX as usize,
+        "compact_with_into runs its offsets as u32 words"
+    );
     let ws = ctx.workspace();
-    let mut flags = ws.take_u64(n);
-    ctx.par_update(&mut flags, |i, f| *f = u64::from(keep(i)));
-    let mut offsets = ws.take_u64(n);
-    let total = exclusive_scan_into(ctx, &flags, &mut offsets);
-    let mut out = vec![T::default(); total as usize];
+    let mut flags = ws.take_u32(n);
+    ctx.par_update(&mut flags, |i, f| *f = u32::from(keep(i)));
+    let mut offsets = ws.take_u32(n);
+    scan_generic_into(ctx, &flags, 0u32, |a, b| a + b, false, &mut offsets);
+    // The kept count falls out of the exclusive scan for free.
+    let total = offsets[n - 1] + flags[n - 1];
+    out.resize(total as usize, T::default());
     // Each kept index writes its own slot — disjoint writes.
     let out_ptr = SendPtr(out.as_mut_ptr());
     ctx.par_for_idx(n, |i| {
@@ -51,7 +83,6 @@ where
             }
         }
     });
-    out
 }
 
 #[derive(Clone, Copy)]

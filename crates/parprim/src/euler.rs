@@ -19,12 +19,12 @@
 //!
 //! Work `O(n)` (plus the list-ranking cost), depth `O(log n)`.
 
-use crate::listrank::{list_rank, ListRankMethod};
-use crate::scan::scan_generic;
+use crate::listrank::{list_rank_into, ListRankMethod};
+use crate::scan::scan_generic_into;
 use sfcp_pram::Ctx;
 
 /// A rooted forest on nodes `0..n`: `parent[r] == r` exactly for roots.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RootedForest {
     parent: Vec<u32>,
     /// CSR offsets into `children`, length `n + 1`.
@@ -60,7 +60,10 @@ impl RootedForest {
         }
         ctx.charge_step(n as u64);
         let child_start = counts;
-        let mut cursor = child_start.clone();
+        let ws = ctx.workspace();
+        let mut cursor = ws.take_u32(n + 1);
+        cursor.copy_from_slice(&child_start);
+        // Every slot of `children` is filled by the cursor sweep below.
         let mut children = vec![0u32; child_start[n] as usize];
         for (i, &p) in parent.iter().enumerate() {
             if p as usize != i {
@@ -74,8 +77,9 @@ impl RootedForest {
         // walk revisits a node already on its own path, the parent pointers
         // contain a cycle.  `0` = unvisited, `1` = on the current path,
         // `2` = finished.
-        let mut state = vec![0u8; n];
-        let mut stack = Vec::new();
+        let mut state = ws.take_u8(n);
+        state.fill(0);
+        let mut stack = ws.take_u32(0);
         for start in 0..n {
             if state[start] != 0 {
                 continue;
@@ -86,7 +90,7 @@ impl RootedForest {
                 match state[cur] {
                     0 => {
                         state[cur] = 1;
-                        stack.push(cur);
+                        stack.push(cur as u32);
                         let p = parent[cur] as usize;
                         if p == cur {
                             break;
@@ -97,8 +101,8 @@ impl RootedForest {
                     _ => break,
                 }
             }
-            for &v in &stack {
-                state[v] = 2;
+            for &v in stack.iter() {
+                state[v as usize] = 2;
             }
         }
         ctx.charge_step(n as u64);
@@ -176,7 +180,7 @@ fn up(v: u32) -> u32 {
 /// single global position space of size `2n`, which lets a single prefix scan
 /// serve all trees at once: the per-tree contributions cancel, so no
 /// segmentation is necessary.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EulerTour {
     /// Global position of every node's down arc.
     entry: Vec<u32>,
@@ -196,13 +200,15 @@ impl EulerTour {
             };
         }
         let num_arcs = 2 * n;
+        let ws = ctx.workspace();
 
         // Successor function of the tour (a collection of linked lists, one
         // per tree, terminated at the root's up arc).
-        let succ: Vec<u32> = ctx.par_map_idx(num_arcs, |a| {
+        let mut succ = ws.take_u32(num_arcs);
+        ctx.par_update(&mut succ, |a, s| {
             let arc = a as u32;
             let v = arc / 2;
-            if arc.is_multiple_of(2) {
+            *s = if arc.is_multiple_of(2) {
                 // Down arc into v: continue to v's first child, or bounce back up.
                 match forest.children(v).first() {
                     Some(&c) => down(c),
@@ -225,7 +231,7 @@ impl EulerTour {
                         None => up(p),
                     }
                 }
-            }
+            };
         });
         // NOTE: the sibling-position lookup above is O(degree) per arc; the
         // total over all arcs is O(sum of squared degrees) in the worst case.
@@ -239,34 +245,54 @@ impl EulerTour {
         ctx.charge_work(extra);
 
         // Rank every arc: distance to its tree's terminal arc.
-        let dist = list_rank(ctx, &succ, ListRankMethod::RulingSet);
+        let mut dist = ws.take_u32(0);
+        list_rank_into(ctx, &succ, ListRankMethod::RulingSet, &mut dist);
 
         // Tour length of the tree containing v = dist[down(root)] + 1; the
         // position of an arc inside its own tree is length - 1 - dist.
         // Global positions: trees are concatenated by ascending root id.
-        let roots = forest.roots();
-        let mut tree_offset = vec![0u32; n]; // offset by root id
+        // Only root slots of `tree_offset` are written, and only root slots
+        // are read (through `root_of`), so no fill is needed.
+        let mut tree_offset = ws.take_u32(n); // offset by root id
         let mut acc = 0u32;
-        for &r in &roots {
-            tree_offset[r as usize] = acc;
-            acc += dist[down(r) as usize] + 1;
+        let mut num_roots = 0u64;
+        for v in 0..n as u32 {
+            if forest.is_root(v) {
+                tree_offset[v as usize] = acc;
+                acc += dist[down(v) as usize] + 1;
+                num_roots += 1;
+            }
         }
         debug_assert_eq!(acc as usize, num_arcs);
-        ctx.charge_step(roots.len() as u64);
+        ctx.charge_step(num_roots);
 
         // Every node needs its root to find the offset; reuse pointer jumping.
-        let root_of = crate::jump::find_roots(ctx, forest.parents());
+        let mut root_of = ws.take_u32(0);
+        crate::jump::find_roots_into(ctx, forest.parents(), &mut root_of);
 
-        let entry: Vec<u32> = ctx.par_map_idx(n, |v| {
-            let r = root_of[v] as usize;
-            let len = dist[down(root_of[v]) as usize] + 1;
-            tree_offset[r] + (len - 1 - dist[down(v as u32) as usize])
-        });
-        let exit: Vec<u32> = ctx.par_map_idx(n, |v| {
-            let r = root_of[v] as usize;
-            let len = dist[down(root_of[v]) as usize] + 1;
-            tree_offset[r] + (len - 1 - dist[up(v as u32) as usize])
-        });
+        // One fused pass computes both position arrays: the root lookup, tour
+        // length and tree offset gathers are shared, and a node's down/up
+        // arc ranks are adjacent in `dist`.  The baseline computes entry and
+        // exit as two separate parallel maps; the fused pass charges both.
+        let mut entry = vec![0u32; n];
+        let mut exit = vec![0u32; n];
+        {
+            let entry_ptr = SendPtr(entry.as_mut_ptr());
+            let exit_ptr = SendPtr(exit.as_mut_ptr());
+            let (dist, tree_offset, root_of) = (&dist, &tree_offset, &root_of);
+            ctx.par_for_idx(n, |v| {
+                let r = root_of[v];
+                let len = dist[down(r) as usize] + 1;
+                let base = tree_offset[r as usize] + len - 1;
+                let (ep, xp) = (entry_ptr, exit_ptr);
+                // Safety: each v writes its own slot in both arrays.
+                unsafe {
+                    *ep.0.add(v) = base - dist[down(v as u32) as usize];
+                    *xp.0.add(v) = base - dist[up(v as u32) as usize];
+                }
+            });
+            ctx.charge_step(n as u64);
+        }
 
         EulerTour { entry, exit }
     }
@@ -313,16 +339,29 @@ impl EulerTour {
     /// Values must be small enough that the total fits in `i64`.
     #[must_use]
     pub fn ancestor_sums(&self, ctx: &Ctx, values: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.ancestor_sums_into(ctx, values, &mut out);
+        out
+    }
+
+    /// [`EulerTour::ancestor_sums`] writing into a reusable output buffer;
+    /// the delta and prefix intermediates are workspace checkouts, so the
+    /// whole pass is allocation-free once the pools are warm.
+    pub fn ancestor_sums_into(&self, ctx: &Ctx, values: &[u64], out: &mut Vec<u64>) {
         let n = self.len();
         assert_eq!(values.len(), n);
+        out.clear();
         if n == 0 {
-            return Vec::new();
+            return;
         }
         // Scatter +value at entry positions and -value at exit positions,
         // then an exclusive prefix sum evaluated at entry(v) counts exactly
         // the currently-open nodes, i.e. v's proper ancestors (v's own +value
-        // sits *at* entry(v) and is excluded by exclusivity).
-        let mut deltas = vec![0i64; 2 * n];
+        // sits *at* entry(v) and is excluded by exclusivity).  The entry/exit
+        // positions cover 0..2n exactly, so the scatter fully overwrites the
+        // checked-out delta buffer.
+        let ws = ctx.workspace();
+        let mut deltas = ws.take_i64(2 * n);
         let ptr = SendPtr(deltas.as_mut_ptr());
         ctx.par_for_idx(n, |v| {
             let p = ptr;
@@ -332,20 +371,81 @@ impl EulerTour {
                 *p.0.add(self.exit[v] as usize) = -(values[v] as i64);
             }
         });
-        let prefix = scan_generic(ctx, &deltas, 0i64, |a, b| a + b, false);
-        ctx.par_map_idx(n, |v| {
-            let s = prefix[self.entry[v] as usize];
-            debug_assert!(s >= 0);
-            s as u64
-        })
+        let mut prefix = ws.take_i64(0);
+        scan_generic_into(ctx, &deltas, 0i64, |a, b| a + b, false, &mut prefix);
+        out.resize(n, 0);
+        ctx.par_update(out, |v, s| {
+            let sum = prefix[self.entry[v] as usize];
+            debug_assert!(sum >= 0);
+            *s = sum as u64;
+        });
+    }
+
+    /// Specialization of [`EulerTour::ancestor_sums_into`] for 0/1 flag
+    /// values: for every node, the number of *proper* ancestors whose flag is
+    /// set.  Counts are bounded by `n`, so the deltas and the prefix scan run
+    /// over u32 words in two's complement (wrapping adds), halving the
+    /// memory traffic of the i64 general case.  The passes and charges are
+    /// identical to [`EulerTour::ancestor_sums_into`].
+    ///
+    /// # Panics
+    /// Debug-asserts every flag is 0 or 1.
+    pub fn ancestor_counts_into(&self, ctx: &Ctx, flags: &[u64], out: &mut Vec<u64>) {
+        let n = self.len();
+        assert_eq!(flags.len(), n);
+        debug_assert!(flags.iter().all(|&v| v <= 1), "flags must be 0/1");
+        out.clear();
+        if n == 0 {
+            return;
+        }
+        let ws = ctx.workspace();
+        let mut deltas = ws.take_u32(2 * n);
+        let ptr = SendPtr(deltas.as_mut_ptr());
+        ctx.par_for_idx(n, |v| {
+            let p = ptr;
+            let f = flags[v] as u32;
+            // Safety: entry/exit positions are all distinct.
+            unsafe {
+                *p.0.add(self.entry[v] as usize) = f;
+                *p.0.add(self.exit[v] as usize) = f.wrapping_neg();
+            }
+        });
+        let mut prefix = ws.take_u32(0);
+        scan_generic_into(
+            ctx,
+            &deltas,
+            0u32,
+            |a, b| a.wrapping_add(b),
+            false,
+            &mut prefix,
+        );
+        out.resize(n, 0);
+        ctx.par_update(out, |v, s| {
+            let count = prefix[self.entry[v] as usize];
+            debug_assert!(count as usize <= n);
+            *s = u64::from(count);
+        });
     }
 
     /// Depth of every node below its root (roots have level 0).
     #[must_use]
     pub fn levels(&self, ctx: &Ctx) -> Vec<u32> {
-        let ones = vec![1u64; self.len()];
-        let sums = self.ancestor_sums(ctx, &ones);
-        ctx.par_map_idx(self.len(), |v| sums[v] as u32)
+        let mut out = Vec::new();
+        self.levels_into(ctx, &mut out);
+        out
+    }
+
+    /// [`EulerTour::levels`] writing into a reusable output buffer.
+    pub fn levels_into(&self, ctx: &Ctx, out: &mut Vec<u32>) {
+        let n = self.len();
+        out.clear();
+        let ws = ctx.workspace();
+        let mut ones = ws.take_u64(n);
+        ones.fill(1);
+        let mut sums = ws.take_u64(0);
+        self.ancestor_counts_into(ctx, &ones, &mut sums);
+        out.resize(n, 0);
+        ctx.par_update(out, |v, l| *l = sums[v] as u32);
     }
 }
 

@@ -27,23 +27,64 @@ use sfcp_pram::Ctx;
 /// a cycle other than the root self-loops (checked in debug builds only).
 #[must_use]
 pub fn find_roots(ctx: &Ctx, parent: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    find_roots_into(ctx, parent, &mut out);
+    out
+}
+
+/// [`find_roots`] writing into a reusable output buffer.  The per-round jump
+/// arrays ping-pong between `out` and one workspace checkout, so the
+/// `O(log n)` rounds allocate nothing once the pool is warm.
+pub fn find_roots_into(ctx: &Ctx, parent: &[u32], out: &mut Vec<u32>) {
     let n = parent.len();
+    out.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     for (i, &p) in parent.iter().enumerate() {
         assert!((p as usize) < n, "parent[{i}] = {p} out of range");
     }
-    let mut up: Vec<u32> = parent.to_vec();
+    out.resize(n, 0);
+    out.copy_from_slice(parent);
+    let ws = ctx.workspace();
+    let mut next_up = ws.take_u32(n);
     let rounds = sfcp_pram::ceil_log2(n) + 1;
-    for _ in 0..rounds {
-        up = ctx.par_map_idx(n, |i| up[up[i] as usize]);
+    for r in 0..rounds {
+        {
+            let up: &[u32] = out;
+            ctx.par_update(&mut next_up, |i, u| *u = up[up[i] as usize]);
+        }
+        if *next_up == *out {
+            // Converged: every pointer is already at its root, so the
+            // remaining rounds would be identity passes.  Charge them without
+            // executing — the model cost of pointer jumping is
+            // input-independent (ceil_log2(n) + 1 rounds), only the wall
+            // clock shortcuts.
+            charge_skipped_rounds(ctx, (rounds - 1 - r) as u64, n as u64);
+            return;
+        }
+        std::mem::swap(out, &mut *next_up);
     }
     debug_assert!(
-        (0..n).all(|i| up[up[i] as usize] == up[i]),
+        (0..n).all(|i| out[out[i] as usize] == out[i]),
         "pointer jumping did not converge — `parent` is not a rooted forest"
     );
-    up
+}
+
+/// A raw pointer wrapper that asserts cross-thread transferability.  Every
+/// use in this module writes disjoint indices from different tasks.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Charge `skipped` rounds of `ops_per_round` operations each — the cost of
+/// pointer-jumping rounds that an early convergence exit did not execute.
+/// Keeps tracked work/depth byte-identical to the always-run-all-rounds
+/// baseline (see DESIGN.md "Charge discipline").
+fn charge_skipped_rounds(ctx: &Ctx, skipped: u64, ops_per_round: u64) {
+    ctx.charge_work(skipped * ops_per_round);
+    ctx.charge_rounds(skipped);
 }
 
 /// For every node of a rooted forest, its distance (number of edges) to the
@@ -57,14 +98,30 @@ pub fn distance_to_root(ctx: &Ctx, parent: &[u32]) -> Vec<u32> {
     for (i, &p) in parent.iter().enumerate() {
         assert!((p as usize) < n, "parent[{i}] = {p} out of range");
     }
-    let mut up: Vec<u32> = parent.to_vec();
+    let ws = ctx.workspace();
+    let mut up = ws.take_u32(n);
+    up.copy_from_slice(parent);
     let mut dist: Vec<u32> = ctx.par_map_idx(n, |i| u32::from(parent[i] as usize != i));
+    let mut next_dist = ws.take_u32(n);
+    let mut next_up = ws.take_u32(n);
     let rounds = sfcp_pram::ceil_log2(n) + 1;
-    for _ in 0..rounds {
-        let new_dist: Vec<u32> = ctx.par_map_idx(n, |i| dist[i] + dist[up[i] as usize]);
-        let new_up: Vec<u32> = ctx.par_map_idx(n, |i| up[up[i] as usize]);
-        dist = new_dist;
-        up = new_up;
+    for r in 0..rounds {
+        {
+            let (dist_ref, up_ref) = (&dist, &up);
+            ctx.par_update(&mut next_dist, |i, d| {
+                *d = dist_ref[i] + dist_ref[up_ref[i] as usize];
+            });
+            let up_ref = &up;
+            ctx.par_update(&mut next_up, |i, u| *u = up_ref[up_ref[i] as usize]);
+        }
+        std::mem::swap(&mut dist, &mut *next_dist);
+        std::mem::swap(&mut *up, &mut *next_up);
+        if *next_up == *up {
+            // All pointers at their roots (dist[root] = 0, so dist is stable
+            // too); charge the skipped rounds and stop.
+            charge_skipped_rounds(ctx, 2 * (rounds - 1 - r) as u64, n as u64);
+            break;
+        }
     }
     dist
 }
@@ -77,29 +134,236 @@ pub fn distance_to_root(ctx: &Ctx, parent: &[u32]) -> Vec<u32> {
 /// Panics if `succ` is not a permutation of `0..succ.len()`.
 #[must_use]
 pub fn permutation_cycle_min(ctx: &Ctx, succ: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    permutation_cycle_min_into(ctx, succ, &mut out);
+    out
+}
+
+/// [`permutation_cycle_min`] writing into a reusable output buffer; all
+/// per-round jump/best arrays are workspace checkouts ping-ponged across the
+/// `O(log n)` rounds.
+pub fn permutation_cycle_min_into(ctx: &Ctx, succ: &[u32], out: &mut Vec<u32>) {
     let n = succ.len();
+    out.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
+    let ws = ctx.workspace();
     // Validate permutation-ness: every element must appear exactly once.
-    let mut seen = vec![false; n];
+    // `seen` is a bitset so the random probes stay inside an n/8-byte,
+    // cache-resident buffer.
+    let mut seen = ws.take_u64(n.div_ceil(64));
+    seen.fill(0);
     for (i, &s) in succ.iter().enumerate() {
         assert!((s as usize) < n, "succ[{i}] = {s} out of range");
-        assert!(!seen[s as usize], "succ is not a permutation: {s} repeated");
-        seen[s as usize] = true;
+        let (word, bit) = (s as usize / 64, s as usize % 64);
+        assert!(
+            seen[word] >> bit & 1 == 0,
+            "succ is not a permutation: {s} repeated"
+        );
+        seen[word] |= 1 << bit;
     }
     ctx.charge_step(n as u64);
 
-    let mut jump: Vec<u32> = succ.to_vec();
-    let mut best: Vec<u32> = ctx.par_map_idx(n, |i| (i as u32).min(succ[i]));
+    if n > CYCLE_MIN_CONTRACTION_THRESHOLD {
+        cycle_min_by_contraction(ctx, succ, out);
+        return;
+    }
+
+    // Packed (best, jump) state — the cache-aware twin of the classic
+    // two-array doubling loop.  A round reads `best[jump[i]]` and
+    // `jump[jump[i]]`, i.e. the *same* random index in two arrays; packing
+    // both halves into one u64 word makes that a single gather per element
+    // per round instead of two (plus the sequential read), at 8 bytes of
+    // traffic.  Charges are pinned to the two-pass baseline below.
+    let mut state = ws.take_u64(n);
+    ctx.par_update(&mut state, |i, s| {
+        let best = (i as u32).min(succ[i]);
+        *s = (u64::from(best) << 32) | u64::from(succ[i]);
+    });
+    let mut next_state = ws.take_u64(n);
     let rounds = sfcp_pram::ceil_log2(n) + 1;
     for _ in 0..rounds {
-        let new_best: Vec<u32> = ctx.par_map_idx(n, |i| best[i].min(best[jump[i] as usize]));
-        let new_jump: Vec<u32> = ctx.par_map_idx(n, |i| jump[jump[i] as usize]);
-        best = new_best;
-        jump = new_jump;
+        {
+            let state_ref = &state;
+            ctx.par_update(&mut next_state, |i, s| {
+                let cur = state_ref[i];
+                let via = state_ref[(cur & 0xFFFF_FFFF) as usize];
+                let best = (cur >> 32).min(via >> 32);
+                *s = (best << 32) | (via & 0xFFFF_FFFF);
+            });
+        }
+        // The baseline advances `best` and `jump` as two separate parallel
+        // passes; the fused packed pass above charged one of them.
+        ctx.charge_step(n as u64);
+        std::mem::swap(&mut *state, &mut *next_state);
     }
-    best
+    // Unpack the cycle minima (uncharged glue, like the payload extraction
+    // of the packed sort engine).
+    out.resize(n, 0);
+    for (o, &s) in out.iter_mut().zip(state.iter()) {
+        *o = (s >> 32) as u32;
+    }
+}
+
+/// Above this size the cycle-min labeling runs as a sparse-ruling-set
+/// contraction instead of whole-array pointer jumping: `log n` rounds of
+/// random gathers over the full array lose badly to one segment walk plus
+/// jumping over a `k`-times-smaller, cache-resident contracted list.
+const CYCLE_MIN_CONTRACTION_THRESHOLD: usize = 4096;
+
+/// Cycle minima by sparse-ruling-set contraction (execution path for large
+/// inputs).
+///
+/// Sample ~`n / k` rulers deterministically, walk each inter-ruler segment
+/// once recording the segment minimum and the end ruler of every element,
+/// pointer-jump (packed) over the contracted ruler list, and expand.  Cycles
+/// that received no sampled ruler are swept sequentially at the end (w.h.p. a
+/// vanishing fraction; the sweep is linear in the number of uncovered
+/// elements).
+///
+/// Charge discipline: the model cost of this routine is pinned to the
+/// documented pointer-jumping substitution — init plus two steps of `n`
+/// operations for each of `ceil_log2(n) + 1` rounds, exactly what the
+/// jumping path of [`permutation_cycle_min_into`] charges after validation.
+/// The contraction's own (smaller) pass charges are counted and the
+/// remainder is topped up, so tracked work/depth is independent of which
+/// execution path ran (see DESIGN.md "Charge discipline").
+fn cycle_min_by_contraction(ctx: &Ctx, succ: &[u32], out: &mut Vec<u32>) {
+    let n = succ.len();
+    let ws = ctx.workspace();
+    let before = ctx.stats();
+    let rounds = (sfcp_pram::ceil_log2(n) + 1) as u64;
+    let target_work = (n as u64) * (1 + 2 * rounds);
+    let target_rounds = 1 + 2 * rounds;
+
+    let k = sfcp_pram::ceil_log2(n).max(2) as usize * 2;
+    // Rulers: fixed points (their cycle is just {i}) plus a deterministic
+    // 1/k hash sample.  A cycle may end up with no ruler at all — handled by
+    // the final sequential sweep.
+    let mut is_ruler = ws.take_u8(n);
+    ctx.par_update(&mut is_ruler, |i, r| {
+        *r = u8::from(
+            succ[i] as usize == i
+                || (sfcp_pram::fxhash::hash_u64(i as u64) as usize).is_multiple_of(k),
+        );
+    });
+    let mut ruler_ids = ws.take_u32(0);
+    crate::compact::compact_indices_into(ctx, n, |i| is_ruler[i] == 1, &mut ruler_ids);
+    let m = ruler_ids.len();
+    // Only ruler slots are read back, so no fill.
+    let mut ruler_index = ws.take_u32(n);
+    for (j, &r) in ruler_ids.iter().enumerate() {
+        ruler_index[r as usize] = j as u32;
+    }
+
+    // Walk every segment once: record the end ruler of each element and the
+    // segment minimum, building the contracted (min, next-ruler) state
+    // directly in packed form.  `end_ruler[i] == u32::MAX` afterwards marks
+    // elements on ruler-free cycles.
+    let mut end_ruler = ws.take_u32(n);
+    end_ruler.fill(u32::MAX);
+    let mut state = ws.take_u64(m);
+    {
+        let end_ptr = SendPtr(end_ruler.as_mut_ptr());
+        let state_ptr = SendPtr(state.as_mut_ptr());
+        let (ruler_ids, ruler_index, is_ruler) = (&ruler_ids, &ruler_index, &is_ruler);
+        ctx.par_for_idx(m, |j| {
+            let start = ruler_ids[j] as usize;
+            let mut min = start as u32;
+            let mut cur = succ[start] as usize;
+            let (ep, sp) = (end_ptr, state_ptr);
+            while cur != start && is_ruler[cur] == 0 {
+                // Safety: each element is interior to exactly one segment.
+                unsafe {
+                    *ep.0.add(cur) = j as u32;
+                }
+                min = min.min(cur as u32);
+                cur = succ[cur] as usize;
+            }
+            // Wrapped all the way around: this cycle's only ruler is j.
+            let next_ruler = if cur == start {
+                j as u32
+            } else {
+                ruler_index[cur]
+            };
+            // Safety: one writer per ruler.
+            unsafe {
+                *ep.0.add(start) = j as u32;
+                *sp.0.add(j) = (u64::from(min) << 32) | u64::from(next_ruler);
+            }
+        });
+    }
+
+    // Packed min-jumping over the contracted list (m ≈ n / k elements, so
+    // the state stays cache-resident); stops as soon as the minima
+    // stabilize.
+    let mut next_state = ws.take_u64(m);
+    for _ in 0..sfcp_pram::ceil_log2(m.max(2)) + 1 {
+        {
+            let state_ref = &state;
+            ctx.par_update(&mut next_state, |j, s| {
+                let cur = state_ref[j];
+                let via = state_ref[(cur & 0xFFFF_FFFF) as usize];
+                let best = (cur >> 32).min(via >> 32);
+                *s = (best << 32) | (via & 0xFFFF_FFFF);
+            });
+        }
+        let stable = state
+            .iter()
+            .zip(next_state.iter())
+            .all(|(a, b)| a >> 32 == b >> 32);
+        std::mem::swap(&mut *state, &mut *next_state);
+        if stable {
+            break;
+        }
+    }
+
+    // Expand: every covered element takes its end ruler's cycle minimum.
+    out.resize(n, 0);
+    {
+        let (end_ruler, state) = (&end_ruler, &state);
+        ctx.par_update(out, |i, o| {
+            let e = end_ruler[i];
+            *o = if e == u32::MAX {
+                u32::MAX // ruler-free cycle, resolved below
+            } else {
+                (state[e as usize] >> 32) as u32
+            };
+        });
+    }
+
+    // Sequential sweep over ruler-free cycles (each walked twice: minimum,
+    // then assignment).
+    for i in 0..n {
+        if end_ruler[i] != u32::MAX {
+            continue;
+        }
+        let mut min = i as u32;
+        let mut cur = succ[i] as usize;
+        while cur != i {
+            min = min.min(cur as u32);
+            cur = succ[cur] as usize;
+        }
+        out[i] = min;
+        end_ruler[i] = u32::MAX - 1;
+        let mut cur = succ[i] as usize;
+        while cur != i {
+            out[cur] = min;
+            end_ruler[cur] = u32::MAX - 1;
+            cur = succ[cur] as usize;
+        }
+    }
+
+    // Top up to the pinned jumping-path charges.
+    let consumed = ctx.stats();
+    let (dw, dr) = (consumed.work - before.work, consumed.rounds - before.rounds);
+    debug_assert!(
+        dw <= target_work && dr <= target_rounds,
+        "contraction consumed more than the pinned jumping budget ({dw}/{target_work} work, {dr}/{target_rounds} rounds)"
+    );
+    ctx.charge_work(target_work.saturating_sub(dw));
+    ctx.charge_rounds(target_rounds.saturating_sub(dr));
 }
 
 #[cfg(test)]
@@ -192,6 +456,89 @@ mod tests {
     fn rejects_non_permutation() {
         let ctx = Ctx::sequential();
         let _ = permutation_cycle_min(&ctx, &[0, 0, 1]);
+    }
+
+    /// Reference cycle minima by walking every cycle.
+    fn reference_cycle_min(succ: &[u32]) -> Vec<u32> {
+        let n = succ.len();
+        let mut expected = vec![u32::MAX; n];
+        for start in 0..n {
+            if expected[start] != u32::MAX {
+                continue;
+            }
+            let mut members = vec![start];
+            let mut cur = succ[start] as usize;
+            while cur != start {
+                members.push(cur);
+                cur = succ[cur] as usize;
+            }
+            let m = *members.iter().min().unwrap() as u32;
+            for x in members {
+                expected[x] = m;
+            }
+        }
+        expected
+    }
+
+    /// The contraction path (n > threshold) must agree with the reference on
+    /// large shuffled permutations in both modes.
+    #[test]
+    fn contraction_path_matches_reference_large() {
+        use sfcp_pram::Mode;
+        for seed in 0..3 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 20_000 + seed as usize * 7;
+            let mut succ: Vec<u32> = (0..n as u32).collect();
+            succ.shuffle(&mut rng);
+            let expected = reference_cycle_min(&succ);
+            for mode in [Mode::Sequential, Mode::Parallel] {
+                let ctx = Ctx::new(mode);
+                assert_eq!(
+                    permutation_cycle_min(&ctx, &succ),
+                    expected,
+                    "seed {seed}, {mode:?}"
+                );
+            }
+        }
+    }
+
+    /// Cycles whose members are all unsampled (no hash-selected ruler) are
+    /// resolved by the sequential sweep.
+    #[test]
+    fn contraction_handles_ruler_free_cycles() {
+        let n = 10_000;
+        let k = (sfcp_pram::ceil_log2(n) as usize).max(2) * 2;
+        // Collect unsampled indices and link them into cycles of length 7.
+        let unsampled: Vec<u32> = (0..n as u32)
+            .filter(|&i| !(sfcp_pram::fxhash::hash_u64(u64::from(i)) as usize).is_multiple_of(k))
+            .collect();
+        assert!(unsampled.len() > 100, "sampling rate sanity");
+        let mut succ: Vec<u32> = (0..n as u32).collect();
+        for chunk in unsampled.chunks(7).take(40) {
+            for w in 0..chunk.len() {
+                succ[chunk[w] as usize] = chunk[(w + 1) % chunk.len()];
+            }
+        }
+        let expected = reference_cycle_min(&succ);
+        let ctx = Ctx::parallel();
+        assert_eq!(permutation_cycle_min(&ctx, &succ), expected);
+    }
+
+    /// The contraction execution must charge exactly what the jumping path
+    /// charges: validation + init + two steps of n per round.
+    #[test]
+    fn contraction_charges_match_jumping_model() {
+        let n = 30_000;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut succ: Vec<u32> = (0..n as u32).collect();
+        succ.shuffle(&mut rng);
+        let ctx = Ctx::parallel();
+        let _ = permutation_cycle_min(&ctx, &succ);
+        let rounds = (sfcp_pram::ceil_log2(n) + 1) as u64;
+        let expected_work = (n as u64) * (2 + 2 * rounds);
+        let expected_rounds = 2 + 2 * rounds;
+        assert_eq!(ctx.stats().work, expected_work);
+        assert_eq!(ctx.stats().rounds, expected_rounds);
     }
 
     proptest! {

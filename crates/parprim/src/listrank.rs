@@ -37,9 +37,18 @@ pub enum ListRankMethod {
 /// Panics if `next` contains an out-of-range index.
 #[must_use]
 pub fn list_rank(ctx: &Ctx, next: &[u32], method: ListRankMethod) -> Vec<u32> {
+    let mut out = Vec::new();
+    list_rank_into(ctx, next, method, &mut out);
+    out
+}
+
+/// [`list_rank`] writing into a reusable output buffer, so repeated rankings
+/// (the Euler-tour and cycle-ranking passes of a decomposition) allocate
+/// nothing once the caller's buffer and the workspace pools are warm.
+pub fn list_rank_into(ctx: &Ctx, next: &[u32], method: ListRankMethod, out: &mut Vec<u32>) {
     match method {
-        ListRankMethod::Wyllie => list_rank_wyllie(ctx, next),
-        ListRankMethod::RulingSet => list_rank_ruling_set(ctx, next),
+        ListRankMethod::Wyllie => list_rank_wyllie_into(ctx, next, out),
+        ListRankMethod::RulingSet => list_rank_ruling_set_into(ctx, next, out),
     }
 }
 
@@ -49,45 +58,77 @@ pub fn list_rank(ctx: &Ctx, next: &[u32], method: ListRankMethod) -> Vec<u32> {
 /// so the `O(log n)` rounds allocate O(1) buffers per run.
 #[must_use]
 pub fn list_rank_wyllie(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    list_rank_wyllie_into(ctx, next, &mut out);
+    out
+}
+
+/// [`list_rank_wyllie`] writing into a reusable output buffer.
+pub fn list_rank_wyllie_into(ctx: &Ctx, next: &[u32], out: &mut Vec<u32>) {
     let n = next.len();
+    out.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     for (i, &s) in next.iter().enumerate() {
         assert!((s as usize) < n, "next[{i}] = {s} out of range");
     }
-    let mut succ: Vec<u32> = next.to_vec();
-    let mut rank: Vec<u32> = ctx.par_map_idx(n, |i| u32::from(next[i] as usize != i));
     let ws = ctx.workspace();
+    let mut succ = ws.take_u32(n);
+    succ.copy_from_slice(next);
+    out.resize(n, 0);
+    ctx.par_update(out, |i, r| *r = u32::from(next[i] as usize != i));
     let mut next_rank = ws.take_u32(n);
     let mut next_succ = ws.take_u32(n);
     let rounds = sfcp_pram::ceil_log2(n) + 1;
-    for _ in 0..rounds {
+    for r in 0..rounds {
         // Synchronous step: read the old arrays, write fresh ones.
         {
-            let rank_ref = &rank;
+            let rank_ref: &[u32] = out;
             let succ_ref = &succ;
             ctx.par_update(&mut next_rank, |i, r| {
                 *r = rank_ref[i] + rank_ref[succ_ref[i] as usize];
             });
+            let succ_ref = &succ;
             ctx.par_update(&mut next_succ, |i, s| *s = succ_ref[succ_ref[i] as usize]);
         }
-        std::mem::swap(&mut rank, &mut *next_rank);
-        std::mem::swap(&mut succ, &mut *next_succ);
+        std::mem::swap(out, &mut *next_rank);
+        std::mem::swap(&mut *succ, &mut *next_succ);
+        if *next_succ == *succ {
+            // Every pointer reached its terminal (whose rank is and stays 0),
+            // so further rounds are identity passes: charge them without
+            // executing (see DESIGN.md "Charge discipline").
+            let skipped = (rounds - 1 - r) as u64;
+            ctx.charge_work(2 * skipped * n as u64);
+            ctx.charge_rounds(2 * skipped);
+            break;
+        }
     }
-    rank
 }
 
 /// Sparse-ruling-set list ranking (work-efficient).
 #[must_use]
 pub fn list_rank_ruling_set(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    list_rank_ruling_set_into(ctx, next, &mut out);
+    out
+}
+
+/// [`list_rank_ruling_set`] writing into a reusable output buffer.  All
+/// intermediates — ruler flags, per-node segment data, the contracted list —
+/// are workspace checkouts, and segments are walked twice with O(1) memory
+/// (measure, then re-walk and scatter) instead of collecting a per-segment
+/// path vector.
+pub fn list_rank_ruling_set_into(ctx: &Ctx, next: &[u32], out: &mut Vec<u32>) {
     let n = next.len();
+    out.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     if n <= 1024 {
         // Tiny inputs: pointer jumping is already cheap.
-        return list_rank_wyllie(ctx, next);
+        list_rank_wyllie_into(ctx, next, out);
+        return;
     }
     for (i, &s) in next.iter().enumerate() {
         assert!((s as usize) < n, "next[{i}] = {s} out of range");
@@ -96,30 +137,53 @@ pub fn list_rank_ruling_set(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
     // Segment length target ~ log n keeps the expected work linear while the
     // per-segment sequential walks stay short.
     let k = (sfcp_pram::ceil_log2(n) as usize).max(2) * 2;
+    let ws = ctx.workspace();
 
     // Heads (no predecessor) must be rulers, or the prefix of a list before
     // the first sampled ruler would never be walked.  Terminals are rulers by
     // construction of the contracted list.
-    let mut has_pred = vec![false; n];
+    let mut has_pred = ws.take_u8(n);
+    has_pred.fill(0);
     for (i, &s) in next.iter().enumerate() {
         if s as usize != i {
-            has_pred[s as usize] = true;
+            has_pred[s as usize] = 1;
         }
     }
     ctx.charge_step(n as u64);
 
     // Deterministic pseudo-random sampling: element i is a ruler iff its hash
-    // falls in a 1/k slice, or it is a head, or it is a terminal.
-    let is_ruler: Vec<bool> = ctx.par_map_idx(n, |i| {
-        !has_pred[i] || next[i] as usize == i || (hash_u64(i as u64) as usize).is_multiple_of(k)
-    });
+    // falls in a 1/k slice, or it is a head, or it is a terminal.  The same
+    // pass also packs the successor and the ruler flag into one word
+    // (`next[i] | ruler << 31`), so the segment walks below cost a single
+    // gather per hop instead of touching two arrays.
+    assert!(
+        n < (1 << 31),
+        "list_rank_ruling_set packs successors and ruler flags into u32 words"
+    );
+    let mut is_ruler = ws.take_u8(n);
+    let mut flagged_next = ws.take_u32(n);
+    {
+        let flagged_ptr = SendPtr(flagged_next.as_mut_ptr());
+        let has_pred = &has_pred;
+        ctx.par_update(&mut is_ruler, |i, r| {
+            let ruler = has_pred[i] == 0
+                || next[i] as usize == i
+                || (hash_u64(i as u64) as usize).is_multiple_of(k);
+            *r = u8::from(ruler);
+            let p = flagged_ptr;
+            // Safety: each i writes its own slot.
+            unsafe {
+                *p.0.add(i) = next[i] | (u32::from(ruler) << 31);
+            }
+        });
+    }
 
     // Walk from every ruler to the next ruler, recording for every element on
     // the way its local distance to the segment's *end ruler*, and for every
     // ruler the identity of the next ruler plus the segment length.
-    let ruler_ids: Vec<u32> = crate::compact::compact_indices(ctx, n, |i| is_ruler[i]);
+    let mut ruler_ids = ws.take_u32(0);
+    crate::compact::compact_indices_into(ctx, n, |i| is_ruler[i] == 1, &mut ruler_ids);
     let m = ruler_ids.len();
-    let ws = ctx.workspace();
     let mut ruler_index = ws.take_u32(n);
     ruler_index.fill(u32::MAX);
     for (j, &r) in ruler_ids.iter().enumerate() {
@@ -128,90 +192,116 @@ pub fn list_rank_ruling_set(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
     ctx.charge_step(m as u64);
 
     // One parallel pass over segments: starting from every ruler, walk until
-    // the next ruler (or a terminal, which is itself a ruler).  For every
-    // interior node record (a) its hop distance to the segment end and
-    // (b) which ruler that end is.  Writes are disjoint because each interior
-    // node lies in exactly one segment.
+    // the next ruler (or a terminal, which is itself a ruler).  Each segment
+    // is walked twice with O(1) memory: a first walk measures the hop count
+    // and finds the end ruler, a second walk scatters, for every node before
+    // the end, (a) its hop distance to the segment end and (b) which ruler
+    // that end is.  Writes are disjoint because each node lies in exactly one
+    // segment.  No fill is needed: every non-ruler node is interior to
+    // exactly one segment and therefore written, and only non-ruler slots
+    // are read back.
     let mut local_dist = ws.take_u32(n);
-    local_dist.fill(0);
     let mut end_ruler = ws.take_u32(n);
-    end_ruler.fill(u32::MAX);
-    let dist_ptr = SendPtr(local_dist.as_mut_ptr());
-    let end_ptr = SendPtr(end_ruler.as_mut_ptr());
-    let seg_results: Vec<(u32, u32)> = ctx.par_map_idx(m, |j| {
-        let start = ruler_ids[j] as usize;
-        let mut path = Vec::new();
-        let mut cur = start;
-        loop {
-            let nxt = next[cur] as usize;
-            if nxt == cur {
-                break; // terminal: segment ends here
+    let mut seg_next = ws.take_u32(m);
+    let mut seg_len = ws.take_u32(m);
+    {
+        let dist_ptr = SendPtr(local_dist.as_mut_ptr());
+        let end_ptr = SendPtr(end_ruler.as_mut_ptr());
+        let next_ptr = SendPtr(seg_next.as_mut_ptr());
+        let len_ptr = SendPtr(seg_len.as_mut_ptr());
+        const LOW: u32 = (1 << 31) - 1;
+        let (ruler_ids, ruler_index, flagged_next) = (&ruler_ids, &ruler_index, &flagged_next);
+        ctx.par_for_idx(m, |j| {
+            let start = ruler_ids[j] as usize;
+            // Walk 1: measure the segment (hops from start to its end ruler).
+            // Each hop is one gather of the packed successor-plus-flag word.
+            let mut len = 0u32;
+            let mut cur = start;
+            let mut word = flagged_next[cur];
+            loop {
+                let nxt = (word & LOW) as usize;
+                if nxt == cur {
+                    break; // terminal: segment ends here
+                }
+                len += 1;
+                cur = nxt;
+                word = flagged_next[cur];
+                if word >> 31 == 1 {
+                    break;
+                }
             }
-            path.push(cur);
-            cur = nxt;
-            if is_ruler[cur] {
-                break;
+            let end = ruler_index[cur];
+            // Walk 2: scatter distances for the nodes strictly before the
+            // segment end (including the starting ruler itself); revisits the
+            // nodes walk 1 just pulled into cache.
+            let (dp, ep, np, lp) = (dist_ptr, end_ptr, next_ptr, len_ptr);
+            let mut cur = start;
+            for steps_from_start in 0..len {
+                // Safety: disjoint segments → each node written at most once.
+                unsafe {
+                    *dp.0.add(cur) = len - steps_from_start;
+                    *ep.0.add(cur) = end;
+                }
+                cur = (flagged_next[cur] & LOW) as usize;
             }
-        }
-        // `path` holds the nodes strictly before the segment end `cur`
-        // (including the starting ruler itself).
-        let end = ruler_index[cur];
-        let (dp, ep) = (dist_ptr, end_ptr);
-        for (steps_from_start, &node) in path.iter().enumerate() {
-            // Safety: disjoint segments → each node written at most once.
+            // Safety: one writer per ruler j.
             unsafe {
-                *dp.0.add(node) = (path.len() - steps_from_start) as u32;
-                *ep.0.add(node) = end;
+                *np.0.add(j) = end;
+                *lp.0.add(j) = len;
             }
-        }
-        (end, path.len() as u32)
-    });
+        });
+    }
     ctx.charge_work(n as u64);
 
     // Contracted list over rulers; rank it with weighted Wyllie
-    // (m ≈ n / k elements, weight of ruler j = its segment length in hops).
-    // The round-local arrays ping-pong through the workspace.
-    let contracted_rank_in_hops = {
-        let mut succ: Vec<u32> = seg_results.iter().map(|&(nr, _)| nr).collect();
-        let mut rank: Vec<u64> = (0..m)
-            .map(|j| {
-                if succ[j] as usize == j {
-                    0
-                } else {
-                    u64::from(seg_results[j].1)
-                }
-            })
-            .collect();
-        let mut next_rank = ws.take_u64(m);
+    // (m ≈ n / k elements, weight of ruler j = its segment length in hops;
+    // ranks are bounded by the list length, so u32 words suffice).  The
+    // round-local arrays ping-pong through the workspace; the measured
+    // segment successors double as the initial contracted list.
+    let mut succ = seg_next;
+    let mut rank = ws.take_u32(m);
+    for j in 0..m {
+        rank[j] = if succ[j] as usize == j { 0 } else { seg_len[j] };
+    }
+    {
+        let mut next_rank = ws.take_u32(m);
         let mut next_succ = ws.take_u32(m);
         let rounds = sfcp_pram::ceil_log2(m.max(2)) + 1;
-        for _ in 0..rounds {
+        for r in 0..rounds {
             {
                 let rank_ref = &rank;
                 let succ_ref = &succ;
                 ctx.par_update(&mut next_rank, |j, r| {
                     *r = rank_ref[j] + rank_ref[succ_ref[j] as usize];
                 });
+                let succ_ref = &succ;
                 ctx.par_update(&mut next_succ, |j, s| *s = succ_ref[succ_ref[j] as usize]);
             }
-            std::mem::swap(&mut rank, &mut *next_rank);
-            std::mem::swap(&mut succ, &mut *next_succ);
+            std::mem::swap(&mut *rank, &mut *next_rank);
+            std::mem::swap(&mut *succ, &mut *next_succ);
+            if *next_succ == *succ {
+                // Converged (terminal weights are 0): charge the skipped
+                // rounds without executing them.
+                let skipped = (rounds - 1 - r) as u64;
+                ctx.charge_work(2 * skipped * m as u64);
+                ctx.charge_rounds(2 * skipped);
+                break;
+            }
         }
-        rank
-    };
+    }
+    let contracted_rank_in_hops = rank;
 
     // Final rank: a ruler takes its contracted rank; an interior node adds
     // its local distance to the rank of its segment's end ruler.
     ctx.charge_step(n as u64);
-    (0..n)
-        .map(|i| {
-            if is_ruler[i] {
-                contracted_rank_in_hops[ruler_index[i] as usize] as u32
-            } else {
-                local_dist[i] + contracted_rank_in_hops[end_ruler[i] as usize] as u32
-            }
-        })
-        .collect()
+    out.resize(n, 0);
+    for (i, r) in out.iter_mut().enumerate() {
+        *r = if is_ruler[i] == 1 {
+            contracted_rank_in_hops[ruler_index[i] as usize]
+        } else {
+            local_dist[i] + contracted_rank_in_hops[end_ruler[i] as usize]
+        };
+    }
 }
 
 #[derive(Clone, Copy)]

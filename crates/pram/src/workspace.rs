@@ -49,17 +49,31 @@ pub struct WorkspaceStats {
     pub checkouts: u64,
     /// Checkouts that could not pop a pooled buffer (fresh `Vec`).
     pub misses: u64,
+    /// Buffers returned to the pools (guard drops).
+    pub returns: u64,
+}
+
+impl WorkspaceStats {
+    /// Checkouts whose guard has not yet been dropped.  Zero whenever no
+    /// [`Scratch`] guard is live — the leak-test invariant.
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        self.checkouts - self.returns
+    }
 }
 
 /// Pools of reusable scratch vectors, one per element type.
 #[derive(Debug, Default)]
 pub struct Workspace {
+    u8s: Mutex<Vec<Vec<u8>>>,
     u32s: Mutex<Vec<Vec<u32>>>,
     u64s: Mutex<Vec<Vec<u64>>>,
+    i64s: Mutex<Vec<Vec<i64>>>,
     recs: Mutex<Vec<Vec<Rec>>>,
     pairs: Mutex<Vec<Vec<(u64, u64)>>>,
     checkouts: AtomicU64,
     misses: AtomicU64,
+    returns: AtomicU64,
 }
 
 /// Element types the workspace pools.
@@ -67,9 +81,21 @@ pub trait Poolable: Copy + Default + Send + Sync + 'static {
     fn pool(ws: &Workspace) -> &Mutex<Vec<Vec<Self>>>;
 }
 
+impl Poolable for u8 {
+    fn pool(ws: &Workspace) -> &Mutex<Vec<Vec<u8>>> {
+        &ws.u8s
+    }
+}
+
 impl Poolable for u32 {
     fn pool(ws: &Workspace) -> &Mutex<Vec<Vec<u32>>> {
         &ws.u32s
+    }
+}
+
+impl Poolable for i64 {
+    fn pool(ws: &Workspace) -> &Mutex<Vec<Vec<i64>>> {
+        &ws.i64s
     }
 }
 
@@ -115,9 +141,21 @@ impl Workspace {
         Scratch { buf, ws: self }
     }
 
+    /// Check out a `Vec<u8>` of length `len` (0/1 flag arrays).
+    #[must_use]
+    pub fn take_u8(&self, len: usize) -> Scratch<'_, u8> {
+        self.take(len)
+    }
+
     /// Check out a `Vec<u32>` of length `len`.
     #[must_use]
     pub fn take_u32(&self, len: usize) -> Scratch<'_, u32> {
+        self.take(len)
+    }
+
+    /// Check out a `Vec<i64>` of length `len` (signed scan deltas).
+    #[must_use]
+    pub fn take_i64(&self, len: usize) -> Scratch<'_, i64> {
         self.take(len)
     }
 
@@ -146,7 +184,22 @@ impl Workspace {
         WorkspaceStats {
             checkouts: self.checkouts.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            returns: self.returns.load(Ordering::Relaxed),
         }
+    }
+
+    /// Number of buffers currently sitting in the pools (returned and
+    /// available).  Stable across repeated identical runs once the pools are
+    /// warm — together with `stats().outstanding() == 0` this is the
+    /// leak-test invariant.
+    #[must_use]
+    pub fn pooled_buffers(&self) -> usize {
+        self.u8s.lock().len()
+            + self.u32s.lock().len()
+            + self.u64s.lock().len()
+            + self.i64s.lock().len()
+            + self.recs.lock().len()
+            + self.pairs.lock().len()
     }
 }
 
@@ -175,6 +228,7 @@ impl<T: Poolable> DerefMut for Scratch<'_, T> {
 impl<T: Poolable> Drop for Scratch<'_, T> {
     fn drop(&mut self) {
         T::pool(self.ws).lock().push(std::mem::take(&mut self.buf));
+        self.ws.returns.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -253,5 +307,54 @@ mod tests {
     #[test]
     fn rec_layout_is_16_bytes() {
         assert_eq!(std::mem::size_of::<Rec>(), 16);
+    }
+
+    #[test]
+    fn u8_and_i64_pools_work() {
+        let ws = Workspace::new();
+        {
+            let mut f = ws.take_u8(64);
+            f.fill(1);
+            let mut d = ws.take_i64(64);
+            d[0] = -5;
+            assert_eq!(d[0], -5);
+            assert_eq!(f[63], 1);
+        }
+        // Warm re-checkout hits the pools.
+        let before = ws.stats();
+        drop(ws.take_u8(32));
+        drop(ws.take_i64(32));
+        assert_eq!(ws.stats().misses, before.misses);
+    }
+
+    #[test]
+    fn outstanding_tracks_live_guards() {
+        let ws = Workspace::new();
+        assert_eq!(ws.stats().outstanding(), 0);
+        let a = ws.take_u32(8);
+        let b = ws.take_u64(8);
+        assert_eq!(ws.stats().outstanding(), 2);
+        drop(a);
+        assert_eq!(ws.stats().outstanding(), 1);
+        drop(b);
+        assert_eq!(ws.stats().outstanding(), 0);
+        assert_eq!(ws.pooled_buffers(), 2);
+    }
+
+    #[test]
+    fn pooled_buffers_stable_across_identical_runs() {
+        let ws = Workspace::new();
+        let run = |ws: &Workspace| {
+            let a = ws.take_u32(100);
+            let b = ws.take_u8(100);
+            let c = ws.take_i64(100);
+            drop((a, b, c));
+        };
+        run(&ws);
+        let warm = ws.pooled_buffers();
+        for _ in 0..5 {
+            run(&ws);
+            assert_eq!(ws.pooled_buffers(), warm);
+        }
     }
 }

@@ -16,7 +16,7 @@
 //!   both).  Near-linear work, `O(log n)` depth.
 
 use crate::graph::FunctionalGraph;
-use sfcp_parprim::jump::permutation_cycle_min;
+use sfcp_parprim::jump::permutation_cycle_min_into;
 use sfcp_pram::Ctx;
 
 /// Which cycle-node detection algorithm to run.
@@ -70,9 +70,18 @@ pub fn cycle_nodes_jump(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
     if n == 0 {
         return Vec::new();
     }
-    let mut power = g.table().to_vec();
+    let ws = ctx.workspace();
+    let mut power = ws.take_u32(n);
+    power.copy_from_slice(g.table());
+    let mut next_power = ws.take_u32(n);
     for _ in 0..sfcp_pram::ceil_log2(n).max(1) {
-        power = ctx.par_map_idx(n, |x| power[power[x] as usize]);
+        {
+            let power_ref = &power;
+            ctx.par_update(&mut next_power, |x, p| {
+                *p = power_ref[power_ref[x] as usize]
+            });
+        }
+        std::mem::swap(&mut *power, &mut *next_power);
     }
     let mut on_cycle = vec![false; n];
     // Concurrent idempotent writes of `true` — common-CRCW style.
@@ -95,11 +104,13 @@ pub fn cycle_nodes_euler(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
         return Vec::new();
     }
     let f = g.table();
+    let ws = ctx.workspace();
 
     // Self-loops (fixed points of f) are cycles of length one; they would
     // degenerate in the multigraph construction, so mark them directly and
     // exclude their edges from the Euler machinery.
-    let is_self_loop: Vec<bool> = ctx.par_map_idx(n, |x| f[x] as usize == x);
+    let mut is_self_loop = ws.take_u8(n);
+    ctx.par_update(&mut is_self_loop, |x, s| *s = u8::from(f[x] as usize == x));
 
     // Edge x is the undirected edge {x, f(x)} (skipped for self-loops).
     // Arc 2x is x → f(x) ("forward"), arc 2x+1 is f(x) → x (the "buddy").
@@ -108,9 +119,10 @@ pub fn cycle_nodes_euler(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
     // endpoints.  Endpoint kinds: (edge x, tail) at vertex x and
     // (edge x, head) at vertex f(x).
     // CSR by vertex, built with a counting pass.
-    let mut deg = vec![0u32; n + 1];
+    let mut deg = ws.take_u32(n + 1);
+    deg.fill(0);
     for x in 0..n {
-        if is_self_loop[x] {
+        if is_self_loop[x] == 1 {
             continue;
         }
         deg[x + 1] += 1;
@@ -121,11 +133,13 @@ pub fn cycle_nodes_euler(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
     }
     ctx.charge_step(2 * n as u64);
     let start = deg;
-    let mut cursor = start.clone();
-    // incident[p] = (edge, is_tail) packed as edge * 2 + is_tail.
-    let mut incident = vec![0u32; start[n] as usize];
+    let mut cursor = ws.take_u32(n + 1);
+    cursor.copy_from_slice(&start);
+    // incident[p] = (edge, is_tail) packed as edge * 2 + is_tail.  The cursor
+    // sweep fills every one of the start[n] slots.
+    let mut incident = ws.take_u32(start[n] as usize);
     for x in 0..n {
-        if is_self_loop[x] {
+        if is_self_loop[x] == 1 {
             continue;
         }
         incident[cursor[x] as usize] = (x as u32) * 2 + 1; // tail endpoint at x
@@ -144,7 +158,10 @@ pub fn cycle_nodes_euler(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
     // at position p+1 (cyclically) in v's incident list.
     // Unused arc slots (self-loop edges) stay as self-loops of the
     // permutation and are ignored afterwards.
-    let mut succ: Vec<u32> = (0..2 * n as u32).collect();
+    let mut succ = ws.take_u32(2 * n);
+    for (a, s) in succ.iter_mut().enumerate() {
+        *s = a as u32;
+    }
     {
         let succ_ptr = SendPtr(succ.as_mut_ptr());
         let start_ref = &start;
@@ -187,12 +204,14 @@ pub fn cycle_nodes_euler(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
     }
 
     // Faces = cycles of the successor permutation.
-    let face = permutation_cycle_min(ctx, &succ);
+    let mut face = ws.take_u32(0);
+    permutation_cycle_min_into(ctx, &succ, &mut face);
 
     // An edge lies on the graph cycle iff its two arcs are on different faces;
     // its tail endpoint x is then a cycle node.  Self-loops are cycle nodes.
+    let (is_self_loop, face) = (&is_self_loop, &face);
     ctx.par_map_idx(n, |x| {
-        if is_self_loop[x] {
+        if is_self_loop[x] == 1 {
             true
         } else {
             face[2 * x] != face[2 * x + 1]

@@ -10,11 +10,16 @@
 use crate::cycles::{cycle_nodes, CycleMethod};
 use crate::graph::FunctionalGraph;
 use sfcp_parprim::euler::{EulerTour, RootedForest};
-use sfcp_parprim::listrank::{list_rank, ListRankMethod};
+use sfcp_parprim::listrank::{list_rank_into, ListRankMethod};
 use sfcp_pram::Ctx;
 
 /// The decomposition of a functional graph into cycles and hanging trees.
-#[derive(Debug, Clone)]
+///
+/// The cycles are stored in one flat CSR layout (`cycle_offsets` +
+/// `cycle_nodes`) instead of a nested `Vec<Vec<u32>>`: one allocation for all
+/// cycles, contiguous in memory for the canonization pass that streams over
+/// them, and scatter-friendly for the parallel materialization pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Decomposition {
     /// Whether each node lies on a cycle.
     pub is_cycle: Vec<bool>,
@@ -24,9 +29,14 @@ pub struct Decomposition {
     /// For cycle nodes, the position within their cycle counting forward from
     /// the leader (`u32::MAX` for tree nodes).
     pub cycle_pos: Vec<u32>,
-    /// The cycles: `cycles[c]` lists the member nodes in cycle order starting
-    /// at the leader (the smallest node id of the cycle).
-    pub cycles: Vec<Vec<u32>>,
+    /// CSR offsets into [`Decomposition::cycle_nodes`], length
+    /// `num_cycles() + 1`: cycle `c` occupies
+    /// `cycle_nodes[cycle_offsets[c] .. cycle_offsets[c + 1]]`.
+    pub cycle_offsets: Vec<u32>,
+    /// Member nodes of every cycle in cycle order starting at the leader (the
+    /// smallest node id of the cycle); cycles concatenated by ascending
+    /// leader id.
+    pub cycle_nodes: Vec<u32>,
     /// The hanging trees: every cycle node is a root, every non-cycle node's
     /// parent is `f(x)`.
     pub forest: RootedForest,
@@ -37,60 +47,120 @@ pub struct Decomposition {
 }
 
 /// Compute the decomposition.
+///
+/// Every intermediate of the pipeline — compacted ids, cycle successors, the
+/// broken-cycle ranking, leader numbering — is checked out from the `ctx`
+/// workspace, so repeated decompositions allocate only the returned structure
+/// once the pools are warm.
 #[must_use]
 pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decomposition {
     let n = g.len();
     let f = g.table();
     let is_cycle = cycle_nodes(ctx, g, method);
+    let ws = ctx.workspace();
 
     // ---- Cycle structure ----------------------------------------------
     // Compact the cycle nodes and rank them around their cycles.
-    let cycle_ids: Vec<u32> = sfcp_parprim::compact::compact_indices(ctx, n, |x| is_cycle[x]);
+    let mut cycle_ids = ws.take_u32(0);
+    sfcp_parprim::compact::compact_indices_into(ctx, n, |x| is_cycle[x], &mut cycle_ids);
     let m = cycle_ids.len();
-    let mut compact_index = vec![u32::MAX; n];
+    // Only the compacted (cycle-node) slots are ever read back, and all of
+    // them are written below, so the checkout needs no fill.
+    let mut compact_index = ws.take_u32(n);
     for (j, &x) in cycle_ids.iter().enumerate() {
         compact_index[x as usize] = j as u32;
     }
     ctx.charge_step(m as u64);
 
     // Successor of a cycle node within the compacted numbering.
-    let cycle_succ: Vec<u32> = ctx.par_map_idx(m, |j| {
-        let x = cycle_ids[j] as usize;
-        compact_index[f[x] as usize]
-    });
+    let mut cycle_succ = ws.take_u32(m);
+    {
+        let (cycle_ids, compact_index) = (&cycle_ids, &compact_index);
+        ctx.par_update(&mut cycle_succ, |j, s| {
+            let x = cycle_ids[j] as usize;
+            *s = compact_index[f[x] as usize];
+        });
+    }
     // Leader of every cycle = minimum compacted index on the cycle; since
     // cycle_ids is ascending, that is also the minimum node id.
-    let leader_compact = sfcp_parprim::jump::permutation_cycle_min(ctx, &cycle_succ);
+    let mut leader_compact = ws.take_u32(0);
+    sfcp_parprim::jump::permutation_cycle_min_into(ctx, &cycle_succ, &mut leader_compact);
 
     // Rank around the cycle from the leader: break each cycle just before its
     // leader and list-rank the resulting chains.
-    let broken_next: Vec<u32> = ctx.par_map_idx(m, |j| {
-        if leader_compact[cycle_succ[j] as usize] == cycle_succ[j] {
-            // The successor is the leader: terminate here.
-            j as u32
-        } else {
-            cycle_succ[j]
-        }
-    });
-    let dist_to_end = list_rank(ctx, &broken_next, ListRankMethod::RulingSet);
+    let mut broken_next = ws.take_u32(m);
+    {
+        let (cycle_succ, leader_compact) = (&cycle_succ, &leader_compact);
+        ctx.par_update(&mut broken_next, |j, b| {
+            *b = if leader_compact[cycle_succ[j] as usize] == cycle_succ[j] {
+                // The successor is the leader: terminate here.
+                j as u32
+            } else {
+                cycle_succ[j]
+            };
+        });
+    }
+    let mut dist_to_end = ws.take_u32(0);
+    list_rank_into(
+        ctx,
+        &broken_next,
+        ListRankMethod::RulingSet,
+        &mut dist_to_end,
+    );
     // Cycle length = dist(leader) + 1; position = length - 1 - dist.
     let mut cycle_pos = vec![u32::MAX; n];
     let mut cycle_of = vec![u32::MAX; n];
     // Dense cycle numbering by ascending leader node id.
-    let leaders: Vec<u32> =
-        sfcp_parprim::compact::compact_indices(ctx, m, |j| leader_compact[j] as usize == j);
-    let mut cycle_number_of_leader = vec![u32::MAX; m];
+    let mut leaders = ws.take_u32(0);
+    {
+        let leader_compact = &leader_compact;
+        sfcp_parprim::compact::compact_indices_into(
+            ctx,
+            m,
+            |j| leader_compact[j] as usize == j,
+            &mut leaders,
+        );
+    }
+    let num_cycles = leaders.len();
+    // Again only leader slots are read back, so no fill.
+    let mut cycle_number_of_leader = ws.take_u32(m);
     for (c, &lj) in leaders.iter().enumerate() {
         cycle_number_of_leader[lj as usize] = c as u32;
     }
-    ctx.charge_step(leaders.len() as u64);
+    ctx.charge_step(num_cycles as u64);
 
-    let cycle_len_of_leader: Vec<u32> =
-        ctx.par_map_idx(leaders.len(), |c| dist_to_end[leaders[c] as usize] + 1);
+    // CSR offsets: cycle c (by ascending leader) has length
+    // dist_to_end[leader] + 1; exclusive prefix sums give the offsets.
+    let mut cycle_offsets = vec![0u32; num_cycles + 1];
+    {
+        let off_ptr = SendPtr(cycle_offsets.as_mut_ptr());
+        let (leaders, dist_to_end) = (&leaders, &dist_to_end);
+        ctx.par_for_idx(num_cycles, |c| {
+            let p = off_ptr;
+            // Safety: one write per cycle, at slot c + 1.
+            unsafe {
+                *p.0.add(c + 1) = dist_to_end[leaders[c] as usize] + 1;
+            }
+        });
+    }
+    // Uncharged glue: this prefix sweep replaces the per-cycle Vec
+    // allocation loop of the nested-cycles layout, which was equally
+    // uncharged — charging it here would break the byte-identical charge
+    // parity with the pre-CSR pipeline that the bench rows pin.
+    for c in 0..num_cycles {
+        cycle_offsets[c + 1] += cycle_offsets[c];
+    }
+    debug_assert_eq!(cycle_offsets[num_cycles] as usize, m);
 
     {
         let pos_ptr = SendPtr(cycle_pos.as_mut_ptr());
         let of_ptr = SendPtr(cycle_of.as_mut_ptr());
+        let (cycle_ids, leader_compact, cycle_number_of_leader, dist_to_end) = (
+            &cycle_ids,
+            &leader_compact,
+            &cycle_number_of_leader,
+            &dist_to_end,
+        );
         ctx.par_for_idx(m, |j| {
             let x = cycle_ids[j] as usize;
             let leader = leader_compact[j] as usize;
@@ -106,22 +176,21 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
         });
     }
 
-    // Materialize the cycles as node sequences.
-    let mut cycles: Vec<Vec<u32>> = cycle_len_of_leader
-        .iter()
-        .map(|&len| vec![0u32; len as usize])
-        .collect();
+    // Materialize the cycles into the flat CSR node array (disjoint writes:
+    // (cycle, position) pairs are unique and cover every slot).
+    let mut cycle_nodes_flat = vec![0u32; m];
     {
-        // Scatter every cycle node into its slot (disjoint writes).
-        let ptrs: Vec<SendPtr<u32>> = cycles.iter_mut().map(|v| SendPtr(v.as_mut_ptr())).collect();
-        let ptrs_ref = &ptrs;
+        let node_ptr = SendPtr(cycle_nodes_flat.as_mut_ptr());
+        let (cycle_ids, cycle_offsets) = (&cycle_ids, &cycle_offsets);
+        let (cycle_of, cycle_pos) = (&cycle_of, &cycle_pos);
         ctx.par_for_idx(m, |j| {
             let x = cycle_ids[j];
             let c = cycle_of[x as usize] as usize;
             let pos = cycle_pos[x as usize] as usize;
-            // Safety: (cycle, position) pairs are unique.
+            let p = node_ptr;
+            // Safety: see above.
             unsafe {
-                *ptrs_ref[c].0.add(pos) = x;
+                *p.0.add(cycle_offsets[c] as usize + pos) = x;
             }
         });
     }
@@ -135,14 +204,19 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
     let levels = tour.levels(ctx);
 
     // Propagate the cycle id to tree nodes through their root.
-    let roots = sfcp_parprim::jump::find_roots(ctx, forest.parents());
-    let cycle_of = ctx.par_map_idx(n, |x| cycle_of[roots[x] as usize]);
+    let mut roots = ws.take_u32(0);
+    sfcp_parprim::jump::find_roots_into(ctx, forest.parents(), &mut roots);
+    let cycle_of = {
+        let (cycle_of, roots) = (&cycle_of, &roots);
+        ctx.par_map_idx(n, |x| cycle_of[roots[x] as usize])
+    };
 
     Decomposition {
         is_cycle,
         cycle_of,
         cycle_pos,
-        cycles,
+        cycle_offsets,
+        cycle_nodes: cycle_nodes_flat,
         forest,
         tour,
         levels,
@@ -165,7 +239,26 @@ impl Decomposition {
     /// Number of cycles (= number of pseudo-trees / components).
     #[must_use]
     pub fn num_cycles(&self) -> usize {
-        self.cycles.len()
+        self.cycle_offsets.len() - 1
+    }
+
+    /// The member nodes of cycle `c`, in cycle order starting at the leader.
+    #[must_use]
+    pub fn cycle(&self, c: usize) -> &[u32] {
+        let s = self.cycle_offsets[c] as usize;
+        let e = self.cycle_offsets[c + 1] as usize;
+        &self.cycle_nodes[s..e]
+    }
+
+    /// Length of cycle `c`.
+    #[must_use]
+    pub fn cycle_len(&self, c: usize) -> usize {
+        (self.cycle_offsets[c + 1] - self.cycle_offsets[c]) as usize
+    }
+
+    /// Iterator over all cycles as node slices, by ascending leader id.
+    pub fn cycles(&self) -> impl Iterator<Item = &[u32]> {
+        (0..self.num_cycles()).map(|c| self.cycle(c))
     }
 
     /// The root (cycle node) of the pseudo-tree containing `x`.
@@ -201,9 +294,17 @@ mod tests {
     fn check_invariants(g: &FunctionalGraph, d: &Decomposition) {
         let n = g.len();
         assert_eq!(d.len(), n);
+        // CSR well-formedness: offsets are monotone and cover cycle_nodes.
+        assert_eq!(d.cycle_offsets.len(), d.num_cycles() + 1);
+        assert_eq!(d.cycle_offsets[0], 0);
+        assert!(d.cycle_offsets.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(
+            *d.cycle_offsets.last().unwrap() as usize,
+            d.cycle_nodes.len()
+        );
         // Every cycle is consistent: consecutive members are connected by f,
         // the leader is the smallest member, positions match indices.
-        for (c, cycle) in d.cycles.iter().enumerate() {
+        for (c, cycle) in d.cycles().enumerate() {
             assert!(!cycle.is_empty());
             let leader = cycle[0];
             assert_eq!(*cycle.iter().min().unwrap(), leader);
@@ -219,8 +320,10 @@ mod tests {
             }
         }
         // Every cycle node appears in exactly one cycle.
-        let total_cycle_nodes: usize = d.cycles.iter().map(Vec::len).sum();
-        assert_eq!(total_cycle_nodes, d.is_cycle.iter().filter(|&&b| b).count());
+        assert_eq!(
+            d.cycle_nodes.len(),
+            d.is_cycle.iter().filter(|&&b| b).count()
+        );
         // Levels: cycle nodes at level 0; tree nodes one deeper than f(x).
         for x in 0..n as u32 {
             if d.is_cycle[x as usize] {
@@ -240,7 +343,7 @@ mod tests {
         let d = decompose(&ctx, &g, CycleMethod::Euler);
         check_invariants(&g, &d);
         assert_eq!(d.num_cycles(), 2);
-        let mut lens: Vec<usize> = d.cycles.iter().map(Vec::len).collect();
+        let mut lens: Vec<usize> = d.cycles().map(<[u32]>::len).collect();
         lens.sort_unstable();
         assert_eq!(lens, vec![4, 12]);
         assert!(d.is_cycle.iter().all(|&b| b));
@@ -255,9 +358,13 @@ mod tests {
         let c = decompose(&ctx, &g, CycleMethod::Euler);
         assert_eq!(a.is_cycle, b.is_cycle);
         assert_eq!(a.is_cycle, c.is_cycle);
-        assert_eq!(a.cycles, b.cycles);
-        assert_eq!(a.cycles, c.cycles);
+        assert_eq!(a.cycle_offsets, b.cycle_offsets);
+        assert_eq!(a.cycle_nodes, b.cycle_nodes);
+        assert_eq!(a.cycle_offsets, c.cycle_offsets);
+        assert_eq!(a.cycle_nodes, c.cycle_nodes);
         assert_eq!(a.levels, c.levels);
+        assert_eq!(a, b, "full decompositions must agree (Sequential vs Jump)");
+        assert_eq!(a, c, "full decompositions must agree (Sequential vs Euler)");
         check_invariants(&g, &c);
     }
 

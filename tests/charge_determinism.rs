@@ -1,0 +1,109 @@
+//! Charge-determinism regression: tracked work/depth must be bit-identical
+//! across thread counts.
+//!
+//! DESIGN.md's "Charge discipline" demands that the complexity tables be a
+//! property of the algorithm, never of the machine: the same run on 1, 2, or
+//! all hardware threads must charge exactly the same work and depth (only
+//! wall-clock may differ).  This guards the invariant before any NUMA/grain
+//! tuning lands — a charge that accidentally depends on
+//! `current_num_threads` (e.g. a per-thread block count leaking into a
+//! charged loop) breaks this test immediately.
+
+use sfcp::{coarsest_partition, Algorithm, Instance};
+use sfcp_forest::cycles::CycleMethod;
+use sfcp_pram::{Ctx, Mode, Stats};
+
+/// Run `f` under a virtual rayon pool of `threads` workers and return the
+/// charges it accumulated.
+fn charges_with_threads<F: Fn(&Ctx)>(threads: usize, f: F) -> Stats {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool");
+    pool.install(|| {
+        let ctx = Ctx::new(Mode::Parallel);
+        f(&ctx);
+        ctx.stats()
+    })
+}
+
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(4, usize::from);
+    let mut counts = vec![1, 2, max];
+    counts.dedup();
+    counts
+}
+
+#[test]
+fn coarsest_parallel_charges_are_thread_count_independent() {
+    for inst in [
+        Instance::random(20_000, 4, 5),
+        Instance::random_cycles(&[2, 3, 4, 6, 6, 12, 24], 2, 2),
+        Instance::deep(5_000, 5, 2, 4),
+    ] {
+        let mut baseline: Option<Stats> = None;
+        for threads in thread_counts() {
+            let stats = charges_with_threads(threads, |ctx| {
+                let q = coarsest_partition(ctx, &inst, Algorithm::Parallel);
+                std::hint::black_box(q.num_blocks());
+            });
+            match &baseline {
+                None => baseline = Some(stats),
+                Some(b) => assert_eq!(
+                    *b,
+                    stats,
+                    "charges diverged at {threads} threads (n={})",
+                    inst.len()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn decompose_charges_are_thread_count_independent() {
+    let g = sfcp_forest::generators::random_function(50_000, 23);
+    for method in [
+        CycleMethod::Sequential,
+        CycleMethod::Jump,
+        CycleMethod::Euler,
+    ] {
+        let mut baseline: Option<Stats> = None;
+        for threads in thread_counts() {
+            let stats = charges_with_threads(threads, |ctx| {
+                let d = sfcp_forest::decompose(ctx, &g, method);
+                std::hint::black_box(d.num_cycles());
+            });
+            match &baseline {
+                None => baseline = Some(stats),
+                Some(b) => assert_eq!(
+                    *b, stats,
+                    "decompose charges diverged at {threads} threads ({method:?})"
+                ),
+            }
+        }
+    }
+}
+
+/// Sequential mode must also charge exactly like 1-thread parallel mode for
+/// the decomposition pipeline (the loops are the same code path).
+#[test]
+fn decompose_sequential_mode_matches_parallel_charges() {
+    let g = sfcp_forest::generators::random_function(30_000, 7);
+    let seq = Ctx::sequential();
+    let _ = sfcp_forest::decompose(&seq, &g, CycleMethod::Euler);
+    let par = charges_with_threads(1, |ctx| {
+        let _ = sfcp_forest::decompose(ctx, &g, CycleMethod::Euler);
+    });
+    // The blocked scan charges differ between modes by design (see scan.rs);
+    // everything else is identical, so the two must stay within a tight
+    // band and the parallel charges must be thread-count independent (the
+    // strict equality across thread counts is asserted above).
+    let ratio = seq.stats().work as f64 / par.work as f64;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "sequential/parallel work diverged: {} vs {}",
+        seq.stats().work,
+        par.work
+    );
+}

@@ -10,6 +10,7 @@
 //!   doubling round).
 
 use sfcp::{coarsest_partition, Algorithm, Instance};
+use sfcp_forest::{cycles::CycleMethod, decompose};
 use sfcp_pram::{Ctx, Mode, SortEngine};
 
 fn instances() -> Vec<Instance> {
@@ -59,6 +60,53 @@ fn doubling_algorithm_is_engine_independent() {
             "work/depth diverged on n={}",
             inst.len()
         );
+    }
+}
+
+/// `decompose` itself must be engine- and method-stable: every `CycleMethod`
+/// × `SortEngine` combination produces the identical `Decomposition`, and for
+/// a fixed method the two engines charge identical work/depth.
+#[test]
+fn decompose_is_engine_and_method_independent() {
+    let graphs = [
+        sfcp_forest::generators::paper_example_function(),
+        sfcp_forest::generators::random_function(5000, 3),
+        sfcp_forest::generators::random_function(40_000, 17), // contraction path
+        sfcp_forest::generators::long_tail(3000, 5, 2),
+    ];
+    for g in &graphs {
+        let mut first = None;
+        for method in [
+            CycleMethod::Sequential,
+            CycleMethod::Jump,
+            CycleMethod::Euler,
+        ] {
+            let packed = Ctx::parallel();
+            let baseline = Ctx::parallel().with_sort_engine(SortEngine::Permutation);
+            let a = decompose(&packed, g, method);
+            let b = decompose(&baseline, g, method);
+            assert_eq!(
+                a,
+                b,
+                "engines disagree on decomposition (n={}, {method:?})",
+                g.len()
+            );
+            assert_eq!(
+                packed.stats(),
+                baseline.stats(),
+                "engine charges diverged (n={}, {method:?})",
+                g.len()
+            );
+            match &first {
+                None => first = Some(a),
+                Some(reference) => assert_eq!(
+                    reference,
+                    &a,
+                    "methods disagree on decomposition (n={}, {method:?})",
+                    g.len()
+                ),
+            }
+        }
     }
 }
 

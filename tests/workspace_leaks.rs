@@ -1,0 +1,80 @@
+//! Workspace leak regression: every pool checkout must be returned.
+//!
+//! The decomposition pipeline checks dozens of scratch buffers out of the
+//! `Ctx` workspace per run.  A leaked guard (e.g. a `Scratch` moved into a
+//! struct that outlives the run, or a forgotten ping-pong partner) would make
+//! the pools grow without bound across runs.  Two invariants:
+//!
+//! * after any run returns, no checkout is outstanding
+//!   (`stats().outstanding() == 0`);
+//! * once warm, repeated identical runs leave the pool population exactly
+//!   stable (same number of pooled buffers before and after).
+
+use sfcp::{coarsest_partition, Algorithm, Instance};
+use sfcp_forest::cycles::CycleMethod;
+use sfcp_pram::Ctx;
+
+#[test]
+fn decompose_returns_every_checkout() {
+    let g = sfcp_forest::generators::random_function(30_000, 41);
+    let ctx = Ctx::parallel();
+    for method in [
+        CycleMethod::Sequential,
+        CycleMethod::Jump,
+        CycleMethod::Euler,
+    ] {
+        let d = sfcp_forest::decompose(&ctx, &g, method);
+        std::hint::black_box(d.num_cycles());
+        assert_eq!(
+            ctx.workspace().stats().outstanding(),
+            0,
+            "outstanding checkouts after decompose ({method:?})"
+        );
+    }
+
+    // Warm-up done above; the pool population must now be exactly stable
+    // across repeated runs, and warm runs must not allocate.
+    let warm_pool = ctx.workspace().pooled_buffers();
+    let warm_stats = ctx.workspace().stats();
+    for round in 0..3 {
+        let d = sfcp_forest::decompose(&ctx, &g, CycleMethod::Euler);
+        std::hint::black_box(d.num_cycles());
+        assert_eq!(ctx.workspace().stats().outstanding(), 0);
+        assert_eq!(
+            ctx.workspace().pooled_buffers(),
+            warm_pool,
+            "pool population drifted on warm run {round}"
+        );
+    }
+    assert_eq!(
+        ctx.workspace().stats().misses,
+        warm_stats.misses,
+        "warm decompose runs must serve every checkout from the pools"
+    );
+}
+
+#[test]
+fn coarsest_parallel_returns_every_checkout() {
+    let inst = Instance::random(30_000, 4, 19);
+    let ctx = Ctx::parallel();
+    let _ = coarsest_partition(&ctx, &inst, Algorithm::Parallel); // warm up
+    assert_eq!(ctx.workspace().stats().outstanding(), 0);
+
+    let warm_pool = ctx.workspace().pooled_buffers();
+    let warm_misses = ctx.workspace().stats().misses;
+    for _ in 0..3 {
+        let q = coarsest_partition(&ctx, &inst, Algorithm::Parallel);
+        std::hint::black_box(q.num_blocks());
+        assert_eq!(
+            ctx.workspace().stats().outstanding(),
+            0,
+            "outstanding checkouts after coarsest_parallel"
+        );
+        assert_eq!(
+            ctx.workspace().pooled_buffers(),
+            warm_pool,
+            "pool population must be stable across warm runs"
+        );
+    }
+    assert_eq!(ctx.workspace().stats().misses, warm_misses);
+}
