@@ -210,16 +210,24 @@ fn label_tree_nodes_levelwise(
     let n = instance.len();
     let f = instance.f();
     let b = instance.blocks();
+    let ws = ctx.workspace();
 
-    // Bucket the tree nodes by level.
+    // Bucket the tree nodes by level: a CSR build keyed by level (ascending
+    // node order inside each level, matching the former per-level push
+    // loop).  Charged at the builder's count/prefix/scatter model instead of
+    // the push loop's single round — the levelwise ablation is not charge-
+    // pinned to any baseline.
     let max_level = *dec.levels.iter().max().unwrap() as usize;
-    let mut by_level: Vec<Vec<u32>> = vec![Vec::new(); max_level + 1];
-    for x in 0..n as u32 {
-        if !dec.is_cycle[x as usize] {
-            by_level[dec.levels[x as usize] as usize].push(x);
-        }
-    }
-    ctx.charge_step(n as u64);
+    let mut level_start = ws.take_u32(0);
+    let mut level_nodes = ws.take_u32(0);
+    sfcp_parprim::csr::build_csr_into(
+        ctx,
+        max_level + 1,
+        n,
+        |x| (!dec.is_cycle[x]).then(|| (dec.levels[x], x as u32)),
+        &mut level_start,
+        &mut level_nodes,
+    );
 
     // Seed the signature map with the cycle nodes so tree nodes that are
     // equivalent to cycle nodes merge with them.
@@ -232,7 +240,7 @@ fn label_tree_nodes_levelwise(
     ctx.charge_step(n as u64);
 
     for level in 1..=max_level {
-        let nodes = &by_level[level];
+        let nodes = &level_nodes[level_start[level] as usize..level_start[level + 1] as usize];
         if nodes.is_empty() {
             continue;
         }

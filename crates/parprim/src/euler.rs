@@ -35,50 +35,94 @@ pub struct RootedForest {
 }
 
 impl RootedForest {
-    /// Build the forest from a parent array.
+    /// Build the forest from a parent array (the hot path: `decompose` calls
+    /// this once per run with parents that are acyclic by construction).
+    ///
+    /// The children lists come out of the parallel CSR builder
+    /// ([`crate::csr::build_csr_into`]), so every intermediate is a workspace
+    /// checkout; the only fresh allocations are the two retained CSR vectors
+    /// of the returned structure.
+    ///
+    /// The parent pointers are **not** checked for acyclicity here — use
+    /// [`RootedForest::from_parents_checked`] for untrusted input.  Both
+    /// constructors charge identical work/depth: the documented model cost
+    /// includes the validation pass, which this fast path charges without
+    /// executing (see DESIGN.md, "CSR construction"), exactly like the
+    /// early-exit loops of `jump.rs` charge their skipped rounds.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.  On cyclic input the structure is
+    /// returned malformed (downstream Euler-tour passes will misbehave);
+    /// debug builds of `decompose` go through the checked constructor.
+    #[must_use]
+    pub fn from_parents(ctx: &Ctx, parent: Vec<u32>) -> Self {
+        let forest = Self::build_unchecked(ctx, parent);
+        // Charge (without executing) the acyclicity walk of the checked
+        // constructor, keeping the fast path's charges identical to it and
+        // to the pre-split constructor.
+        ctx.charge_step(forest.len() as u64);
+        forest
+    }
+
+    /// [`RootedForest::from_parents`] plus an `O(n)` acyclicity validation —
+    /// the constructor for untrusted parent arrays (tests, debug builds,
+    /// external input).  Charges exactly what the unchecked fast path
+    /// charges.
     ///
     /// # Panics
     /// Panics if an index is out of range or the parent pointers contain a
     /// cycle (i.e. the input is not a forest).
     #[must_use]
-    pub fn from_parents(ctx: &Ctx, parent: Vec<u32>) -> Self {
+    pub fn from_parents_checked(ctx: &Ctx, parent: Vec<u32>) -> Self {
+        let forest = Self::build_unchecked(ctx, parent);
+        forest.assert_acyclic(ctx);
+        forest
+    }
+
+    /// Shared constructor body: range check + CSR children build.
+    fn build_unchecked(ctx: &Ctx, parent: Vec<u32>) -> Self {
         let n = parent.len();
         for (i, &p) in parent.iter().enumerate() {
             assert!((p as usize) < n, "parent[{i}] = {p} out of range");
         }
-        // Count children (roots are not children of themselves).
-        let mut counts = vec![0u32; n + 1];
-        for (i, &p) in parent.iter().enumerate() {
-            if p as usize != i {
-                counts[p as usize + 1] += 1;
-            }
+        // Children lists: group child ids by parent (roots contribute
+        // nothing).  The ascending stream makes every group ascending, and
+        // the builder's model charge (count + prefix + scatter, one round of
+        // n each) is exactly what the inline sequential build charged.
+        let mut child_start = Vec::new();
+        let mut children = Vec::new();
+        {
+            let parent = &parent;
+            crate::csr::build_csr_into(
+                ctx,
+                n,
+                n,
+                |i| {
+                    let p = parent[i];
+                    (p as usize != i).then_some((p, i as u32))
+                },
+                &mut child_start,
+                &mut children,
+            );
         }
-        ctx.charge_step(n as u64);
-        // Prefix sums for CSR offsets.
-        for i in 0..n {
-            counts[i + 1] += counts[i];
+        RootedForest {
+            parent,
+            child_start,
+            children,
         }
-        ctx.charge_step(n as u64);
-        let child_start = counts;
-        let ws = ctx.workspace();
-        let mut cursor = ws.take_u32(n + 1);
-        cursor.copy_from_slice(&child_start);
-        // Every slot of `children` is filled by the cursor sweep below.
-        let mut children = vec![0u32; child_start[n] as usize];
-        for (i, &p) in parent.iter().enumerate() {
-            if p as usize != i {
-                children[cursor[p as usize] as usize] = i as u32;
-                cursor[p as usize] += 1;
-            }
-        }
-        ctx.charge_step(n as u64);
+    }
 
-        // Acyclicity check: walk up from every node with memoized depths; if a
-        // walk revisits a node already on its own path, the parent pointers
-        // contain a cycle.  `0` = unvisited, `1` = on the current path,
-        // `2` = finished.
+    /// The acyclicity walk: visit every node once with memoized states; if a
+    /// walk revisits a node already on its own path, the parent pointers
+    /// contain a cycle.  `0` = unvisited, `1` = on the current path,
+    /// `2` = finished.  One charged round of `n` operations.
+    fn assert_acyclic(&self, ctx: &Ctx) {
+        let n = self.parent.len();
+        let ws = ctx.workspace();
         let mut state = ws.take_u8(n);
         state.fill(0);
+        // Checked out empty and grown while out; the pool's byte accounting
+        // picks the growth up on return (`Workspace::pooled_bytes`).
         let mut stack = ws.take_u32(0);
         for start in 0..n {
             if state[start] != 0 {
@@ -91,7 +135,7 @@ impl RootedForest {
                     0 => {
                         state[cur] = 1;
                         stack.push(cur as u32);
-                        let p = parent[cur] as usize;
+                        let p = self.parent[cur] as usize;
                         if p == cur {
                             break;
                         }
@@ -106,12 +150,6 @@ impl RootedForest {
             }
         }
         ctx.charge_step(n as u64);
-
-        RootedForest {
-            parent,
-            child_start,
-            children,
-        }
     }
 
     /// Number of nodes.
@@ -203,46 +241,43 @@ impl EulerTour {
         let ws = ctx.workspace();
 
         // Successor function of the tour (a collection of linked lists, one
-        // per tree, terminated at the root's up arc).
+        // per tree, terminated at the root's up arc).  One pass per *node*
+        // streaming its CSR children list: v settles its own down arc and
+        // the up arcs of all its children (consecutive children chain
+        // up→down, the last child bounces to up(v)).  Every arc is written
+        // exactly once — down(v) at v; up(v) at v's parent, or at v itself
+        // when v is a root (the tree's terminal arc) — and, unlike the
+        // former per-arc formulation, no arc has to *search* for its
+        // position among its siblings, so the pass is linear even on
+        // star-shaped trees (one round, `2n` operations: one per arc).
         let mut succ = ws.take_u32(num_arcs);
-        ctx.par_update(&mut succ, |a, s| {
-            let arc = a as u32;
-            let v = arc / 2;
-            *s = if arc.is_multiple_of(2) {
-                // Down arc into v: continue to v's first child, or bounce back up.
-                match forest.children(v).first() {
-                    Some(&c) => down(c),
-                    None => up(v),
-                }
-            } else {
-                // Up arc out of v.
-                if forest.is_root(v) {
-                    arc // terminal
-                } else {
-                    let p = forest.parent(v);
-                    let siblings = forest.children(p);
-                    // Position of v among its siblings.
-                    let idx = siblings
-                        .iter()
-                        .position(|&c| c == v)
-                        .expect("child lists are consistent with the parent array");
-                    match siblings.get(idx + 1) {
-                        Some(&w) => down(w),
-                        None => up(p),
+        {
+            let succ_ptr = SendPtr(succ.as_mut_ptr());
+            ctx.par_for_idx(n, |vi| {
+                let sp = succ_ptr;
+                let v = vi as u32;
+                let kids = forest.children(v);
+                // Safety: the covering argument above — each arc slot has
+                // exactly one writer.
+                unsafe {
+                    *sp.0.add(down(v) as usize) = match kids.first() {
+                        Some(&c) => down(c),
+                        None => up(v),
+                    };
+                    for w in kids.windows(2) {
+                        *sp.0.add(up(w[0]) as usize) = down(w[1]);
+                    }
+                    if let Some(&last) = kids.last() {
+                        *sp.0.add(up(last) as usize) = up(v);
+                    }
+                    if forest.is_root(v) {
+                        *sp.0.add(up(v) as usize) = up(v); // terminal
                     }
                 }
-            };
-        });
-        // NOTE: the sibling-position lookup above is O(degree) per arc; the
-        // total over all arcs is O(sum of squared degrees) in the worst case.
-        // Charge the true cost so star-shaped trees are billed honestly.
-        let extra: u64 = (0..n as u32)
-            .map(|v| {
-                let d = forest.children(v).len() as u64;
-                d * d
-            })
-            .sum();
-        ctx.charge_work(extra);
+            });
+            // par_for_idx charged one round of n; the pass settles 2n arcs.
+            ctx.charge_work(n as u64);
+        }
 
         // Rank every arc: distance to its tree's terminal arc.
         let mut dist = ws.take_u32(0);
@@ -496,7 +531,7 @@ mod tests {
     fn forest_structure_small() {
         let ctx = Ctx::parallel();
         // 0 is root; children 1,2; 1 has child 3; 4 is an isolated root.
-        let forest = RootedForest::from_parents(&ctx, vec![0, 0, 0, 1, 4]);
+        let forest = RootedForest::from_parents_checked(&ctx, vec![0, 0, 0, 1, 4]);
         assert_eq!(forest.len(), 5);
         assert_eq!(forest.roots(), vec![0, 4]);
         assert_eq!(forest.children(0), &[1, 2]);
@@ -507,11 +542,38 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "out of range")]
+    fn forest_rejects_out_of_range_parents() {
+        let ctx = Ctx::sequential();
+        let _ = RootedForest::from_parents(&ctx, vec![0, 5, 1]);
+    }
+
+    #[test]
     #[should_panic(expected = "not a rooted forest")]
     fn forest_rejects_cycles() {
         let ctx = Ctx::sequential();
         // 1 -> 2 -> 1 cycle.
-        let _ = RootedForest::from_parents(&ctx, vec![0, 2, 1]);
+        let _ = RootedForest::from_parents_checked(&ctx, vec![0, 2, 1]);
+    }
+
+    /// The fast and checked constructors must agree structurally *and* charge
+    /// byte-identical work/depth (the fast path charges the skipped
+    /// validation pass).
+    #[test]
+    fn checked_and_unchecked_constructors_agree() {
+        for n in [5usize, 300, 3000, 20_000] {
+            let parent = random_forest(n, 3, n as u64);
+            let fast_ctx = Ctx::parallel();
+            let checked_ctx = Ctx::parallel();
+            let fast = RootedForest::from_parents(&fast_ctx, parent.clone());
+            let checked = RootedForest::from_parents_checked(&checked_ctx, parent);
+            assert_eq!(fast, checked, "structures diverged at n={n}");
+            assert_eq!(
+                fast_ctx.stats(),
+                checked_ctx.stats(),
+                "constructor charges diverged at n={n}"
+            );
+        }
     }
 
     #[test]
@@ -582,7 +644,7 @@ mod tests {
         fn levels_match_reference(n in 1usize..300, roots in 1usize..6, seed in 0u64..40) {
             let parent = random_forest(n, roots, seed);
             let ctx = Ctx::parallel().with_grain(32);
-            let forest = RootedForest::from_parents(&ctx, parent.clone());
+            let forest = RootedForest::from_parents_checked(&ctx, parent.clone());
             let tour = EulerTour::build(&ctx, &forest);
             prop_assert_eq!(tour.levels(&ctx), reference_levels(&parent));
         }
@@ -591,7 +653,7 @@ mod tests {
         fn subtree_sizes_match_reference(n in 1usize..200, seed in 0u64..40) {
             let parent = random_forest(n, 2, seed);
             let ctx = Ctx::parallel().with_grain(32);
-            let forest = RootedForest::from_parents(&ctx, parent.clone());
+            let forest = RootedForest::from_parents_checked(&ctx, parent.clone());
             let tour = EulerTour::build(&ctx, &forest);
             let sizes = tour.subtree_sizes(&ctx);
             // Reference by counting descendants.

@@ -53,7 +53,7 @@ const MAX_DIGIT_BITS: u32 = 11;
 /// of the given significant width.  The paper's integer sort exploits exactly
 /// this "polynomial range ⇒ constant number of passes of range-n counting
 /// sort" structure, so dense pair keys are handled in two or three passes.
-fn plan_digits(significant_bits: u32) -> (u32, u32) {
+pub(crate) fn plan_digits(significant_bits: u32) -> (u32, u32) {
     let sig = significant_bits.max(1);
     let passes = sig.div_ceil(MAX_DIGIT_BITS).max(1);
     let digit_bits = sig.div_ceil(passes).clamp(4, MAX_DIGIT_BITS);
@@ -82,7 +82,7 @@ fn block_plan(ctx: &Ctx, n: usize, radix: usize) -> (usize, usize) {
 /// Run `f(block_index)` for each block, in parallel when the context is
 /// parallel.  Charges nothing: callers account for the pass explicitly so
 /// that both engines charge identically.
-fn for_each_block<F>(ctx: &Ctx, num_blocks: usize, f: F)
+pub(crate) fn for_each_block<F>(ctx: &Ctx, num_blocks: usize, f: F)
 where
     F: Fn(usize) + Sync + Send,
 {
@@ -214,6 +214,29 @@ pub(crate) fn counting_pass_items<T: RadixItem>(
 ) {
     let n = src.len();
     let radix = 1usize << digit_bits;
+    let (num_blocks, _) = block_plan(ctx, n, radix);
+    counting_pass_items_uncharged(ctx, src, dst, shift, digit_bits);
+    // Same charges as the permutation engine's pass: histogram round, the
+    // sequential transpose-scan over the offset matrix, and the scatter
+    // round over the whole input.
+    ctx.charge_step(num_blocks as u64);
+    ctx.charge_step((radix * num_blocks) as u64);
+    ctx.charge_step(num_blocks as u64);
+    ctx.charge_work(n as u64);
+}
+
+/// The machinery of [`counting_pass_items`] without any tracker charges —
+/// for callers (the CSR builder) whose documented model cost is charged
+/// explicitly and treats the physical radix passes as uncharged glue.
+pub(crate) fn counting_pass_items_uncharged<T: RadixItem>(
+    ctx: &Ctx,
+    src: &[T],
+    dst: &mut [T],
+    shift: u32,
+    digit_bits: u32,
+) {
+    let n = src.len();
+    let radix = 1usize << digit_bits;
     let mask = (radix - 1) as u64;
     let (num_blocks, block_size) = block_plan(ctx, n, radix);
 
@@ -236,9 +259,6 @@ pub(crate) fn counting_pass_items<T: RadixItem>(
                 row[r.digit_at(shift, mask)] += 1;
             }
         });
-        // Same charge as the permutation engine's histogram round
-        // (par_map_idx over blocks).
-        ctx.charge_step(num_blocks as u64);
     }
 
     // Global stable offsets: digit-major, then block-major.
@@ -251,7 +271,6 @@ pub(crate) fn counting_pass_items<T: RadixItem>(
             running += c;
         }
     }
-    ctx.charge_step((radix * num_blocks) as u64);
 
     // Scatter: stream the block again, moving whole records; each
     // (block, digit) offset range is disjoint, so every destination slot is
@@ -277,8 +296,6 @@ pub(crate) fn counting_pass_items<T: RadixItem>(
                 row[d] += 1;
             }
         });
-        ctx.charge_step(num_blocks as u64);
-        ctx.charge_work(n as u64);
     }
 }
 
@@ -312,8 +329,9 @@ fn extract_payload_words(ctx: &Ctx, words: &[u64], idx_bits: u32) -> Vec<u32> {
 }
 
 /// Fill `items[i] = make(i)` without charging (used where the permutation
-/// engine's identity-order setup is also uncharged).
-fn fill_items_uncharged<T, F>(ctx: &Ctx, items: &mut [T], make: F)
+/// engine's identity-order setup is also uncharged, and by the CSR builder's
+/// word-packing pass, which is glue under its documented model charge).
+pub(crate) fn fill_items_uncharged<T, F>(ctx: &Ctx, items: &mut [T], make: F)
 where
     T: Send,
     F: Fn(usize) -> T + Sync + Send,

@@ -12,6 +12,7 @@
 //! | [`scan`] | prefix sums (inclusive/exclusive, generic, blocked parallel) | step scheduling, compaction offsets, Euler-tour rankings |
 //! | [`reduce`] | parallel reductions (sum, min/max with index) | finding the minimum symbol `m` in *efficient m.s.p.*, leader election |
 //! | [`compact`] | stream compaction (stable filter with output offsets) | collecting marked positions, building contracted strings |
+//! | [`csr`] | parallel CSR construction from `(key, value)` streams | children lists, buddy-edge incidence rotations, level buckets |
 //! | [`intsort`] | stable counting sort and LSD radix sort (sequential + parallel) | the Bhatt-et-al. integer sorting the paper charges `O(n log log n)` work to |
 //! | [`rank`] | sorting-based renaming: map items to dense ranks | "replace each pair by its rank" steps of m.s.p. / string sorting |
 //! | [`listrank`] | list ranking (Wyllie pointer jumping + sparse ruling set) | Step 1 of *cycle node labeling*, Euler-tour ranking |
@@ -21,6 +22,7 @@
 //! | [`firstone`] | first set bit in a Boolean array | candidate elimination in *simple m.s.p.* |
 
 pub mod compact;
+pub mod csr;
 pub mod euler;
 pub mod firstone;
 pub mod intsort;
@@ -32,6 +34,7 @@ pub mod reduce;
 pub mod scan;
 
 pub use compact::{compact_indices, compact_with};
+pub use csr::{build_csr, build_csr_into};
 pub use euler::{EulerTour, RootedForest};
 pub use firstone::first_true;
 pub use intsort::{

@@ -74,6 +74,7 @@ pub struct Workspace {
     checkouts: AtomicU64,
     misses: AtomicU64,
     returns: AtomicU64,
+    pooled_bytes: AtomicU64,
 }
 
 /// Element types the workspace pools.
@@ -131,7 +132,13 @@ impl Workspace {
     pub fn take<T: Poolable>(&self, len: usize) -> Scratch<'_, T> {
         self.checkouts.fetch_add(1, Ordering::Relaxed);
         let mut buf = match T::pool(self).lock().pop() {
-            Some(buf) => buf,
+            Some(buf) => {
+                self.pooled_bytes.fetch_sub(
+                    (buf.capacity() * std::mem::size_of::<T>()) as u64,
+                    Ordering::Relaxed,
+                );
+                buf
+            }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 Vec::new()
@@ -201,6 +208,19 @@ impl Workspace {
             + self.recs.lock().len()
             + self.pairs.lock().len()
     }
+
+    /// Capacity (in bytes) currently held by the pools.  Measured at *return*
+    /// time, so growth that happens **after** checkout — a `take_u32(0)`
+    /// followed by `push`/`resize` on the guard, the pattern every `_into`
+    /// output buffer and the acyclicity stack use — is reported here even
+    /// though the checkout itself was size 0.  Like
+    /// [`Workspace::pooled_buffers`], this is stable across repeated
+    /// identical runs once the pools are warm; a monotone climb under a
+    /// fixed workload means some caller keeps growing a pooled buffer.
+    #[must_use]
+    pub fn pooled_bytes(&self) -> u64 {
+        self.pooled_bytes.load(Ordering::Relaxed)
+    }
 }
 
 /// RAII guard for a checked-out buffer; dereferences to `Vec<T>` and returns
@@ -227,7 +247,14 @@ impl<T: Poolable> DerefMut for Scratch<'_, T> {
 
 impl<T: Poolable> Drop for Scratch<'_, T> {
     fn drop(&mut self) {
-        T::pool(self.ws).lock().push(std::mem::take(&mut self.buf));
+        let buf = std::mem::take(&mut self.buf);
+        // Account the buffer at the capacity it returns with: any growth that
+        // happened while it was checked out shows up in `pooled_bytes`.
+        self.ws.pooled_bytes.fetch_add(
+            (buf.capacity() * std::mem::size_of::<T>()) as u64,
+            Ordering::Relaxed,
+        );
+        T::pool(self.ws).lock().push(buf);
         self.ws.returns.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -339,6 +366,50 @@ mod tests {
         drop(b);
         assert_eq!(ws.stats().outstanding(), 0);
         assert_eq!(ws.pooled_buffers(), 2);
+    }
+
+    #[test]
+    fn pooled_bytes_reports_growth_after_checkout() {
+        let ws = Workspace::new();
+        assert_eq!(ws.pooled_bytes(), 0);
+        {
+            // Checked out at size 0, grown to 1000 elements while out: the
+            // pool must account the grown capacity on return.
+            let mut stack = ws.take_u32(0);
+            for i in 0..1000u32 {
+                stack.push(i);
+            }
+        }
+        assert!(
+            ws.pooled_bytes() >= 4000,
+            "growth after checkout must be reported, got {} bytes",
+            ws.pooled_bytes()
+        );
+        // Re-checkout removes the buffer (and its bytes) from the pool…
+        let held = ws.take_u32(10);
+        assert_eq!(ws.pooled_bytes(), 0);
+        // …and returning it restores the full grown capacity.
+        let cap_bytes = (held.capacity() * std::mem::size_of::<u32>()) as u64;
+        drop(held);
+        assert_eq!(ws.pooled_bytes(), cap_bytes);
+    }
+
+    #[test]
+    fn pooled_bytes_stable_across_identical_runs() {
+        let ws = Workspace::new();
+        let run = |ws: &Workspace| {
+            let mut a = ws.take_u32(0);
+            a.extend(0..500u32);
+            let b = ws.take_u64(64);
+            drop((a, b));
+        };
+        run(&ws);
+        let warm = ws.pooled_bytes();
+        assert!(warm > 0);
+        for _ in 0..5 {
+            run(&ws);
+            assert_eq!(ws.pooled_bytes(), warm);
+        }
     }
 
     #[test]

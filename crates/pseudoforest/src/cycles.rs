@@ -116,39 +116,38 @@ pub fn cycle_nodes_euler(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
     // Arc 2x is x → f(x) ("forward"), arc 2x+1 is f(x) → x (the "buddy").
     //
     // Build, for every vertex v, the circular list of its incident edge
-    // endpoints.  Endpoint kinds: (edge x, tail) at vertex x and
-    // (edge x, head) at vertex f(x).
-    // CSR by vertex, built with a counting pass.
-    let mut deg = ws.take_u32(n + 1);
-    deg.fill(0);
-    for x in 0..n {
-        if is_self_loop[x] == 1 {
-            continue;
-        }
-        deg[x + 1] += 1;
-        deg[f[x] as usize + 1] += 1;
+    // endpoints.  Endpoint kinds: (edge x, tail) at vertex x — packed as
+    // `2x + 1` — and (edge x, head) at vertex f(x) — packed as `2x`.
+    // CSR by vertex via the parallel builder: stream slot 2x carries the
+    // tail endpoint, slot 2x + 1 the head endpoint, reproducing the
+    // rotation order of the former sequential cursor sweep (any rotation
+    // system works — a unicyclic ribbon graph has two faces in every
+    // embedding — but a deterministic one keeps runs reproducible).  The
+    // builder charges its documented count/prefix/scatter model, one round
+    // of `num_keys = n` operations more than the fused sequential build it
+    // replaces charged (see DESIGN.md, "CSR construction").
+    let mut start = ws.take_u32(0);
+    let mut incident = ws.take_u32(0);
+    {
+        let is_self_loop = &is_self_loop;
+        sfcp_parprim::csr::build_csr_into(
+            ctx,
+            n,
+            2 * n,
+            |s| {
+                let x = s / 2;
+                if is_self_loop[x] == 1 {
+                    None
+                } else if s % 2 == 0 {
+                    Some((x as u32, (x as u32) * 2 + 1)) // tail endpoint at x
+                } else {
+                    Some((f[x], (x as u32) * 2)) // head endpoint at f(x)
+                }
+            },
+            &mut start,
+            &mut incident,
+        );
     }
-    for v in 0..n {
-        deg[v + 1] += deg[v];
-    }
-    ctx.charge_step(2 * n as u64);
-    let start = deg;
-    let mut cursor = ws.take_u32(n + 1);
-    cursor.copy_from_slice(&start);
-    // incident[p] = (edge, is_tail) packed as edge * 2 + is_tail.  The cursor
-    // sweep fills every one of the start[n] slots.
-    let mut incident = ws.take_u32(start[n] as usize);
-    for x in 0..n {
-        if is_self_loop[x] == 1 {
-            continue;
-        }
-        incident[cursor[x] as usize] = (x as u32) * 2 + 1; // tail endpoint at x
-        cursor[x] += 1;
-        let h = f[x] as usize;
-        incident[cursor[h] as usize] = (x as u32) * 2; // head endpoint at f(x)
-        cursor[h] += 1;
-    }
-    ctx.charge_step(2 * n as u64);
 
     // Arc numbering: arc_out of endpoint (e, tail at x)  = 2e   (x → f(x)),
     //                arc_out of endpoint (e, head at f(x)) = 2e+1 (f(x) → x).

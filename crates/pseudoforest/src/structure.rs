@@ -197,9 +197,16 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
 
     // ---- Tree structure -------------------------------------------------
     // Root every pseudo-tree at its cycle nodes: cycle nodes become roots of
-    // the forest, tree nodes keep parent f(x).
+    // the forest, tree nodes keep parent f(x).  The parents are acyclic by
+    // construction (tree nodes point along f towards a cycle-node root), so
+    // release builds take the unchecked fast path; debug builds run the
+    // checked constructor, which charges identically by design.
     let parents: Vec<u32> = ctx.par_map_idx(n, |x| if is_cycle[x] { x as u32 } else { f[x] });
-    let forest = RootedForest::from_parents(ctx, parents);
+    let forest = if cfg!(debug_assertions) {
+        RootedForest::from_parents_checked(ctx, parents)
+    } else {
+        RootedForest::from_parents(ctx, parents)
+    };
     let tour = EulerTour::build(ctx, &forest);
     let levels = tour.levels(ctx);
 

@@ -1,0 +1,57 @@
+//! Ad-hoc wall-clock profile of the decomposition pipeline's phases.
+//! Run: cargo run --release --example profile_decompose
+
+use sfcp_repro::sfcp_forest::cycles::{cycle_nodes_euler, CycleMethod};
+use sfcp_repro::sfcp_parprim::euler::{EulerTour, RootedForest};
+use sfcp_repro::sfcp_pram::{Ctx, Mode};
+use std::time::Instant;
+
+fn main() {
+    let n = 1_000_000;
+    let g = sfcp_repro::sfcp_forest::generators::random_function(n, 0xDECADE);
+    let ctx = Ctx::untracked(Mode::Parallel);
+    // Warm pools.
+    let _ = sfcp_repro::sfcp_forest::decompose(&ctx, &g, CycleMethod::Euler);
+
+    for _ in 0..2 {
+        let t = Instant::now();
+        let is_cycle = cycle_nodes_euler(&ctx, &g);
+        println!(
+            "cycle_nodes_euler: {:.1} ms",
+            t.elapsed().as_secs_f64() * 1e3
+        );
+
+        let f = g.table();
+        let t = Instant::now();
+        let parents: Vec<u32> = ctx.par_map_idx(n, |x| if is_cycle[x] { x as u32 } else { f[x] });
+        let forest = RootedForest::from_parents(&ctx, parents);
+        println!(
+            "from_parents:      {:.1} ms",
+            t.elapsed().as_secs_f64() * 1e3
+        );
+
+        let t = Instant::now();
+        let tour = EulerTour::build(&ctx, &forest);
+        println!(
+            "EulerTour::build:  {:.1} ms",
+            t.elapsed().as_secs_f64() * 1e3
+        );
+
+        let t = Instant::now();
+        let levels = tour.levels(&ctx);
+        println!(
+            "levels:            {:.1} ms",
+            t.elapsed().as_secs_f64() * 1e3
+        );
+        std::hint::black_box(levels.len());
+
+        let t = Instant::now();
+        let d = sfcp_repro::sfcp_forest::decompose(&ctx, &g, CycleMethod::Euler);
+        println!(
+            "decompose total:   {:.1} ms",
+            t.elapsed().as_secs_f64() * 1e3
+        );
+        std::hint::black_box(d.num_cycles());
+        println!();
+    }
+}
