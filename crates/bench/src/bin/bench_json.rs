@@ -1,38 +1,64 @@
-//! Machine-readable perf trajectory for the sort/rank engine: times the
-//! packed (zero-allocation, cache-aware) engine against the permutation
-//! baseline — same inputs, same run — and writes `BENCH_parprim.json`.
+//! Machine-readable perf trajectory for the engine subsystems: times the
+//! default engine set — `SortEngine::Packed` + `RankEngine::CacheBucket`
+//! (the zero-allocation cache-aware engines) — against the baseline set —
+//! `SortEngine::Permutation` + `RankEngine::RulingSet` — on the same inputs
+//! in the same run, and writes `BENCH_parprim.json`.  (The JSON field names
+//! keep the historical `packed_ms` / `permutation_ms` spelling.)
 //!
 //! Benchmarked routines, at n ∈ {1e5, 1e6}:
 //!
 //! * `dense_ranks_by_sort` — the doubling loops' hot primitive,
 //! * `radix_sort_pairs`   — the pair-contraction sort,
 //! * `csr_build`          — the parallel CSR builder on the buddy-edge
-//!   incidence stream (packed) vs the sequential counting build,
+//!   incidence stream vs the sequential counting build,
+//! * `list_rank`          — the list-ranking engine on a multi-list
+//!   successor array (wavefront walks vs sequential walks),
+//! * `euler_build`        — the Euler-tour construction over a random
+//!   forest (tour successors + 2n-arc ranking + positions),
 //! * `decompose`          — the decomposition pipeline,
 //! * `coarsest_parallel`  — the end-to-end parallel algorithm.
 //!
-//! Each row records the best-of-k wall-clock per engine plus the tracked
-//! work/depth of both engines (asserted equal: the engines differ only in
-//! wall-clock and allocations, never in charges).
+//! Each row records the best-of-k wall-clock per engine set plus the
+//! tracked work/depth of both (asserted equal: the engine choices differ
+//! only in wall-clock and allocations, never in charges).
 //!
 //! Run with: `cargo run -p sfcp-bench --bin bench_json --release [out.json]`
 //!
 //! `--smoke` runs only n = 1e5 and additionally compares the fresh
-//! `decompose` and `csr_build` rows against the committed
-//! `BENCH_parprim.json` (or the file given with `--committed <path>`),
-//! failing on a >10% wall-clock regression — the CI gate for the
-//! decomposition pipeline and the CSR subsystem.
+//! `decompose`, `csr_build`, `list_rank`, and `euler_build` rows against
+//! the committed `BENCH_parprim.json` (or the file given with
+//! `--committed <path>`), failing on a >10% machine-normalized wall-clock
+//! regression — the CI gate for the decomposition pipeline, the CSR
+//! subsystem, and the list-ranking engine subsystem.
 
 use rand::prelude::*;
 use sfcp::{coarsest_partition, Algorithm, Instance};
-use sfcp_pram::{Ctx, Mode, SortEngine, Stats};
+use sfcp_pram::{Ctx, Mode, RankEngine, SortEngine, Stats};
 use std::time::Instant;
 
+/// The two measured engine sets: the defaults vs the baselines.
+#[derive(Clone, Copy)]
+struct EngineSet {
+    sort: SortEngine,
+    rank: RankEngine,
+}
+
+const DEFAULT_ENGINES: EngineSet = EngineSet {
+    sort: SortEngine::Packed,
+    rank: RankEngine::CacheBucket,
+};
+const BASELINE_ENGINES: EngineSet = EngineSet {
+    sort: SortEngine::Permutation,
+    rank: RankEngine::RulingSet,
+};
+
 /// Best-of-k wall-clock milliseconds of `f` with a fresh context per run.
-fn best_ms<F: FnMut(&Ctx)>(engine: SortEngine, reps: usize, mut f: F) -> f64 {
+fn best_ms<F: FnMut(&Ctx)>(engines: EngineSet, reps: usize, mut f: F) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
-        let ctx = Ctx::untracked(Mode::Parallel).with_sort_engine(engine);
+        let ctx = Ctx::untracked(Mode::Parallel)
+            .with_sort_engine(engines.sort)
+            .with_rank_engine(engines.rank);
         let t = Instant::now();
         f(&ctx);
         best = best.min(t.elapsed().as_secs_f64() * 1e3);
@@ -40,9 +66,11 @@ fn best_ms<F: FnMut(&Ctx)>(engine: SortEngine, reps: usize, mut f: F) -> f64 {
     best
 }
 
-/// Tracked work/depth of `f` under `engine`.
-fn charges<F: FnMut(&Ctx)>(engine: SortEngine, mut f: F) -> Stats {
-    let ctx = Ctx::parallel().with_sort_engine(engine);
+/// Tracked work/depth of `f` under `engines`.
+fn charges<F: FnMut(&Ctx)>(engines: EngineSet, mut f: F) -> Stats {
+    let ctx = Ctx::parallel()
+        .with_sort_engine(engines.sort)
+        .with_rank_engine(engines.rank);
     f(&ctx);
     ctx.stats()
 }
@@ -76,10 +104,10 @@ impl Row {
 }
 
 fn measure<F: FnMut(&Ctx) + Clone>(name: &'static str, n: usize, reps: usize, f: F) -> Row {
-    let packed_ms = best_ms(SortEngine::Packed, reps, f.clone());
-    let permutation_ms = best_ms(SortEngine::Permutation, reps, f.clone());
-    let cp = charges(SortEngine::Packed, f.clone());
-    let cb = charges(SortEngine::Permutation, f);
+    let packed_ms = best_ms(DEFAULT_ENGINES, reps, f.clone());
+    let permutation_ms = best_ms(BASELINE_ENGINES, reps, f.clone());
+    let cp = charges(DEFAULT_ENGINES, f.clone());
+    let cb = charges(BASELINE_ENGINES, f);
     assert_eq!(cp, cb, "{name}: engines must charge identical work/depth");
     println!(
         "{name:>22} n={n:>8}: packed {packed_ms:9.3} ms  permutation {permutation_ms:9.3} ms  ({:.2}x)",
@@ -191,6 +219,46 @@ fn main() {
             );
             std::hint::black_box(offsets.len() + items.len());
         }));
+        // The list-ranking engine on a multi-list successor array shaped
+        // like the fused Euler domain: one shuffled permutation split into
+        // a handful of independent chains.
+        let next: Vec<u32> = {
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            perm.shuffle(&mut rng);
+            let mut next: Vec<u32> = (0..n as u32).collect();
+            for part in perm.chunks(n.div_ceil(8)) {
+                for w in part.windows(2) {
+                    next[w[0] as usize] = w[1];
+                }
+            }
+            next
+        };
+        rows.push(measure("list_rank", n, reps, |ctx: &Ctx| {
+            let ranks = sfcp_parprim::listrank::list_rank(ctx, &next);
+            std::hint::black_box(ranks.len());
+        }));
+        // Euler-tour construction over a random relabeled forest: tour
+        // successors, the 2n-arc ranking, and the position finish.
+        let forest = {
+            let mut parent: Vec<u32> = (0..n as u32).collect();
+            for (i, p) in parent.iter_mut().enumerate().skip(8) {
+                *p = rng.gen_range(0..i) as u32;
+            }
+            let mut relabel: Vec<u32> = (0..n as u32).collect();
+            relabel.shuffle(&mut rng);
+            let mut shuffled = vec![0u32; n];
+            for i in 0..n {
+                shuffled[relabel[i] as usize] = relabel[parent[i] as usize];
+            }
+            sfcp_parprim::euler::RootedForest::from_parents(
+                &Ctx::untracked(Mode::Parallel),
+                shuffled,
+            )
+        };
+        rows.push(measure("euler_build", n, reps, |ctx: &Ctx| {
+            let tour = sfcp_parprim::euler::EulerTour::build(ctx, &forest);
+            std::hint::black_box(tour.len());
+        }));
         rows.push(measure("decompose", n, reps, |ctx: &Ctx| {
             let d = sfcp_forest::decompose(ctx, &g, sfcp_forest::cycles::CycleMethod::Euler);
             std::hint::black_box(d.num_cycles());
@@ -236,11 +304,12 @@ fn main() {
          end-to-end (must stay >= ~1.0; 0.9 allows for runner noise)"
     );
 
-    // Smoke gate: the decompose and csr_build entries must not regress more
-    // than 10% against the committed trajectory (same n as measured in this
-    // run).  The raw wall-clock ratio is normalized by the radix_sort_pairs
-    // ratio of the same two files: that row touches neither the
-    // decomposition code nor the CSR builder, so a uniformly slower or
+    // Smoke gate: the decompose, csr_build, list_rank, and euler_build
+    // entries must not regress more than 10% against the committed
+    // trajectory (same n as measured in this run).  The raw wall-clock
+    // ratio is normalized by the radix_sort_pairs ratio of the same two
+    // files: that row touches neither the decomposition code, the CSR
+    // builder, nor the list-ranking engines, so a uniformly slower or
     // faster machine cancels out and the gate tracks genuine regressions
     // rather than runner hardware.
     if smoke {
@@ -260,7 +329,7 @@ fn main() {
                 },
             );
         let machine = calib.packed_ms / committed_calib_ms;
-        for gated in ["decompose", "csr_build"] {
+        for gated in ["decompose", "csr_build", "list_rank", "euler_build"] {
             let fresh = rows
                 .iter()
                 .find(|r| r.name == gated)

@@ -63,18 +63,23 @@
 
 use crate::intsort::{
     counting_pass_items_uncharged, fill_items_uncharged, for_each_block, plan_digits, sig_bits,
+    transpose_scan_offsets,
 };
 use sfcp_pram::{Ctx, SortEngine};
 
 /// Below this stream length the blocked machinery is pure overhead; both
 /// engines run the sequential baseline.
-const SEQUENTIAL_BUILD_MAX: usize = 1024;
+pub const SEQUENTIAL_BUILD_MAX: usize = 1024;
 
 /// Largest key space the direct (single counting pass at radix `num_keys`)
 /// build will allocate histograms for — the same `2^22`-counter budget that
 /// bounds `intsort`'s per-pass offset matrices.  Beyond it the builder falls
 /// back to multi-pass radix bucketing over packed words.
-const DIRECT_BUILD_MAX_KEYS: usize = 1 << 22;
+///
+/// Public so workloads and tests can assert which regime a key space lands
+/// in (the sharded-multigraph workload of `sfcp-bench` exists to push real
+/// builds past this budget).
+pub const DIRECT_BUILD_MAX_KEYS: usize = 1 << 22;
 
 /// Build the CSR grouping of an edge stream, returning `(offsets, items)`.
 ///
@@ -244,19 +249,17 @@ fn build_csr_direct<F>(
     }
 
     // Stable offsets (key-major, then block-major); block 0's cursor for key
-    // `k` is the group start, i.e. `offsets[k]`.
+    // `k` is the group start, i.e. `offsets[k]` — the transpose-scan emits
+    // that column as its per-key base.
     offsets.clear();
     offsets.resize(num_keys + 1, 0);
-    let mut running = 0u32;
-    for k in 0..num_keys {
-        offsets[k] = running;
-        for b in 0..num_blocks {
-            let cell = &mut hist[b * num_keys + k];
-            let c = *cell;
-            *cell = running;
-            running += c;
-        }
-    }
+    let running = transpose_scan_offsets(
+        ctx,
+        &mut hist,
+        num_blocks,
+        num_keys,
+        Some(&mut offsets[..num_keys]),
+    );
     offsets[num_keys] = running;
 
     // Scatter: stream the slots again; the histogram rows double as write

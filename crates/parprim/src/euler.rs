@@ -19,7 +19,7 @@
 //!
 //! Work `O(n)` (plus the list-ranking cost), depth `O(log n)`.
 
-use crate::listrank::{list_rank_into, ListRankMethod};
+use crate::listrank::list_rank_into;
 use crate::scan::scan_generic_into;
 use sfcp_pram::Ctx;
 
@@ -228,6 +228,12 @@ pub struct EulerTour {
 
 impl EulerTour {
     /// Construct the tour of `forest`.
+    ///
+    /// Equivalent to [`EulerTour::arc_successors_into`] + a
+    /// [`crate::listrank::list_rank_into`] over the `2n` arcs +
+    /// [`EulerTour::from_arc_ranks`]; `decompose` uses the split entry
+    /// points to rank the tour and the broken-cycle chains in one fused
+    /// engine invocation (see DESIGN.md, "List ranking engines").
     #[must_use]
     pub fn build(ctx: &Ctx, forest: &RootedForest) -> Self {
         let n = forest.len();
@@ -237,51 +243,81 @@ impl EulerTour {
                 exit: Vec::new(),
             };
         }
-        let num_arcs = 2 * n;
         let ws = ctx.workspace();
-
-        // Successor function of the tour (a collection of linked lists, one
-        // per tree, terminated at the root's up arc).  One pass per *node*
-        // streaming its CSR children list: v settles its own down arc and
-        // the up arcs of all its children (consecutive children chain
-        // up→down, the last child bounces to up(v)).  Every arc is written
-        // exactly once — down(v) at v; up(v) at v's parent, or at v itself
-        // when v is a root (the tree's terminal arc) — and, unlike the
-        // former per-arc formulation, no arc has to *search* for its
-        // position among its siblings, so the pass is linear even on
-        // star-shaped trees (one round, `2n` operations: one per arc).
-        let mut succ = ws.take_u32(num_arcs);
-        {
-            let succ_ptr = SendPtr(succ.as_mut_ptr());
-            ctx.par_for_idx(n, |vi| {
-                let sp = succ_ptr;
-                let v = vi as u32;
-                let kids = forest.children(v);
-                // Safety: the covering argument above — each arc slot has
-                // exactly one writer.
-                unsafe {
-                    *sp.0.add(down(v) as usize) = match kids.first() {
-                        Some(&c) => down(c),
-                        None => up(v),
-                    };
-                    for w in kids.windows(2) {
-                        *sp.0.add(up(w[0]) as usize) = down(w[1]);
-                    }
-                    if let Some(&last) = kids.last() {
-                        *sp.0.add(up(last) as usize) = up(v);
-                    }
-                    if forest.is_root(v) {
-                        *sp.0.add(up(v) as usize) = up(v); // terminal
-                    }
-                }
-            });
-            // par_for_idx charged one round of n; the pass settles 2n arcs.
-            ctx.charge_work(n as u64);
-        }
-
+        let mut succ = ws.take_u32(2 * n);
+        Self::arc_successors_into(ctx, forest, &mut succ);
         // Rank every arc: distance to its tree's terminal arc.
         let mut dist = ws.take_u32(0);
-        list_rank_into(ctx, &succ, ListRankMethod::RulingSet, &mut dist);
+        list_rank_into(ctx, &succ, &mut dist);
+        Self::from_arc_ranks(ctx, forest, &dist)
+    }
+
+    /// The successor function of the tour (a collection of linked lists, one
+    /// per tree, terminated at the root's up arc), written into
+    /// `succ[..2n]`.  One pass per *node* streaming its CSR children list: v
+    /// settles its own down arc and the up arcs of all its children
+    /// (consecutive children chain up→down, the last child bounces to
+    /// up(v)).  Every arc is written exactly once — down(v) at v; up(v) at
+    /// v's parent, or at v itself when v is a root (the tree's terminal arc)
+    /// — and, unlike the former per-arc formulation, no arc has to *search*
+    /// for its position among its siblings, so the pass is linear even on
+    /// star-shaped trees (one round, `2n` operations: one per arc).
+    ///
+    /// Taking the output slice lets `decompose` lay the tour arcs and the
+    /// broken-cycle chains out in one buffer and rank both with a single
+    /// engine invocation.
+    ///
+    /// # Panics
+    /// Panics if `succ.len() != 2 * forest.len()`.
+    pub fn arc_successors_into(ctx: &Ctx, forest: &RootedForest, succ: &mut [u32]) {
+        let n = forest.len();
+        assert_eq!(succ.len(), 2 * n, "tour successor slice must hold 2n arcs");
+        let succ_ptr = SendPtr(succ.as_mut_ptr());
+        ctx.par_for_idx(n, |vi| {
+            let sp = succ_ptr;
+            let v = vi as u32;
+            let kids = forest.children(v);
+            // Safety: the covering argument above — each arc slot has
+            // exactly one writer.
+            unsafe {
+                *sp.0.add(down(v) as usize) = match kids.first() {
+                    Some(&c) => down(c),
+                    None => up(v),
+                };
+                for w in kids.windows(2) {
+                    *sp.0.add(up(w[0]) as usize) = down(w[1]);
+                }
+                if let Some(&last) = kids.last() {
+                    *sp.0.add(up(last) as usize) = up(v);
+                }
+                if forest.is_root(v) {
+                    *sp.0.add(up(v) as usize) = up(v); // terminal
+                }
+            }
+        });
+        // par_for_idx charged one round of n; the pass settles 2n arcs.
+        ctx.charge_work(n as u64);
+    }
+
+    /// Finish the tour from the arc ranking: `dist[a]` is the distance of
+    /// arc `a` (in the [`down`]/[`up`] numbering) to its tree's terminal
+    /// arc, i.e. the output of ranking [`EulerTour::arc_successors_into`].
+    ///
+    /// # Panics
+    /// Panics if `dist.len() < 2 * forest.len()`.
+    #[must_use]
+    pub fn from_arc_ranks(ctx: &Ctx, forest: &RootedForest, dist: &[u32]) -> Self {
+        let n = forest.len();
+        if n == 0 {
+            return EulerTour {
+                entry: Vec::new(),
+                exit: Vec::new(),
+            };
+        }
+        let num_arcs = 2 * n;
+        assert!(dist.len() >= num_arcs, "arc ranking must cover all 2n arcs");
+        let dist = &dist[..num_arcs];
+        let ws = ctx.workspace();
 
         // Tour length of the tree containing v = dist[down(root)] + 1; the
         // position of an arc inside its own tree is length - 1 - dist.
@@ -627,6 +663,33 @@ mod tests {
         // Flag nodes 1 and 3.
         let flags = vec![0u64, 1, 0, 1, 0];
         assert_eq!(tour.ancestor_sums(&ctx, &flags), vec![0, 0, 1, 1, 2]);
+    }
+
+    /// The split entry points must reproduce `build` exactly, including when
+    /// the arc ranking comes from a longer *fused* buffer (tour arcs first,
+    /// unrelated chains after) — the layout `decompose` ranks in one engine
+    /// invocation.
+    #[test]
+    fn split_entry_points_match_build_with_fused_slice() {
+        let ctx = Ctx::parallel();
+        let parent = vec![0u32, 0, 0, 1, 1, 2, 6];
+        let forest = RootedForest::from_parents(&ctx, parent);
+        let built = EulerTour::build(&ctx, &forest);
+        let n = forest.len();
+        let num_arcs = 2 * n;
+        // Fused layout: tour successors in [..2n], a 3-element chain after.
+        let mut fused = vec![0u32; num_arcs + 3];
+        EulerTour::arc_successors_into(&ctx, &forest, &mut fused[..num_arcs]);
+        let tail = [
+            num_arcs as u32 + 1,
+            num_arcs as u32 + 2,
+            num_arcs as u32 + 2,
+        ];
+        fused[num_arcs..].copy_from_slice(&tail);
+        let ranks = crate::listrank::list_rank(&ctx, &fused);
+        assert_eq!(&ranks[num_arcs..], &[2, 1, 0]);
+        let tour = EulerTour::from_arc_ranks(&ctx, &forest, &ranks);
+        assert_eq!(built, tour, "fused-slice finish diverged from build");
     }
 
     #[test]

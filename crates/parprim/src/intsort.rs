@@ -95,6 +95,207 @@ where
     }
 }
 
+/// Digits per tile of the parallel transpose-scan: wide enough that a
+/// tile's row segments stream (≥ 4 KB per row), small enough to split the
+/// scan across workers.
+const SCAN_TILE: usize = 1024;
+
+/// Turn the per-block digit histogram matrix (`num_blocks` block-major rows
+/// of `radix` counters) into block-major stable scatter cursors: the cursor
+/// of `(block b, digit d)` points at the first output slot for block `b`'s
+/// items with digit `d`, with items ordered digit-major first, block-major
+/// second.  Optionally emits the exclusive per-digit base (the cursor of
+/// block 0, i.e. the CSR `offsets` column) into `base_out`.  Returns the
+/// total count.
+///
+/// The naive formulation walks the matrix digit-major — a column traversal
+/// at a `radix`-word stride that misses cache on every cell once the matrix
+/// outgrows L2, and runs serially between the parallel histogram and
+/// scatter passes (the depth bottleneck the ROADMAP flags).  This version
+/// is block-tiled into streaming row-major passes — per-digit totals, an
+/// exclusive scan over them, then a row-major cursor sweep — and every
+/// matrix pass parallelises over digit tiles (columns are independent); the
+/// digit scan itself goes two-level (tile sums, then local scans) once it
+/// is wide enough to matter.  Uncharged: callers charge the documented
+/// `radix × blocks` transpose-scan cost unchanged, so the tiling is
+/// charge-invisible (see DESIGN.md, "Charge discipline").
+#[allow(clippy::needless_range_loop)] // digit indices drive raw-pointer writes
+pub(crate) fn transpose_scan_offsets(
+    ctx: &Ctx,
+    hist: &mut [u32],
+    num_blocks: usize,
+    radix: usize,
+    mut base_out: Option<&mut [u32]>,
+) -> u32 {
+    debug_assert_eq!(hist.len(), num_blocks * radix);
+    let num_tiles = radix.div_ceil(SCAN_TILE);
+    let parallel = ctx.is_parallel() && num_tiles > 1;
+
+    if num_blocks == 1 {
+        // One row: the cursors are the exclusive scan of the row itself.
+        if !parallel {
+            let mut running = 0u32;
+            for d in 0..radix {
+                if let Some(base) = base_out.as_deref_mut() {
+                    base[d] = running;
+                }
+                let c = hist[d];
+                hist[d] = running;
+                running += c;
+            }
+            return running;
+        }
+        // Two-level scan: per-tile sums, a tiny sequential scan over them,
+        // then parallel local exclusive scans.
+        let ws = ctx.workspace();
+        let mut tile_sum = ws.take_u32(num_tiles);
+        {
+            let sums = SendPtr(tile_sum.as_mut_ptr());
+            let hist_ref: &[u32] = hist;
+            for_each_block(ctx, num_tiles, |t| {
+                let (d0, d1) = (t * SCAN_TILE, ((t + 1) * SCAN_TILE).min(radix));
+                let sp = sums;
+                let total: u32 = hist_ref[d0..d1].iter().sum();
+                // Safety: one writer per tile.
+                unsafe {
+                    *sp.0.add(t) = total;
+                }
+            });
+        }
+        let mut running = 0u32;
+        for t in tile_sum.iter_mut() {
+            let c = *t;
+            *t = running;
+            running += c;
+        }
+        {
+            let hist_ptr = SendPtr(hist.as_mut_ptr());
+            let base_ptr = base_out.as_deref_mut().map(|b| SendPtr(b.as_mut_ptr()));
+            let tile_sum = &tile_sum;
+            for_each_block(ctx, num_tiles, |t| {
+                let (d0, d1) = (t * SCAN_TILE, ((t + 1) * SCAN_TILE).min(radix));
+                let hp = hist_ptr;
+                let mut acc = tile_sum[t];
+                for d in d0..d1 {
+                    // Safety: tiles own disjoint digit ranges.
+                    unsafe {
+                        let cell = hp.0.add(d);
+                        let c = *cell;
+                        *cell = acc;
+                        if let Some(bp) = base_ptr {
+                            *bp.0.add(d) = acc;
+                        }
+                        acc += c;
+                    }
+                }
+            });
+        }
+        return running;
+    }
+
+    // Multi-block: per-digit totals (streaming row-major), exclusive scan
+    // over the digits, then a row-major sweep turning the totals into
+    // running block cursors.  `base` doubles as totals, digit base, and
+    // running cursor in turn.
+    let ws = ctx.workspace();
+    let mut base = ws.take_u32(radix);
+    base.fill(0);
+    {
+        let base_ptr = SendPtr(base.as_mut_ptr());
+        let hist_ref: &[u32] = hist;
+        for_each_block(ctx, num_tiles, |t| {
+            let (d0, d1) = (t * SCAN_TILE, ((t + 1) * SCAN_TILE).min(radix));
+            let bp = base_ptr;
+            for b in 0..num_blocks {
+                let row = &hist_ref[b * radix..];
+                for d in d0..d1 {
+                    // Safety: tiles own disjoint digit ranges.
+                    unsafe {
+                        *bp.0.add(d) += row[d];
+                    }
+                }
+            }
+        });
+    }
+    // Exclusive scan of the totals (sequential below SCAN_TILE tiles' worth
+    // of digits, two-level otherwise — same scheme as the single-row path).
+    let total = if !parallel {
+        let mut running = 0u32;
+        for cell in base.iter_mut() {
+            let c = *cell;
+            *cell = running;
+            running += c;
+        }
+        running
+    } else {
+        let mut tile_sum = ws.take_u32(num_tiles);
+        {
+            let sums = SendPtr(tile_sum.as_mut_ptr());
+            let base_ref: &[u32] = &base;
+            for_each_block(ctx, num_tiles, |t| {
+                let (d0, d1) = (t * SCAN_TILE, ((t + 1) * SCAN_TILE).min(radix));
+                let sp = sums;
+                let total: u32 = base_ref[d0..d1].iter().sum();
+                // Safety: one writer per tile.
+                unsafe {
+                    *sp.0.add(t) = total;
+                }
+            });
+        }
+        let mut running = 0u32;
+        for t in tile_sum.iter_mut() {
+            let c = *t;
+            *t = running;
+            running += c;
+        }
+        {
+            let base_ptr = SendPtr(base.as_mut_ptr());
+            let tile_sum = &tile_sum;
+            for_each_block(ctx, num_tiles, |t| {
+                let (d0, d1) = (t * SCAN_TILE, ((t + 1) * SCAN_TILE).min(radix));
+                let bp = base_ptr;
+                let mut acc = tile_sum[t];
+                for d in d0..d1 {
+                    // Safety: tiles own disjoint digit ranges.
+                    unsafe {
+                        let cell = bp.0.add(d);
+                        let c = *cell;
+                        *cell = acc;
+                        acc += c;
+                    }
+                }
+            });
+        }
+        running
+    };
+    if let Some(bo) = base_out {
+        bo[..radix].copy_from_slice(&base);
+    }
+    // Row-major cursor sweep, parallel over digit tiles: block b's cursor
+    // for digit d is the digit base plus the counts of earlier blocks.
+    {
+        let hist_ptr = SendPtr(hist.as_mut_ptr());
+        let base_ptr = SendPtr(base.as_mut_ptr());
+        for_each_block(ctx, num_tiles, |t| {
+            let (d0, d1) = (t * SCAN_TILE, ((t + 1) * SCAN_TILE).min(radix));
+            let (hp, bp) = (hist_ptr, base_ptr);
+            for b in 0..num_blocks {
+                for d in d0..d1 {
+                    // Safety: tiles own disjoint digit ranges of every row.
+                    unsafe {
+                        let cell = hp.0.add(b * radix + d);
+                        let run = bp.0.add(d);
+                        let c = *cell;
+                        *cell = *run;
+                        *run += c;
+                    }
+                }
+            }
+        });
+    }
+    total
+}
+
 // ---------------------------------------------------------------------------
 // Packed record engine.
 // ---------------------------------------------------------------------------
@@ -261,16 +462,9 @@ pub(crate) fn counting_pass_items_uncharged<T: RadixItem>(
         });
     }
 
-    // Global stable offsets: digit-major, then block-major.
-    let mut running = 0u32;
-    for d in 0..radix {
-        for b in 0..num_blocks {
-            let cell = &mut hist[b * radix + d];
-            let c = *cell;
-            *cell = running;
-            running += c;
-        }
-    }
+    // Global stable offsets: digit-major, then block-major (block-tiled
+    // streaming passes instead of the cache-hostile column walk).
+    transpose_scan_offsets(ctx, &mut hist, num_blocks, radix, None);
 
     // Scatter: stream the block again, moving whole records; each
     // (block, digit) offset range is disjoint, so every destination slot is

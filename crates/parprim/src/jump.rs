@@ -17,7 +17,7 @@
 //! needs the work-optimal variant it combines pointer jumping with the
 //! list-ranking / Euler-tour machinery; the experiments quantify the gap.
 
-use sfcp_pram::Ctx;
+use sfcp_pram::{Ctx, RankEngine};
 
 /// For every node of a rooted forest, the root of its tree.
 /// Roots are the fixed points of `parent`.
@@ -70,13 +70,6 @@ pub fn find_roots_into(ctx: &Ctx, parent: &[u32], out: &mut Vec<u32>) {
         "pointer jumping did not converge — `parent` is not a rooted forest"
     );
 }
-
-/// A raw pointer wrapper that asserts cross-thread transferability.  Every
-/// use in this module writes disjoint indices from different tasks.
-#[derive(Clone, Copy)]
-struct SendPtr<T>(*mut T);
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
 
 /// Charge `skipped` rounds of `ops_per_round` operations each — the cost of
 /// pointer-jumping rounds that an early convergence exit did not execute.
@@ -165,8 +158,13 @@ pub fn permutation_cycle_min_into(ctx: &Ctx, succ: &[u32], out: &mut Vec<u32>) {
     }
     ctx.charge_step(n as u64);
 
-    if n > CYCLE_MIN_CONTRACTION_THRESHOLD {
-        cycle_min_by_contraction(ctx, succ, out);
+    if n > CYCLE_MIN_CONTRACTION_THRESHOLD && ctx.rank_engine() != RankEngine::PointerJump {
+        // The contraction executes on the shared ruling-set machinery of the
+        // list-ranking subsystem; the engine picks the segment-walk layout
+        // (sequential for `RulingSet`, wavefront batches for `CacheBucket`).
+        // Both are topped up to the pinned pointer-jumping model below, so
+        // the engine choice never shows in tracked charges.
+        crate::listrank::cycle_min_contraction_into(ctx, succ, out, ctx.rank_engine());
         return;
     }
 
@@ -209,162 +207,12 @@ pub fn permutation_cycle_min_into(ctx: &Ctx, succ: &[u32], out: &mut Vec<u32>) {
 /// Above this size the cycle-min labeling runs as a sparse-ruling-set
 /// contraction instead of whole-array pointer jumping: `log n` rounds of
 /// random gathers over the full array lose badly to one segment walk plus
-/// jumping over a `k`-times-smaller, cache-resident contracted list.
+/// jumping over a `k`-times-smaller, cache-resident contracted list.  The
+/// contraction lives in the list-ranking engine subsystem
+/// (`crate::listrank`), which also picks the physical walk layout; under
+/// [`RankEngine::PointerJump`] the doubling loop below runs at every size,
+/// as the documented model baseline.  All paths charge identically.
 const CYCLE_MIN_CONTRACTION_THRESHOLD: usize = 4096;
-
-/// Cycle minima by sparse-ruling-set contraction (execution path for large
-/// inputs).
-///
-/// Sample ~`n / k` rulers deterministically, walk each inter-ruler segment
-/// once recording the segment minimum and the end ruler of every element,
-/// pointer-jump (packed) over the contracted ruler list, and expand.  Cycles
-/// that received no sampled ruler are swept sequentially at the end (w.h.p. a
-/// vanishing fraction; the sweep is linear in the number of uncovered
-/// elements).
-///
-/// Charge discipline: the model cost of this routine is pinned to the
-/// documented pointer-jumping substitution — init plus two steps of `n`
-/// operations for each of `ceil_log2(n) + 1` rounds, exactly what the
-/// jumping path of [`permutation_cycle_min_into`] charges after validation.
-/// The contraction's own (smaller) pass charges are counted and the
-/// remainder is topped up, so tracked work/depth is independent of which
-/// execution path ran (see DESIGN.md "Charge discipline").
-fn cycle_min_by_contraction(ctx: &Ctx, succ: &[u32], out: &mut Vec<u32>) {
-    let n = succ.len();
-    let ws = ctx.workspace();
-    let before = ctx.stats();
-    let rounds = (sfcp_pram::ceil_log2(n) + 1) as u64;
-    let target_work = (n as u64) * (1 + 2 * rounds);
-    let target_rounds = 1 + 2 * rounds;
-
-    let k = sfcp_pram::ceil_log2(n).max(2) as usize * 2;
-    // Rulers: fixed points (their cycle is just {i}) plus a deterministic
-    // 1/k hash sample.  A cycle may end up with no ruler at all — handled by
-    // the final sequential sweep.
-    let mut is_ruler = ws.take_u8(n);
-    ctx.par_update(&mut is_ruler, |i, r| {
-        *r = u8::from(
-            succ[i] as usize == i
-                || (sfcp_pram::fxhash::hash_u64(i as u64) as usize).is_multiple_of(k),
-        );
-    });
-    let mut ruler_ids = ws.take_u32(0);
-    crate::compact::compact_indices_into(ctx, n, |i| is_ruler[i] == 1, &mut ruler_ids);
-    let m = ruler_ids.len();
-    // Only ruler slots are read back, so no fill.
-    let mut ruler_index = ws.take_u32(n);
-    for (j, &r) in ruler_ids.iter().enumerate() {
-        ruler_index[r as usize] = j as u32;
-    }
-
-    // Walk every segment once: record the end ruler of each element and the
-    // segment minimum, building the contracted (min, next-ruler) state
-    // directly in packed form.  `end_ruler[i] == u32::MAX` afterwards marks
-    // elements on ruler-free cycles.
-    let mut end_ruler = ws.take_u32(n);
-    end_ruler.fill(u32::MAX);
-    let mut state = ws.take_u64(m);
-    {
-        let end_ptr = SendPtr(end_ruler.as_mut_ptr());
-        let state_ptr = SendPtr(state.as_mut_ptr());
-        let (ruler_ids, ruler_index, is_ruler) = (&ruler_ids, &ruler_index, &is_ruler);
-        ctx.par_for_idx(m, |j| {
-            let start = ruler_ids[j] as usize;
-            let mut min = start as u32;
-            let mut cur = succ[start] as usize;
-            let (ep, sp) = (end_ptr, state_ptr);
-            while cur != start && is_ruler[cur] == 0 {
-                // Safety: each element is interior to exactly one segment.
-                unsafe {
-                    *ep.0.add(cur) = j as u32;
-                }
-                min = min.min(cur as u32);
-                cur = succ[cur] as usize;
-            }
-            // Wrapped all the way around: this cycle's only ruler is j.
-            let next_ruler = if cur == start {
-                j as u32
-            } else {
-                ruler_index[cur]
-            };
-            // Safety: one writer per ruler.
-            unsafe {
-                *ep.0.add(start) = j as u32;
-                *sp.0.add(j) = (u64::from(min) << 32) | u64::from(next_ruler);
-            }
-        });
-    }
-
-    // Packed min-jumping over the contracted list (m ≈ n / k elements, so
-    // the state stays cache-resident); stops as soon as the minima
-    // stabilize.
-    let mut next_state = ws.take_u64(m);
-    for _ in 0..sfcp_pram::ceil_log2(m.max(2)) + 1 {
-        {
-            let state_ref = &state;
-            ctx.par_update(&mut next_state, |j, s| {
-                let cur = state_ref[j];
-                let via = state_ref[(cur & 0xFFFF_FFFF) as usize];
-                let best = (cur >> 32).min(via >> 32);
-                *s = (best << 32) | (via & 0xFFFF_FFFF);
-            });
-        }
-        let stable = state
-            .iter()
-            .zip(next_state.iter())
-            .all(|(a, b)| a >> 32 == b >> 32);
-        std::mem::swap(&mut *state, &mut *next_state);
-        if stable {
-            break;
-        }
-    }
-
-    // Expand: every covered element takes its end ruler's cycle minimum.
-    out.resize(n, 0);
-    {
-        let (end_ruler, state) = (&end_ruler, &state);
-        ctx.par_update(out, |i, o| {
-            let e = end_ruler[i];
-            *o = if e == u32::MAX {
-                u32::MAX // ruler-free cycle, resolved below
-            } else {
-                (state[e as usize] >> 32) as u32
-            };
-        });
-    }
-
-    // Sequential sweep over ruler-free cycles (each walked twice: minimum,
-    // then assignment).
-    for i in 0..n {
-        if end_ruler[i] != u32::MAX {
-            continue;
-        }
-        let mut min = i as u32;
-        let mut cur = succ[i] as usize;
-        while cur != i {
-            min = min.min(cur as u32);
-            cur = succ[cur] as usize;
-        }
-        out[i] = min;
-        end_ruler[i] = u32::MAX - 1;
-        let mut cur = succ[i] as usize;
-        while cur != i {
-            out[cur] = min;
-            end_ruler[cur] = u32::MAX - 1;
-            cur = succ[cur] as usize;
-        }
-    }
-
-    // Top up to the pinned jumping-path charges.
-    let consumed = ctx.stats();
-    let (dw, dr) = (consumed.work - before.work, consumed.rounds - before.rounds);
-    debug_assert!(
-        dw <= target_work && dr <= target_rounds,
-        "contraction consumed more than the pinned jumping budget ({dw}/{target_work} work, {dr}/{target_rounds} rounds)"
-    );
-    ctx.charge_work(target_work.saturating_sub(dw));
-    ctx.charge_rounds(target_rounds.saturating_sub(dr));
-}
 
 #[cfg(test)]
 mod tests {
@@ -481,7 +329,8 @@ mod tests {
     }
 
     /// The contraction path (n > threshold) must agree with the reference on
-    /// large shuffled permutations in both modes.
+    /// large shuffled permutations, in both modes, under every engine (the
+    /// `PointerJump` engine runs the doubling loop at every size).
     #[test]
     fn contraction_path_matches_reference_large() {
         use sfcp_pram::Mode;
@@ -492,13 +341,39 @@ mod tests {
             succ.shuffle(&mut rng);
             let expected = reference_cycle_min(&succ);
             for mode in [Mode::Sequential, Mode::Parallel] {
-                let ctx = Ctx::new(mode);
-                assert_eq!(
-                    permutation_cycle_min(&ctx, &succ),
-                    expected,
-                    "seed {seed}, {mode:?}"
-                );
+                for engine in RankEngine::ALL {
+                    let ctx = Ctx::new(mode).with_rank_engine(engine);
+                    assert_eq!(
+                        permutation_cycle_min(&ctx, &succ),
+                        expected,
+                        "seed {seed}, {mode:?}, {engine:?}"
+                    );
+                }
             }
+        }
+    }
+
+    /// Every engine charges the identical pinned pointer-jumping model for
+    /// cycle minima — the contraction paths count their own passes and top
+    /// the difference up.
+    #[test]
+    fn cycle_min_engines_charge_identically() {
+        let n = 30_000;
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut succ: Vec<u32> = (0..n as u32).collect();
+        succ.shuffle(&mut rng);
+        let mut stats = Vec::new();
+        for engine in RankEngine::ALL {
+            let ctx = Ctx::parallel().with_rank_engine(engine);
+            let _ = permutation_cycle_min(&ctx, &succ);
+            stats.push((engine, ctx.stats()));
+        }
+        for w in stats.windows(2) {
+            assert_eq!(
+                w[0].1, w[1].1,
+                "{:?} and {:?} diverged in cycle-min charges",
+                w[0].0, w[1].0
+            );
         }
     }
 
@@ -520,8 +395,10 @@ mod tests {
             }
         }
         let expected = reference_cycle_min(&succ);
-        let ctx = Ctx::parallel();
-        assert_eq!(permutation_cycle_min(&ctx, &succ), expected);
+        for engine in [RankEngine::RulingSet, RankEngine::CacheBucket] {
+            let ctx = Ctx::parallel().with_rank_engine(engine);
+            assert_eq!(permutation_cycle_min(&ctx, &succ), expected, "{engine:?}");
+        }
     }
 
     /// The contraction execution must charge exactly what the jumping path

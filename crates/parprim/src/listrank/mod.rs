@@ -1,0 +1,297 @@
+//! List ranking — the engine-dispatched ranking/contraction subsystem.
+//!
+//! Step 1 of *Algorithm cycle node labeling* rearranges each cycle into
+//! consecutive memory locations; the paper does this with the optimal
+//! list-ranking algorithm of Anderson and Miller (`O(log n)` time, `O(n)`
+//! work, EREW).  Like the integer-sort layer, the practical stand-in is a
+//! pluggable engine selected on the [`Ctx`] ([`sfcp_pram::RankEngine`],
+//! mirroring [`sfcp_pram::SortEngine`]):
+//!
+//! * [`RankEngine::PointerJump`] — Wyllie's pointer jumping
+//!   ([`list_rank_wyllie`]): simple, `O(log n)` depth but `O(n log n)` work.
+//!   The documented model baseline, charged at its own (larger) cost.
+//! * [`RankEngine::RulingSet`] — the work-efficient scheme
+//!   ([`list_rank_ruling_set`]): deterministically sample ~`n / k` *rulers*,
+//!   walk the short segments between rulers sequentially (in parallel over
+//!   segments), rank the contracted list of rulers with weighted Wyllie, and
+//!   expand.  Expected `O(n)` work, `O(k + log n)` depth with `k ≈ log n` —
+//!   the practical stand-in for Anderson–Miller.
+//! * [`RankEngine::CacheBucket`] (default) — the same ruling-set scheme with
+//!   the segment walks batched into lockstep *wavefronts*
+//!   ([`list_rank_cache_bucket`]): the dependent pointer-chase of one walk
+//!   overlaps the memory latency of its bucket neighbours, so the hot
+//!   traversal runs at bandwidth instead of latency.  Produces identical
+//!   ranks and charges **bit-identical** work/depth to `RulingSet`
+//!   (regression-tested) — the engine choice is charge-invisible, exactly
+//!   like the packed/permutation sort engines.
+//!
+//! The same machinery executes the cycle-min contraction behind
+//! [`crate::jump::permutation_cycle_min`] (`ruling.rs` /
+//! `cycle_min_contraction_into`), which stays charge-pinned to the
+//! documented pointer-jumping substitution via top-ups.
+//!
+//! The input is a *successor* array: `next[i]` is the element after `i`, and
+//! terminal elements satisfy `next[i] == i`.  Several independent lists may
+//! share one array — the property the **fused Euler ranking** exploits:
+//! `decompose` lays the `2n` Euler-tour arcs and the `m` broken-cycle chain
+//! elements out in one successor array and ranks both with a single engine
+//! invocation (see DESIGN.md, "List ranking engines").  The output rank of
+//! an element is its distance (number of hops) to its terminal.
+
+mod bucket;
+mod ruling;
+mod wyllie;
+
+pub use bucket::{list_rank_cache_bucket, list_rank_cache_bucket_into};
+pub use ruling::{list_rank_ruling_set, list_rank_ruling_set_into};
+pub use wyllie::{list_rank_wyllie, list_rank_wyllie_into};
+
+pub(crate) use ruling::cycle_min_contraction_into;
+
+use sfcp_pram::{Ctx, RankEngine};
+
+/// Distance of every element to the terminal of its list, via the engine
+/// selected on the context ([`Ctx::rank_engine`]).
+///
+/// # Panics
+/// Panics if `next` contains an out-of-range index.
+#[must_use]
+pub fn list_rank(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    list_rank_into(ctx, next, &mut out);
+    out
+}
+
+/// [`list_rank`] writing into a reusable output buffer, so repeated rankings
+/// (the fused Euler-tour + cycle-chain pass of a decomposition) allocate
+/// nothing once the caller's buffer and the workspace pools are warm.
+pub fn list_rank_into(ctx: &Ctx, next: &[u32], out: &mut Vec<u32>) {
+    match ctx.rank_engine() {
+        RankEngine::PointerJump => list_rank_wyllie_into(ctx, next, out),
+        RankEngine::RulingSet => list_rank_ruling_set_into(ctx, next, out),
+        RankEngine::CacheBucket => list_rank_cache_bucket_into(ctx, next, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use sfcp_pram::Mode;
+
+    fn all_engines() -> [RankEngine; 3] {
+        RankEngine::ALL
+    }
+
+    /// Reference ranking by walking each list.
+    #[allow(clippy::needless_range_loop)]
+    fn reference_ranks(next: &[u32]) -> Vec<u32> {
+        let n = next.len();
+        let mut rank = vec![0u32; n];
+        for start in 0..n {
+            let mut steps = 0u32;
+            let mut cur = start;
+            while next[cur] as usize != cur {
+                cur = next[cur] as usize;
+                steps += 1;
+                assert!(steps as usize <= n, "cycle detected — invalid list input");
+            }
+            rank[start] = steps;
+        }
+        rank
+    }
+
+    /// Build a successor array for a random permutation split into `lists`
+    /// independent lists.
+    fn random_lists(n: usize, lists: usize, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut rng);
+        let mut next: Vec<u32> = (0..n as u32).collect();
+        let chunk = n.div_ceil(lists.max(1));
+        for part in perm.chunks(chunk) {
+            for w in part.windows(2) {
+                next[w[0] as usize] = w[1];
+            }
+            // Last element of each part is terminal (already self-loop).
+        }
+        next
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let ctx = Ctx::parallel();
+        assert!(list_rank_wyllie(&ctx, &[]).is_empty());
+        assert_eq!(list_rank_wyllie(&ctx, &[0]), vec![0]);
+        for engine in all_engines() {
+            let ctx = Ctx::parallel().with_rank_engine(engine);
+            assert!(list_rank(&ctx, &[]).is_empty());
+            assert_eq!(list_rank(&ctx, &[0]), vec![0]);
+        }
+    }
+
+    #[test]
+    fn single_chain() {
+        // 0 -> 1 -> 2 -> 3 (terminal)
+        let next = vec![1u32, 2, 3, 3];
+        for mode in [Mode::Sequential, Mode::Parallel] {
+            let ctx = Ctx::new(mode);
+            assert_eq!(list_rank_wyllie(&ctx, &next), vec![3, 2, 1, 0]);
+            assert_eq!(list_rank_ruling_set(&ctx, &next), vec![3, 2, 1, 0]);
+            assert_eq!(list_rank_cache_bucket(&ctx, &next), vec![3, 2, 1, 0]);
+        }
+    }
+
+    #[test]
+    fn two_lists() {
+        // list A: 4 -> 2 -> 0 (terminal); list B: 3 -> 1 (terminal)
+        let next = vec![0u32, 1, 0, 1, 2];
+        let ctx = Ctx::parallel();
+        assert_eq!(list_rank_wyllie(&ctx, &next), vec![0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn large_random_lists_all_engines() {
+        let next = random_lists(20_000, 7, 42);
+        let expected = reference_ranks(&next);
+        for mode in [Mode::Sequential, Mode::Parallel] {
+            for engine in all_engines() {
+                let ctx = Ctx::new(mode).with_rank_engine(engine);
+                assert_eq!(list_rank(&ctx, &next), expected, "{engine:?} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_long_chain_exercises_contraction_engines() {
+        // One chain of length 50k in index order — heads/terminals handled.
+        let n = 50_000;
+        let mut next: Vec<u32> = (1..=n as u32).collect();
+        next[n - 1] = (n - 1) as u32;
+        let ctx = Ctx::parallel();
+        for ranks in [
+            list_rank_ruling_set(&ctx, &next),
+            list_rank_cache_bucket(&ctx, &next),
+        ] {
+            for (i, &r) in ranks.iter().enumerate() {
+                assert_eq!(r as usize, n - 1 - i);
+            }
+        }
+    }
+
+    #[test]
+    fn ruling_set_work_is_smaller_than_wyllie() {
+        let next = random_lists(100_000, 3, 9);
+        let ctx_w = Ctx::parallel();
+        let _ = list_rank_wyllie(&ctx_w, &next);
+        let ctx_r = Ctx::parallel();
+        let _ = list_rank_ruling_set(&ctx_r, &next);
+        assert!(
+            ctx_r.stats().work < ctx_w.stats().work,
+            "ruling set ({}) should charge less work than Wyllie ({})",
+            ctx_r.stats().work,
+            ctx_w.stats().work
+        );
+    }
+
+    /// The CacheBucket engine is a physical relayout of the RulingSet
+    /// engine: identical ranks, bit-identical work/depth charges, in both
+    /// execution modes, across the tiny/contraction threshold.
+    #[test]
+    fn cache_bucket_charges_match_ruling_set() {
+        for (n, lists, seed) in [
+            (12usize, 2usize, 3u64), // tiny path (Wyllie fall-back)
+            (1024, 1, 4),            // threshold boundary
+            (1025, 1, 5),
+            (30_000, 5, 6),
+            (60_000, 1, 7),
+        ] {
+            let next = random_lists(n, lists, seed);
+            for mode in [Mode::Sequential, Mode::Parallel] {
+                let ruling = Ctx::new(mode).with_rank_engine(RankEngine::RulingSet);
+                let bucket = Ctx::new(mode).with_rank_engine(RankEngine::CacheBucket);
+                let a = list_rank(&ruling, &next);
+                let b = list_rank(&bucket, &next);
+                assert_eq!(a, b, "ranks diverged at n={n}, mode={mode:?}");
+                assert_eq!(
+                    ruling.stats(),
+                    bucket.stats(),
+                    "charges diverged at n={n}, mode={mode:?}"
+                );
+            }
+        }
+    }
+
+    /// `list_rank` must route through the engine selected on the context.
+    #[test]
+    fn dispatch_respects_ctx_engine() {
+        let next = random_lists(40_000, 4, 17);
+        for engine in all_engines() {
+            let dispatched = Ctx::parallel().with_rank_engine(engine);
+            let _ = list_rank(&dispatched, &next);
+            let direct = Ctx::parallel();
+            match engine {
+                RankEngine::PointerJump => {
+                    let _ = list_rank_wyllie(&direct, &next);
+                }
+                RankEngine::RulingSet => {
+                    let _ = list_rank_ruling_set(&direct, &next);
+                }
+                RankEngine::CacheBucket => {
+                    let _ = list_rank_cache_bucket(&direct, &next);
+                }
+            }
+            assert_eq!(
+                dispatched.stats(),
+                direct.stats(),
+                "dispatch charge mismatch for {engine:?}"
+            );
+        }
+    }
+
+    /// Warm rankings serve every checkout from the workspace pools, for all
+    /// three engines.
+    #[test]
+    fn warm_rankings_allocate_nothing() {
+        let next = random_lists(30_000, 3, 23);
+        for engine in all_engines() {
+            let ctx = Ctx::parallel().with_rank_engine(engine);
+            let mut out = Vec::new();
+            list_rank_into(&ctx, &next, &mut out); // warm up
+            let before = ctx.workspace().stats();
+            for _ in 0..4 {
+                list_rank_into(&ctx, &next, &mut out);
+            }
+            let after = ctx.workspace().stats();
+            assert!(after.checkouts > before.checkouts);
+            assert_eq!(
+                after.misses, before.misses,
+                "warm {engine:?} rankings must not allocate fresh buffers"
+            );
+            assert_eq!(after.outstanding(), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn all_engines_match_reference(n in 1usize..400, lists in 1usize..8, seed in 0u64..100) {
+            let next = random_lists(n, lists, seed);
+            let expected = reference_ranks(&next);
+            for engine in RankEngine::ALL {
+                let ctx = Ctx::parallel().with_grain(32).with_rank_engine(engine);
+                prop_assert_eq!(list_rank(&ctx, &next), expected.clone());
+            }
+        }
+
+        /// Past the tiny threshold with a forced wavefront refill (many short
+        /// segments), the bucketed walk must agree with the sequential one.
+        #[test]
+        fn bucketed_walk_matches_on_many_short_lists(seed in 0u64..30) {
+            let next = random_lists(5000, 600, seed);
+            let expected = reference_ranks(&next);
+            let ctx = Ctx::parallel().with_rank_engine(RankEngine::CacheBucket);
+            prop_assert_eq!(list_rank(&ctx, &next), expected);
+        }
+    }
+}

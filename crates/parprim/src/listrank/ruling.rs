@@ -1,0 +1,483 @@
+//! The `RulingSet` engine and the shared sparse-ruling-set machinery.
+//!
+//! Deterministically sample ~`n / k` *rulers*, walk the short segments
+//! between rulers sequentially (in parallel over segments), solve the
+//! contracted problem over the rulers with packed-word doubling, and expand.
+//! Two problems run on this machinery:
+//!
+//! * **list ranking** ([`list_rank_ruling_set_into`]): the contracted list is
+//!   ranked with weighted Wyllie (weight of a ruler = its segment length);
+//! * **cycle minima** ([`cycle_min_contraction_into`], the execution path of
+//!   `jump::permutation_cycle_min` for large permutations): the contracted
+//!   cycle is min-jumped over packed `(best, jump)` words.
+//!
+//! The sampling, ruler indexing, and packed contracted-doubling kernels are
+//! shared with the `CacheBucket` engine (`bucket.rs`), which replaces only
+//! the physical segment-walk layout; the two engines charge bit-identical
+//! work/depth (regression-tested).
+
+use sfcp_pram::fxhash::hash_u64;
+use sfcp_pram::{Ctx, RankEngine, Scratch};
+
+use super::bucket;
+use super::wyllie::list_rank_wyllie_into;
+
+/// Below this size pointer jumping beats the ruling-set machinery outright;
+/// both work-efficient engines fall back to it (charging the Wyllie model).
+pub(crate) const TINY_LIST_MAX: usize = 1024;
+
+/// Low 31 bits of a packed successor-plus-ruler-flag word.
+pub(crate) const FLAGGED_LOW: u32 = (1 << 31) - 1;
+
+/// Segment length target ~`log n`: keeps the expected work linear while the
+/// per-segment walks stay short.
+pub(crate) fn segment_target(n: usize) -> usize {
+    (sfcp_pram::ceil_log2(n) as usize).max(2) * 2
+}
+
+/// Deterministic chain-ruler sampling shared by the `RulingSet` and
+/// `CacheBucket` engines: element `i` is a ruler iff its hash falls in a
+/// `1/k` slice, or it is a head (no predecessor — the prefix of a list
+/// before the first sampled ruler would never be walked otherwise), or it is
+/// a terminal.  The same pass packs the successor and the ruler flag into
+/// one word (`next[i] | ruler << 31`), so the segment walks cost a single
+/// gather per hop instead of touching two arrays.
+///
+/// Returns `(is_ruler, flagged_next)`.
+pub(crate) fn sample_chain_rulers<'c>(
+    ctx: &'c Ctx,
+    next: &[u32],
+    k: usize,
+) -> (Scratch<'c, u8>, Scratch<'c, u32>) {
+    let n = next.len();
+    assert!(
+        n < (1 << 31),
+        "ruling-set list ranking packs successors and ruler flags into u32 words"
+    );
+    let ws = ctx.workspace();
+    let mut has_pred = ws.take_u8(n);
+    has_pred.fill(0);
+    for (i, &s) in next.iter().enumerate() {
+        if s as usize != i {
+            has_pred[s as usize] = 1;
+        }
+    }
+    ctx.charge_step(n as u64);
+
+    let mut is_ruler = ws.take_u8(n);
+    let mut flagged_next = ws.take_u32(n);
+    {
+        let flagged_ptr = SendPtr(flagged_next.as_mut_ptr());
+        let has_pred = &has_pred;
+        ctx.par_update(&mut is_ruler, |i, r| {
+            let ruler = has_pred[i] == 0
+                || next[i] as usize == i
+                || (hash_u64(i as u64) as usize).is_multiple_of(k);
+            *r = u8::from(ruler);
+            let p = flagged_ptr;
+            // Safety: each i writes its own slot.
+            unsafe {
+                *p.0.add(i) = next[i] | (u32::from(ruler) << 31);
+            }
+        });
+    }
+    (is_ruler, flagged_next)
+}
+
+/// Compact the sampled rulers and invert the numbering: returns
+/// `(ruler_ids, ruler_index)` with `ruler_index[ruler_ids[j]] == j`.  Only
+/// ruler slots of `ruler_index` are written (and only those are read back),
+/// unless `fill_unset` asks for a `u32::MAX` fill of the rest.
+pub(crate) fn index_rulers<'c>(
+    ctx: &'c Ctx,
+    is_ruler: &[u8],
+    fill_unset: bool,
+) -> (Scratch<'c, u32>, Scratch<'c, u32>) {
+    let n = is_ruler.len();
+    let ws = ctx.workspace();
+    let mut ruler_ids = ws.take_u32(0);
+    crate::compact::compact_indices_into(ctx, n, |i| is_ruler[i] == 1, &mut ruler_ids);
+    let m = ruler_ids.len();
+    let mut ruler_index = ws.take_u32(n);
+    if fill_unset {
+        ruler_index.fill(u32::MAX);
+    }
+    for (j, &r) in ruler_ids.iter().enumerate() {
+        ruler_index[r as usize] = j as u32;
+    }
+    ctx.charge_step(m as u64);
+    (ruler_ids, ruler_index)
+}
+
+/// Weighted-Wyllie doubling over the contracted list, on packed
+/// `(rank << 32) | successor` words — the rank twin of the cycle-min
+/// `(best, jump)` representation: one gather per element per round instead
+/// of two.  Converged rounds are charged without being executed.  Charges
+/// two steps of `m` per round (the two passes of the unpacked baseline), so
+/// the packed layout is charge-identical to the two-array loop of
+/// [`list_rank_ruling_set_into`].
+pub(crate) fn contracted_rank_doubling(ctx: &Ctx, state: &mut [u64]) {
+    let m = state.len();
+    let ws = ctx.workspace();
+    let mut next_state = ws.take_u64(m);
+    let rounds = sfcp_pram::ceil_log2(m.max(2)) + 1;
+    for r in 0..rounds {
+        {
+            let state_ref: &[u64] = state;
+            ctx.par_update(&mut next_state, |j, s| {
+                let cur = state_ref[j];
+                let via = state_ref[(cur & u64::from(u32::MAX)) as usize];
+                *s = (((cur >> 32) + (via >> 32)) << 32) | (via & u64::from(u32::MAX));
+            });
+        }
+        // The unpacked baseline advances rank and successor as two separate
+        // parallel passes; the fused packed pass above charged one of them.
+        ctx.charge_step(m as u64);
+        state.swap_with_slice(&mut next_state);
+        if *state == **next_state {
+            // Converged: every successor is a terminal (rank 0, stable), so
+            // further rounds are identity passes — charge them without
+            // executing (see DESIGN.md "Charge discipline").
+            let skipped = (rounds - 1 - r) as u64;
+            ctx.charge_work(2 * skipped * m as u64);
+            ctx.charge_rounds(2 * skipped);
+            break;
+        }
+    }
+}
+
+/// Sparse-ruling-set list ranking (work-efficient) — the `RulingSet`
+/// engine's entry point.
+#[must_use]
+pub fn list_rank_ruling_set(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    list_rank_ruling_set_into(ctx, next, &mut out);
+    out
+}
+
+/// [`list_rank_ruling_set`] writing into a reusable output buffer.  All
+/// intermediates — ruler flags, per-node segment data, the contracted list —
+/// are workspace checkouts, and segments are walked twice with O(1) memory
+/// (measure, then re-walk and scatter) instead of collecting a per-segment
+/// path vector.
+pub fn list_rank_ruling_set_into(ctx: &Ctx, next: &[u32], out: &mut Vec<u32>) {
+    let n = next.len();
+    out.clear();
+    if n == 0 {
+        return;
+    }
+    if n <= TINY_LIST_MAX {
+        // Tiny inputs: pointer jumping is already cheap.
+        list_rank_wyllie_into(ctx, next, out);
+        return;
+    }
+    for (i, &s) in next.iter().enumerate() {
+        assert!((s as usize) < n, "next[{i}] = {s} out of range");
+    }
+
+    let k = segment_target(n);
+    let ws = ctx.workspace();
+    let (is_ruler, flagged_next) = sample_chain_rulers(ctx, next, k);
+    let (ruler_ids, ruler_index) = index_rulers(ctx, &is_ruler, true);
+    let m = ruler_ids.len();
+
+    // One parallel pass over segments: starting from every ruler, walk until
+    // the next ruler (or a terminal, which is itself a ruler).  Each segment
+    // is walked twice with O(1) memory: a first walk measures the hop count
+    // and finds the end ruler, a second walk scatters, for every node before
+    // the end, (a) its hop distance to the segment end and (b) which ruler
+    // that end is.  Writes are disjoint because each node lies in exactly one
+    // segment.  No fill is needed: every non-ruler node is interior to
+    // exactly one segment and therefore written, and only non-ruler slots
+    // are read back.
+    let mut local_dist = ws.take_u32(n);
+    let mut end_ruler = ws.take_u32(n);
+    let mut seg_next = ws.take_u32(m);
+    let mut seg_len = ws.take_u32(m);
+    {
+        let dist_ptr = SendPtr(local_dist.as_mut_ptr());
+        let end_ptr = SendPtr(end_ruler.as_mut_ptr());
+        let next_ptr = SendPtr(seg_next.as_mut_ptr());
+        let len_ptr = SendPtr(seg_len.as_mut_ptr());
+        let (ruler_ids, ruler_index, flagged_next) = (&ruler_ids, &ruler_index, &flagged_next);
+        ctx.par_for_idx(m, |j| {
+            let start = ruler_ids[j] as usize;
+            // Walk 1: measure the segment (hops from start to its end ruler).
+            // Each hop is one gather of the packed successor-plus-flag word.
+            let mut len = 0u32;
+            let mut cur = start;
+            let mut word = flagged_next[cur];
+            loop {
+                let nxt = (word & FLAGGED_LOW) as usize;
+                if nxt == cur {
+                    break; // terminal: segment ends here
+                }
+                len += 1;
+                cur = nxt;
+                word = flagged_next[cur];
+                if word >> 31 == 1 {
+                    break;
+                }
+            }
+            let end = ruler_index[cur];
+            // Walk 2: scatter distances for the nodes strictly before the
+            // segment end (including the starting ruler itself); revisits the
+            // nodes walk 1 just pulled into cache.
+            let (dp, ep, np, lp) = (dist_ptr, end_ptr, next_ptr, len_ptr);
+            let mut cur = start;
+            for steps_from_start in 0..len {
+                // Safety: disjoint segments → each node written at most once.
+                unsafe {
+                    *dp.0.add(cur) = len - steps_from_start;
+                    *ep.0.add(cur) = end;
+                }
+                cur = (flagged_next[cur] & FLAGGED_LOW) as usize;
+            }
+            // Safety: one writer per ruler j.
+            unsafe {
+                *np.0.add(j) = end;
+                *lp.0.add(j) = len;
+            }
+        });
+    }
+    ctx.charge_work(n as u64);
+
+    // Contracted list over rulers; rank it with weighted Wyllie
+    // (m ≈ n / k elements, weight of ruler j = its segment length in hops;
+    // ranks are bounded by the list length, so u32 words suffice).  The
+    // round-local arrays ping-pong through the workspace; the measured
+    // segment successors double as the initial contracted list.
+    let mut succ = seg_next;
+    let mut rank = ws.take_u32(m);
+    for j in 0..m {
+        rank[j] = if succ[j] as usize == j { 0 } else { seg_len[j] };
+    }
+    {
+        let mut next_rank = ws.take_u32(m);
+        let mut next_succ = ws.take_u32(m);
+        let rounds = sfcp_pram::ceil_log2(m.max(2)) + 1;
+        for r in 0..rounds {
+            {
+                let rank_ref = &rank;
+                let succ_ref = &succ;
+                ctx.par_update(&mut next_rank, |j, r| {
+                    *r = rank_ref[j] + rank_ref[succ_ref[j] as usize];
+                });
+                let succ_ref = &succ;
+                ctx.par_update(&mut next_succ, |j, s| *s = succ_ref[succ_ref[j] as usize]);
+            }
+            std::mem::swap(&mut *rank, &mut *next_rank);
+            std::mem::swap(&mut *succ, &mut *next_succ);
+            if *next_succ == *succ {
+                // Converged (terminal weights are 0): charge the skipped
+                // rounds without executing them.
+                let skipped = (rounds - 1 - r) as u64;
+                ctx.charge_work(2 * skipped * m as u64);
+                ctx.charge_rounds(2 * skipped);
+                break;
+            }
+        }
+    }
+    let contracted_rank_in_hops = rank;
+
+    // Final rank: a ruler takes its contracted rank; an interior node adds
+    // its local distance to the rank of its segment's end ruler.
+    out.resize(n, 0);
+    {
+        let (is_ruler, ruler_index) = (&is_ruler, &ruler_index);
+        let (local_dist, end_ruler) = (&local_dist, &end_ruler);
+        let contracted_rank_in_hops = &contracted_rank_in_hops;
+        ctx.par_update(out, |i, r| {
+            *r = if is_ruler[i] == 1 {
+                contracted_rank_in_hops[ruler_index[i] as usize]
+            } else {
+                local_dist[i] + contracted_rank_in_hops[end_ruler[i] as usize]
+            };
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cycle minima by contraction (the execution path of
+// `jump::permutation_cycle_min` for large permutations).
+// ---------------------------------------------------------------------------
+
+/// Cycle minima of a permutation by sparse-ruling-set contraction.
+///
+/// Sample ~`n / k` rulers deterministically, walk each inter-ruler segment
+/// once recording the segment minimum and the end ruler of every element,
+/// min-jump the packed `(best, jump)` contracted list, and expand.  Cycles
+/// that received no sampled ruler are swept sequentially at the end (w.h.p.
+/// a vanishing fraction; the sweep is linear in the number of uncovered
+/// elements).  `engine` selects the physical segment-walk layout: sequential
+/// per-segment walks (`RulingSet`) or wavefront batches (`CacheBucket`);
+/// `PointerJump` never reaches this function.
+///
+/// Charge discipline: the model cost of this routine is pinned to the
+/// documented pointer-jumping substitution — init plus two steps of `n`
+/// operations for each of `ceil_log2(n) + 1` rounds, exactly what the
+/// jumping path of `permutation_cycle_min_into` charges after validation.
+/// The contraction's own (smaller) pass charges are counted and the
+/// remainder is topped up, so tracked work/depth is independent of which
+/// execution path (and which engine) ran — see DESIGN.md "Charge
+/// discipline".
+pub(crate) fn cycle_min_contraction_into(
+    ctx: &Ctx,
+    succ: &[u32],
+    out: &mut Vec<u32>,
+    engine: RankEngine,
+) {
+    let n = succ.len();
+    let ws = ctx.workspace();
+    let before = ctx.stats();
+    let rounds = (sfcp_pram::ceil_log2(n) + 1) as u64;
+    let target_work = (n as u64) * (1 + 2 * rounds);
+    let target_rounds = 1 + 2 * rounds;
+
+    let k = segment_target(n);
+    // Rulers: fixed points (their cycle is just {i}) plus a deterministic
+    // 1/k hash sample.  A cycle may end up with no ruler at all — handled by
+    // the final sequential sweep.
+    let mut is_ruler = ws.take_u8(n);
+    ctx.par_update(&mut is_ruler, |i, r| {
+        *r = u8::from(succ[i] as usize == i || (hash_u64(i as u64) as usize).is_multiple_of(k));
+    });
+    let (ruler_ids, ruler_index) = index_rulers(ctx, &is_ruler, false);
+    let m = ruler_ids.len();
+
+    // Walk every segment once: record the end ruler of each element and the
+    // segment minimum, building the contracted (min, next-ruler) state
+    // directly in packed form.  `end_ruler[i] == u32::MAX` afterwards marks
+    // elements on ruler-free cycles.
+    let mut end_ruler = ws.take_u32(n);
+    end_ruler.fill(u32::MAX);
+    let mut state = ws.take_u64(m);
+    // The wavefront walk needs the ruler flag packed next to the successor
+    // (one gather per hop); the packing pass is uncharged glue under the
+    // pinned model, like the packed sort engine's fill passes.  Successors
+    // past 2^31 cannot carry the flag bit — fall back to the sequential
+    // walk there.
+    let bucketed = engine == RankEngine::CacheBucket && n < (1 << 31);
+    if bucketed {
+        let mut flagged = ws.take_u32(n);
+        {
+            let is_ruler = &is_ruler;
+            crate::intsort::fill_items_uncharged(ctx, &mut flagged, |i| {
+                succ[i] | (u32::from(is_ruler[i]) << 31)
+            });
+        }
+        bucket::cycle_walk_bucketed(
+            ctx,
+            &flagged,
+            &ruler_ids,
+            &ruler_index,
+            &mut end_ruler,
+            &mut state,
+        );
+        ctx.charge_step(m as u64);
+    } else {
+        let end_ptr = SendPtr(end_ruler.as_mut_ptr());
+        let state_ptr = SendPtr(state.as_mut_ptr());
+        let (ruler_ids, ruler_index, is_ruler) = (&ruler_ids, &ruler_index, &is_ruler);
+        ctx.par_for_idx(m, |j| {
+            let start = ruler_ids[j] as usize;
+            let mut min = start as u32;
+            let mut cur = succ[start] as usize;
+            let (ep, sp) = (end_ptr, state_ptr);
+            while cur != start && is_ruler[cur] == 0 {
+                // Safety: each element is interior to exactly one segment.
+                unsafe {
+                    *ep.0.add(cur) = j as u32;
+                }
+                min = min.min(cur as u32);
+                cur = succ[cur] as usize;
+            }
+            // Wrapped all the way around: this cycle's only ruler is j.
+            let next_ruler = if cur == start {
+                j as u32
+            } else {
+                ruler_index[cur]
+            };
+            // Safety: one writer per ruler.
+            unsafe {
+                *ep.0.add(start) = j as u32;
+                *sp.0.add(j) = (u64::from(min) << 32) | u64::from(next_ruler);
+            }
+        });
+    }
+
+    // Packed min-jumping over the contracted list (m ≈ n / k elements, so
+    // the state stays cache-resident); stops as soon as the minima
+    // stabilize.
+    let mut next_state = ws.take_u64(m);
+    for _ in 0..sfcp_pram::ceil_log2(m.max(2)) + 1 {
+        {
+            let state_ref = &state;
+            ctx.par_update(&mut next_state, |j, s| {
+                let cur = state_ref[j];
+                let via = state_ref[(cur & u64::from(u32::MAX)) as usize];
+                let best = (cur >> 32).min(via >> 32);
+                *s = (best << 32) | (via & u64::from(u32::MAX));
+            });
+        }
+        let stable = state
+            .iter()
+            .zip(next_state.iter())
+            .all(|(a, b)| a >> 32 == b >> 32);
+        std::mem::swap(&mut *state, &mut *next_state);
+        if stable {
+            break;
+        }
+    }
+
+    // Expand: every covered element takes its end ruler's cycle minimum.
+    out.resize(n, 0);
+    {
+        let (end_ruler, state) = (&end_ruler, &state);
+        ctx.par_update(out, |i, o| {
+            let e = end_ruler[i];
+            *o = if e == u32::MAX {
+                u32::MAX // ruler-free cycle, resolved below
+            } else {
+                (state[e as usize] >> 32) as u32
+            };
+        });
+    }
+
+    // Sequential sweep over ruler-free cycles (each walked twice: minimum,
+    // then assignment).
+    for i in 0..n {
+        if end_ruler[i] != u32::MAX {
+            continue;
+        }
+        let mut min = i as u32;
+        let mut cur = succ[i] as usize;
+        while cur != i {
+            min = min.min(cur as u32);
+            cur = succ[cur] as usize;
+        }
+        out[i] = min;
+        end_ruler[i] = u32::MAX - 1;
+        let mut cur = succ[i] as usize;
+        while cur != i {
+            out[cur] = min;
+            end_ruler[cur] = u32::MAX - 1;
+            cur = succ[cur] as usize;
+        }
+    }
+
+    // Top up to the pinned jumping-path charges.
+    let consumed = ctx.stats();
+    let (dw, dr) = (consumed.work - before.work, consumed.rounds - before.rounds);
+    debug_assert!(
+        dw <= target_work && dr <= target_rounds,
+        "contraction consumed more than the pinned jumping budget ({dw}/{target_work} work, {dr}/{target_rounds} rounds)"
+    );
+    ctx.charge_work(target_work.saturating_sub(dw));
+    ctx.charge_rounds(target_rounds.saturating_sub(dr));
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}

@@ -187,13 +187,12 @@ where
             }
         });
     }
-    // Exclusive prefix over the per-block boundary counts.
-    let mut running = 0u32;
-    for b in 0..num_blocks {
-        let c = block_bounds[b];
-        block_bounds[b] = running;
-        running += c;
-    }
+    // Exclusive prefix over the per-block boundary counts — routed through
+    // the tiled transpose-scan helper, which splits the scan across workers
+    // once the block count outgrows a tile (uncharged either way: the fused
+    // finish charges the unfused scan model up front).
+    let running =
+        crate::intsort::transpose_scan_offsets(ctx, &mut block_bounds, 1, num_blocks, None);
     let distinct = running as usize + 1;
     {
         let ranks_ptr = SendPtr(ranks.as_mut_ptr());

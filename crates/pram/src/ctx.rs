@@ -49,6 +49,43 @@ pub enum SortEngine {
     Permutation,
 }
 
+/// Which list-ranking/contraction engine `sfcp-parprim` routes through.
+///
+/// `RulingSet` and `CacheBucket` are two physical layouts of the same
+/// documented sparse-ruling-set substitution: they produce identical ranks
+/// and charge **identical** work/depth (a regression-tested invariant), so
+/// switching between them only affects wall-clock time.  `PointerJump` is
+/// the `O(n log n)`-work Wyllie model baseline and charges its own
+/// (documented, larger) cost — the engine analogue of the
+/// `ListRankMethod` ablation the paper's experiments quantify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankEngine {
+    /// Wyllie pointer jumping over the full array: `O(n log n)` work,
+    /// `O(log n)` depth.  The documented model baseline.
+    PointerJump,
+    /// Sparse ruling set with sequential two-pass segment walks — the
+    /// measured contraction baseline (`O(n)` expected work).
+    RulingSet,
+    /// Sparse ruling set whose segment walks run as cache-bucketed
+    /// wavefront batches: a block of walks advances in lockstep, so the
+    /// dependent pointer-chase of one walk overlaps the memory latency of
+    /// its neighbours instead of serialising on it.  Charge-identical to
+    /// [`RankEngine::RulingSet`].
+    #[default]
+    CacheBucket,
+}
+
+impl RankEngine {
+    /// Every engine variant — the list the parity/determinism/leak suites
+    /// sweep.  Extend this alongside the enum so every gate picks a new
+    /// engine up automatically.
+    pub const ALL: [RankEngine; 3] = [
+        RankEngine::PointerJump,
+        RankEngine::RulingSet,
+        RankEngine::CacheBucket,
+    ];
+}
+
 /// Execution context shared by all algorithms: execution mode + cost tracker
 /// + scratch-buffer workspace.
 #[derive(Debug)]
@@ -57,6 +94,7 @@ pub struct Ctx {
     tracker: Tracker,
     grain: usize,
     engine: SortEngine,
+    rank_engine: RankEngine,
     workspace: Workspace,
 }
 
@@ -75,6 +113,7 @@ impl Ctx {
             tracker: Tracker::new(),
             grain: DEFAULT_GRAIN,
             engine: SortEngine::default(),
+            rank_engine: RankEngine::default(),
             workspace: Workspace::new(),
         }
     }
@@ -100,6 +139,7 @@ impl Ctx {
             tracker: Tracker::disabled(),
             grain: DEFAULT_GRAIN,
             engine: SortEngine::default(),
+            rank_engine: RankEngine::default(),
             workspace: Workspace::new(),
         }
     }
@@ -123,6 +163,21 @@ impl Ctx {
     #[must_use]
     pub fn sort_engine(&self) -> SortEngine {
         self.engine
+    }
+
+    /// Select the list-ranking/contraction engine
+    /// (default: [`RankEngine::CacheBucket`]).
+    #[must_use]
+    pub fn with_rank_engine(mut self, engine: RankEngine) -> Self {
+        self.rank_engine = engine;
+        self
+    }
+
+    /// The selected list-ranking/contraction engine.
+    #[inline]
+    #[must_use]
+    pub fn rank_engine(&self) -> RankEngine {
+        self.rank_engine
     }
 
     /// The scratch-buffer workspace: checkout/return of reusable vectors so

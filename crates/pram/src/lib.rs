@@ -47,7 +47,7 @@ pub mod workspace;
 
 pub use brent::{predicted_time, BrentModel};
 pub use crcw::{ArbitraryCell, CommonCell, CrcwTable};
-pub use ctx::{Ctx, Mode, SortEngine};
+pub use ctx::{Ctx, Mode, RankEngine, SortEngine};
 pub use tracker::{Stats, Tracker};
 pub use workspace::{Rec, Scratch, Workspace, WorkspaceStats};
 

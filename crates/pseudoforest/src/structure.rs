@@ -10,7 +10,7 @@
 use crate::cycles::{cycle_nodes, CycleMethod};
 use crate::graph::FunctionalGraph;
 use sfcp_parprim::euler::{EulerTour, RootedForest};
-use sfcp_parprim::listrank::{list_rank_into, ListRankMethod};
+use sfcp_parprim::listrank::list_rank_into;
 use sfcp_pram::Ctx;
 
 /// The decomposition of a functional graph into cycles and hanging trees.
@@ -52,6 +52,13 @@ pub struct Decomposition {
 /// broken-cycle ranking, leader numbering — is checked out from the `ctx`
 /// workspace, so repeated decompositions allocate only the returned structure
 /// once the pools are warm.
+///
+/// The two rankings of the pipeline — the `2n` Euler-tour arcs and the `m`
+/// broken-cycle successor chains — are laid out back to back in **one**
+/// successor buffer and ranked with a **single** engine invocation (the
+/// fused Euler ranking; see DESIGN.md, "List ranking engines"), so the
+/// sampling, walk, and contraction passes of the selected
+/// [`sfcp_pram::RankEngine`] run once instead of twice.
 #[must_use]
 pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decomposition {
     let n = g.len();
@@ -86,30 +93,6 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
     let mut leader_compact = ws.take_u32(0);
     sfcp_parprim::jump::permutation_cycle_min_into(ctx, &cycle_succ, &mut leader_compact);
 
-    // Rank around the cycle from the leader: break each cycle just before its
-    // leader and list-rank the resulting chains.
-    let mut broken_next = ws.take_u32(m);
-    {
-        let (cycle_succ, leader_compact) = (&cycle_succ, &leader_compact);
-        ctx.par_update(&mut broken_next, |j, b| {
-            *b = if leader_compact[cycle_succ[j] as usize] == cycle_succ[j] {
-                // The successor is the leader: terminate here.
-                j as u32
-            } else {
-                cycle_succ[j]
-            };
-        });
-    }
-    let mut dist_to_end = ws.take_u32(0);
-    list_rank_into(
-        ctx,
-        &broken_next,
-        ListRankMethod::RulingSet,
-        &mut dist_to_end,
-    );
-    // Cycle length = dist(leader) + 1; position = length - 1 - dist.
-    let mut cycle_pos = vec![u32::MAX; n];
-    let mut cycle_of = vec![u32::MAX; n];
     // Dense cycle numbering by ascending leader node id.
     let mut leaders = ws.take_u32(0);
     {
@@ -128,6 +111,54 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
         cycle_number_of_leader[lj as usize] = c as u32;
     }
     ctx.charge_step(num_cycles as u64);
+
+    // ---- Fused Euler ranking domain ---------------------------------------
+    // The pipeline needs two rankings: the 2n Euler-tour arcs (positions
+    // along each tree's tour) and the m broken-cycle chains (rank of every
+    // cycle node forward from its leader).  Both are successor lists, so
+    // they share one buffer — tour arcs in [..2n], chains (shifted by 2n)
+    // in [2n..] — and ONE engine invocation ranks them together: one
+    // sampling pass, one segment walk, one contracted doubling for both.
+    let num_arcs = 2 * n;
+    let mut fused_succ = ws.take_u32(num_arcs + m);
+    {
+        // Break each cycle just before its leader: the chain element j
+        // terminates when its successor is the leader.
+        let (cycle_succ, leader_compact) = (&cycle_succ, &leader_compact);
+        ctx.par_update(&mut fused_succ[num_arcs..], |j, b| {
+            *b = if leader_compact[cycle_succ[j] as usize] == cycle_succ[j] {
+                // The successor is the leader: terminate here.
+                (num_arcs + j) as u32
+            } else {
+                num_arcs as u32 + cycle_succ[j]
+            };
+        });
+    }
+
+    // ---- Tree structure ---------------------------------------------------
+    // Root every pseudo-tree at its cycle nodes: cycle nodes become roots of
+    // the forest, tree nodes keep parent f(x).  The parents are acyclic by
+    // construction (tree nodes point along f towards a cycle-node root), so
+    // release builds take the unchecked fast path; debug builds run the
+    // checked constructor, which charges identically by design.
+    let parents: Vec<u32> = ctx.par_map_idx(n, |x| if is_cycle[x] { x as u32 } else { f[x] });
+    let forest = if cfg!(debug_assertions) {
+        RootedForest::from_parents_checked(ctx, parents)
+    } else {
+        RootedForest::from_parents(ctx, parents)
+    };
+    EulerTour::arc_successors_into(ctx, &forest, &mut fused_succ[..num_arcs]);
+
+    // The single fused ranking: arc a's tour rank lands in [..2n], chain
+    // element j's distance-to-chain-end in [2n + j].
+    let mut fused_ranks = ws.take_u32(0);
+    list_rank_into(ctx, &fused_succ, &mut fused_ranks);
+    let tour = EulerTour::from_arc_ranks(ctx, &forest, &fused_ranks[..num_arcs]);
+    let dist_to_end = &fused_ranks[num_arcs..];
+
+    // Cycle length = dist(leader) + 1; position = length - 1 - dist.
+    let mut cycle_pos = vec![u32::MAX; n];
+    let mut cycle_of = vec![u32::MAX; n];
 
     // CSR offsets: cycle c (by ascending leader) has length
     // dist_to_end[leader] + 1; exclusive prefix sums give the offsets.
@@ -195,19 +226,6 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
         });
     }
 
-    // ---- Tree structure -------------------------------------------------
-    // Root every pseudo-tree at its cycle nodes: cycle nodes become roots of
-    // the forest, tree nodes keep parent f(x).  The parents are acyclic by
-    // construction (tree nodes point along f towards a cycle-node root), so
-    // release builds take the unchecked fast path; debug builds run the
-    // checked constructor, which charges identically by design.
-    let parents: Vec<u32> = ctx.par_map_idx(n, |x| if is_cycle[x] { x as u32 } else { f[x] });
-    let forest = if cfg!(debug_assertions) {
-        RootedForest::from_parents_checked(ctx, parents)
-    } else {
-        RootedForest::from_parents(ctx, parents)
-    };
-    let tour = EulerTour::build(ctx, &forest);
     let levels = tour.levels(ctx);
 
     // Propagate the cycle id to tree nodes through their root.

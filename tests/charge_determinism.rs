@@ -7,24 +7,24 @@
 //! wall-clock may differ).  This guards the invariant before any NUMA/grain
 //! tuning lands — a charge that accidentally depends on
 //! `current_num_threads` (e.g. a per-thread block count leaking into a
-//! charged loop) breaks this test immediately.
+//! charged loop) breaks this test immediately.  The `RankEngine` ×
+//! `SortEngine` grid keeps every engine combination under the same gate: the
+//! `CacheBucket` wavefront chunking, the contraction walks, and the CSR /
+//! radix block plans are all thread-count-sensitive *physically* and must
+//! stay thread-count-invisible in charges.
 
 use sfcp::{coarsest_partition, Algorithm, Instance};
 use sfcp_forest::cycles::CycleMethod;
-use sfcp_pram::{Ctx, Mode, Stats};
+use sfcp_pram::{Ctx, Mode, RankEngine, SortEngine, Stats};
 
 /// Run `f` under a virtual rayon pool of `threads` workers and return the
-/// charges it accumulated.
-fn charges_with_threads<F: Fn(&Ctx)>(threads: usize, f: F) -> Stats {
+/// charges it reports.
+fn charges_with_threads<F: Fn() -> Stats>(threads: usize, f: F) -> Stats {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
         .expect("pool");
-    pool.install(|| {
-        let ctx = Ctx::new(Mode::Parallel);
-        f(&ctx);
-        ctx.stats()
-    })
+    pool.install(f)
 }
 
 fn thread_counts() -> Vec<usize> {
@@ -32,6 +32,10 @@ fn thread_counts() -> Vec<usize> {
     let mut counts = vec![1, 2, max];
     counts.dedup();
     counts
+}
+
+fn rank_engines() -> [RankEngine; 3] {
+    RankEngine::ALL
 }
 
 #[test]
@@ -43,9 +47,11 @@ fn coarsest_parallel_charges_are_thread_count_independent() {
     ] {
         let mut baseline: Option<Stats> = None;
         for threads in thread_counts() {
-            let stats = charges_with_threads(threads, |ctx| {
-                let q = coarsest_partition(ctx, &inst, Algorithm::Parallel);
+            let stats = charges_with_threads(threads, || {
+                let ctx = Ctx::new(Mode::Parallel);
+                let q = coarsest_partition(&ctx, &inst, Algorithm::Parallel);
                 std::hint::black_box(q.num_blocks());
+                ctx.stats()
             });
             match &baseline {
                 None => baseline = Some(stats),
@@ -60,6 +66,36 @@ fn coarsest_parallel_charges_are_thread_count_independent() {
     }
 }
 
+/// Every `RankEngine` × `SortEngine` combination must charge bit-identically
+/// across thread counts on the full algorithm — the acceptance gate of the
+/// list-ranking engine subsystem.
+#[test]
+fn coarsest_parallel_engine_grid_is_thread_count_independent() {
+    let inst = Instance::random(20_000, 4, 11);
+    for rank in rank_engines() {
+        for sort in [SortEngine::Packed, SortEngine::Permutation] {
+            let mut baseline: Option<Stats> = None;
+            for threads in thread_counts() {
+                let stats = charges_with_threads(threads, || {
+                    let ctx = Ctx::new(Mode::Parallel)
+                        .with_rank_engine(rank)
+                        .with_sort_engine(sort);
+                    let q = coarsest_partition(&ctx, &inst, Algorithm::Parallel);
+                    std::hint::black_box(q.num_blocks());
+                    ctx.stats()
+                });
+                match &baseline {
+                    None => baseline = Some(stats),
+                    Some(b) => assert_eq!(
+                        *b, stats,
+                        "charges diverged at {threads} threads ({rank:?}, {sort:?})"
+                    ),
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn decompose_charges_are_thread_count_independent() {
     let g = sfcp_forest::generators::random_function(50_000, 23);
@@ -68,18 +104,22 @@ fn decompose_charges_are_thread_count_independent() {
         CycleMethod::Jump,
         CycleMethod::Euler,
     ] {
-        let mut baseline: Option<Stats> = None;
-        for threads in thread_counts() {
-            let stats = charges_with_threads(threads, |ctx| {
-                let d = sfcp_forest::decompose(ctx, &g, method);
-                std::hint::black_box(d.num_cycles());
-            });
-            match &baseline {
-                None => baseline = Some(stats),
-                Some(b) => assert_eq!(
-                    *b, stats,
-                    "decompose charges diverged at {threads} threads ({method:?})"
-                ),
+        for rank in rank_engines() {
+            let mut baseline: Option<Stats> = None;
+            for threads in thread_counts() {
+                let stats = charges_with_threads(threads, || {
+                    let ctx = Ctx::new(Mode::Parallel).with_rank_engine(rank);
+                    let d = sfcp_forest::decompose(&ctx, &g, method);
+                    std::hint::black_box(d.num_cycles());
+                    ctx.stats()
+                });
+                match &baseline {
+                    None => baseline = Some(stats),
+                    Some(b) => assert_eq!(
+                        *b, stats,
+                        "decompose charges diverged at {threads} threads ({method:?}, {rank:?})"
+                    ),
+                }
             }
         }
     }
@@ -92,8 +132,10 @@ fn decompose_sequential_mode_matches_parallel_charges() {
     let g = sfcp_forest::generators::random_function(30_000, 7);
     let seq = Ctx::sequential();
     let _ = sfcp_forest::decompose(&seq, &g, CycleMethod::Euler);
-    let par = charges_with_threads(1, |ctx| {
-        let _ = sfcp_forest::decompose(ctx, &g, CycleMethod::Euler);
+    let par = charges_with_threads(1, || {
+        let ctx = Ctx::new(Mode::Parallel);
+        let _ = sfcp_forest::decompose(&ctx, &g, CycleMethod::Euler);
+        ctx.stats()
     });
     // The blocked scan charges differ between modes by design (see scan.rs);
     // everything else is identical, so the two must stay within a tight

@@ -11,7 +11,11 @@
 
 use sfcp::{coarsest_partition, Algorithm, Instance};
 use sfcp_forest::{cycles::CycleMethod, decompose};
-use sfcp_pram::{Ctx, Mode, SortEngine};
+use sfcp_pram::{Ctx, Mode, RankEngine, SortEngine};
+
+fn rank_engines() -> [RankEngine; 3] {
+    RankEngine::ALL
+}
 
 fn instances() -> Vec<Instance> {
     vec![
@@ -64,8 +68,11 @@ fn doubling_algorithm_is_engine_independent() {
 }
 
 /// `decompose` itself must be engine- and method-stable: every `CycleMethod`
-/// × `SortEngine` combination produces the identical `Decomposition`, and for
-/// a fixed method the two engines charge identical work/depth.
+/// × `RankEngine` × `SortEngine` combination produces the identical
+/// `Decomposition`; for a fixed (method, rank engine) the two sort engines
+/// charge identical work/depth, and the two ruling-set rank engines
+/// (`RulingSet` vs `CacheBucket`) charge identically to each other (the
+/// `PointerJump` rank engine charges its own documented Wyllie model).
 #[test]
 fn decompose_is_engine_and_method_independent() {
     let graphs = [
@@ -81,31 +88,89 @@ fn decompose_is_engine_and_method_independent() {
             CycleMethod::Jump,
             CycleMethod::Euler,
         ] {
-            let packed = Ctx::parallel();
-            let baseline = Ctx::parallel().with_sort_engine(SortEngine::Permutation);
-            let a = decompose(&packed, g, method);
-            let b = decompose(&baseline, g, method);
-            assert_eq!(
-                a,
-                b,
-                "engines disagree on decomposition (n={}, {method:?})",
-                g.len()
-            );
-            assert_eq!(
-                packed.stats(),
-                baseline.stats(),
-                "engine charges diverged (n={}, {method:?})",
-                g.len()
-            );
-            match &first {
-                None => first = Some(a),
-                Some(reference) => assert_eq!(
-                    reference,
-                    &a,
-                    "methods disagree on decomposition (n={}, {method:?})",
+            let mut ruling_set_stats = None;
+            for rank in rank_engines() {
+                let packed = Ctx::parallel().with_rank_engine(rank);
+                let baseline = Ctx::parallel()
+                    .with_rank_engine(rank)
+                    .with_sort_engine(SortEngine::Permutation);
+                let a = decompose(&packed, g, method);
+                let b = decompose(&baseline, g, method);
+                assert_eq!(
+                    a,
+                    b,
+                    "sort engines disagree on decomposition (n={}, {method:?}, {rank:?})",
                     g.len()
+                );
+                assert_eq!(
+                    packed.stats(),
+                    baseline.stats(),
+                    "sort-engine charges diverged (n={}, {method:?}, {rank:?})",
+                    g.len()
+                );
+                match rank {
+                    RankEngine::RulingSet => ruling_set_stats = Some(packed.stats()),
+                    RankEngine::CacheBucket => assert_eq!(
+                        ruling_set_stats.expect("RulingSet measured first"),
+                        packed.stats(),
+                        "RulingSet and CacheBucket charges diverged (n={}, {method:?})",
+                        g.len()
+                    ),
+                    RankEngine::PointerJump => {}
+                }
+                match &first {
+                    None => first = Some(a),
+                    Some(reference) => assert_eq!(
+                        reference,
+                        &a,
+                        "engine combinations disagree on decomposition (n={}, {method:?}, {rank:?})",
+                        g.len()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The full parallel algorithm under every `RankEngine` × `SortEngine`
+/// combination: identical partitions everywhere, sort-engine charges equal
+/// for a fixed rank engine, and the two ruling-set rank engines charge
+/// identically end to end.
+#[test]
+fn parallel_algorithm_is_rank_engine_independent() {
+    // Large enough that both the cycle-min contraction (> 4096 arcs) and the
+    // ruling-set list ranking (> 1024 elements) run their large-input paths.
+    let inst = Instance::random(20_000, 4, 29);
+    let mut reference = None;
+    let mut ruling_set_stats = None;
+    for rank in rank_engines() {
+        let mut per_rank = Vec::new();
+        for sort in [SortEngine::Packed, SortEngine::Permutation] {
+            let ctx = Ctx::parallel()
+                .with_rank_engine(rank)
+                .with_sort_engine(sort);
+            let q = coarsest_partition(&ctx, &inst, Algorithm::Parallel);
+            match &reference {
+                None => reference = Some(q),
+                Some(r) => assert!(
+                    r.same_partition(&q),
+                    "partition diverged under ({rank:?}, {sort:?})"
                 ),
             }
+            per_rank.push(ctx.stats());
+        }
+        assert_eq!(
+            per_rank[0], per_rank[1],
+            "sort-engine charges diverged under {rank:?}"
+        );
+        match rank {
+            RankEngine::RulingSet => ruling_set_stats = Some(per_rank[0]),
+            RankEngine::CacheBucket => assert_eq!(
+                ruling_set_stats.expect("RulingSet measured first"),
+                per_rank[0],
+                "RulingSet and CacheBucket end-to-end charges diverged"
+            ),
+            RankEngine::PointerJump => {}
         }
     }
 }

@@ -13,7 +13,7 @@
 use sfcp::{coarsest_partition, Algorithm, Instance};
 use sfcp_forest::cycles::CycleMethod;
 use sfcp_parprim::euler::RootedForest;
-use sfcp_pram::Ctx;
+use sfcp_pram::{Ctx, RankEngine};
 
 /// `RootedForest::from_parents` used to allocate its `counts` and `children`
 /// arrays fresh on every call.  With the CSR builder underneath, every
@@ -117,6 +117,53 @@ fn decompose_returns_every_checkout() {
         warm_stats.misses,
         "warm decompose runs must serve every checkout from the pools"
     );
+}
+
+/// The fused Euler ranking path — `decompose` assembling one `(2n + m)`
+/// successor buffer and ranking it with a single engine invocation — must
+/// return every checkout under every `RankEngine`, and once warm leave both
+/// the pool population and the pooled bytes (which capture
+/// growth-after-checkout of the fused buffers) exactly stable.
+#[test]
+fn fused_euler_ranking_returns_every_checkout() {
+    let g = sfcp_forest::generators::random_function(30_000, 43);
+    for engine in RankEngine::ALL {
+        let ctx = Ctx::parallel().with_rank_engine(engine);
+        // Warm to the pool fixed point (early runs may grow smaller pooled
+        // buffers in place).
+        for _ in 0..3 {
+            let d = sfcp_forest::decompose(&ctx, &g, CycleMethod::Euler);
+            std::hint::black_box(d.num_cycles());
+            assert_eq!(
+                ctx.workspace().stats().outstanding(),
+                0,
+                "outstanding checkouts after fused decompose ({engine:?})"
+            );
+        }
+        let warm_pool = ctx.workspace().pooled_buffers();
+        let warm_bytes = ctx.workspace().pooled_bytes();
+        let warm_misses = ctx.workspace().stats().misses;
+        for round in 0..3 {
+            let d = sfcp_forest::decompose(&ctx, &g, CycleMethod::Euler);
+            std::hint::black_box(d.num_cycles());
+            assert_eq!(ctx.workspace().stats().outstanding(), 0);
+            assert_eq!(
+                ctx.workspace().pooled_buffers(),
+                warm_pool,
+                "pool population drifted on warm fused run {round} ({engine:?})"
+            );
+            assert_eq!(
+                ctx.workspace().pooled_bytes(),
+                warm_bytes,
+                "pooled bytes drifted on warm fused run {round} ({engine:?})"
+            );
+        }
+        assert_eq!(
+            ctx.workspace().stats().misses,
+            warm_misses,
+            "warm fused runs must serve every checkout from the pools ({engine:?})"
+        );
+    }
 }
 
 #[test]
