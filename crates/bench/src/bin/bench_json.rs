@@ -15,7 +15,14 @@
 //!   successor array (wavefront walks vs sequential walks),
 //! * `euler_build`        — the Euler-tour construction over a random
 //!   forest (tour successors + 2n-arc ranking + positions),
-//! * `decompose`          — the decomposition pipeline,
+//! * `scatter`            — the bucketed-scatter subsystem on a shuffled
+//!   permutation store (direct stores vs write-combining tiles; this row's
+//!   engine pair is `ScatterEngine`, not the sort/rank engines),
+//! * `decompose`          — the decomposition pipeline (cold pools: fresh
+//!   context per repetition),
+//! * `decompose_warm`     — the roots-threaded decomposition on warm
+//!   workspace pools (one persistent context per engine set) — the number
+//!   the ROADMAP's decompose trajectory quotes,
 //! * `coarsest_parallel`  — the end-to-end parallel algorithm.
 //!
 //! Each row records the best-of-k wall-clock per engine set plus the
@@ -25,15 +32,16 @@
 //! Run with: `cargo run -p sfcp-bench --bin bench_json --release [out.json]`
 //!
 //! `--smoke` runs only n = 1e5 and additionally compares the fresh
-//! `decompose`, `csr_build`, `list_rank`, and `euler_build` rows against
-//! the committed `BENCH_parprim.json` (or the file given with
-//! `--committed <path>`), failing on a >10% machine-normalized wall-clock
-//! regression — the CI gate for the decomposition pipeline, the CSR
-//! subsystem, and the list-ranking engine subsystem.
+//! `decompose`, `decompose_warm`, `csr_build`, `list_rank`, `euler_build`,
+//! and `scatter` rows against the committed `BENCH_parprim.json` (or the
+//! file given with `--committed <path>`), failing on a >10%
+//! machine-normalized wall-clock regression — the CI gate for the
+//! decomposition pipeline, the CSR subsystem, the list-ranking engines,
+//! and the scatter subsystem.
 
 use rand::prelude::*;
 use sfcp::{coarsest_partition, Algorithm, Instance};
-use sfcp_pram::{Ctx, Mode, RankEngine, SortEngine, Stats};
+use sfcp_pram::{Ctx, Mode, RankEngine, ScatterEngine, SortEngine, Stats};
 use std::time::Instant;
 
 /// The two measured engine sets: the defaults vs the baselines.
@@ -120,6 +128,97 @@ fn measure<F: FnMut(&Ctx) + Clone>(name: &'static str, n: usize, reps: usize, f:
         permutation_ms,
         work: cp.work,
         rounds: cp.rounds,
+    }
+}
+
+/// Best-of-k wall-clock per engine set with a **persistent, pre-warmed**
+/// context: one warm-up call per set, then every repetition reuses the same
+/// workspace pools.  This is the "warm" number the decompose trajectory in
+/// ROADMAP.md quotes (the plain `measure` rows pay the cold-pool
+/// allocations every repetition).
+fn measure_warm<F: FnMut(&Ctx) + Clone>(name: &'static str, n: usize, reps: usize, f: F) -> Row {
+    let warm_best = |engines: EngineSet, mut f: F| {
+        let ctx = Ctx::untracked(Mode::Parallel)
+            .with_sort_engine(engines.sort)
+            .with_rank_engine(engines.rank);
+        f(&ctx); // warm the pools
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            f(&ctx);
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    let packed_ms = warm_best(DEFAULT_ENGINES, f.clone());
+    let permutation_ms = warm_best(BASELINE_ENGINES, f.clone());
+    let cp = charges(DEFAULT_ENGINES, f.clone());
+    let cb = charges(BASELINE_ENGINES, f);
+    assert_eq!(cp, cb, "{name}: engines must charge identical work/depth");
+    println!(
+        "{name:>22} n={n:>8}: packed {packed_ms:9.3} ms  permutation {permutation_ms:9.3} ms  ({:.2}x)",
+        permutation_ms / packed_ms
+    );
+    Row {
+        name,
+        n,
+        packed_ms,
+        permutation_ms,
+        work: cp.work,
+        rounds: cp.rounds,
+    }
+}
+
+/// The scatter row: a shuffled-permutation store through the scatter
+/// subsystem.  The two columns are the two `ScatterEngine`s (direct stores
+/// vs write-combining tiles) under otherwise-default engines; charges are
+/// asserted identical, like every engine pair.
+fn measure_scatter(n: usize, reps: usize, idx: &[u32]) -> Row {
+    let run = |engine: ScatterEngine| {
+        let mut best = f64::INFINITY;
+        let mut dest = vec![0u32; n];
+        // One persistent context per engine, warmed by an untimed call, so
+        // the combining column's staging checkout is a pool hit inside the
+        // timed window — the engines pay symmetric setup costs.
+        let ctx = Ctx::untracked(Mode::Parallel).with_scatter_engine(engine);
+        sfcp_parprim::scatter::scatter_into(&ctx, &mut dest, n, |s| {
+            Some((idx[s] as usize, s as u32))
+        });
+        for _ in 0..reps {
+            let t = Instant::now();
+            sfcp_parprim::scatter::scatter_into(&ctx, &mut dest, n, |s| {
+                Some((idx[s] as usize, s as u32))
+            });
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+            std::hint::black_box(&dest);
+        }
+        best
+    };
+    let stats = |engine: ScatterEngine| {
+        let ctx = Ctx::parallel().with_scatter_engine(engine);
+        let mut dest = vec![0u32; n];
+        sfcp_parprim::scatter::scatter_into(&ctx, &mut dest, n, |s| {
+            Some((idx[s] as usize, s as u32))
+        });
+        ctx.stats()
+    };
+    let direct_ms = run(ScatterEngine::Direct);
+    let combining_ms = run(ScatterEngine::Combining);
+    let cd = stats(ScatterEngine::Direct);
+    let cc = stats(ScatterEngine::Combining);
+    assert_eq!(cd, cc, "scatter: engines must charge identical work/depth");
+    println!(
+        "{:>22} n={n:>8}: direct {direct_ms:9.3} ms  combining {combining_ms:9.3} ms  ({:.2}x)",
+        "scatter",
+        combining_ms / direct_ms
+    );
+    Row {
+        name: "scatter",
+        n,
+        packed_ms: direct_ms,
+        permutation_ms: combining_ms,
+        work: cd.work,
+        rounds: cd.rounds,
     }
 }
 
@@ -259,7 +358,18 @@ fn main() {
             let tour = sfcp_parprim::euler::EulerTour::build(ctx, &forest);
             std::hint::black_box(tour.len());
         }));
+        // The scatter subsystem on a shuffled permutation store.
+        let scatter_idx: Vec<u32> = {
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            idx.shuffle(&mut rng);
+            idx
+        };
+        rows.push(measure_scatter(n, 2 * reps, &scatter_idx));
         rows.push(measure("decompose", n, reps, |ctx: &Ctx| {
+            let d = sfcp_forest::decompose(ctx, &g, sfcp_forest::cycles::CycleMethod::Euler);
+            std::hint::black_box(d.num_cycles());
+        }));
+        rows.push(measure_warm("decompose_warm", n, reps, |ctx: &Ctx| {
             let d = sfcp_forest::decompose(ctx, &g, sfcp_forest::cycles::CycleMethod::Euler);
             std::hint::black_box(d.num_cycles());
         }));
@@ -329,7 +439,14 @@ fn main() {
                 },
             );
         let machine = calib.packed_ms / committed_calib_ms;
-        for gated in ["decompose", "csr_build", "list_rank", "euler_build"] {
+        for gated in [
+            "decompose",
+            "decompose_warm",
+            "csr_build",
+            "list_rank",
+            "euler_build",
+            "scatter",
+        ] {
             let fresh = rows
                 .iter()
                 .find(|r| r.name == gated)

@@ -1,4 +1,4 @@
-//! The label-doubling parallel baseline (Galley–Iliopoulos style, [10] in the
+//! The label-doubling parallel baseline (Galley–Iliopoulos style, \[10\] in the
 //! paper): `O(n log n)` work.
 //!
 //! Round `k` assigns every element a label that encodes the B-label sequence

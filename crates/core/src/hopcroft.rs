@@ -1,6 +1,6 @@
 //! Hopcroft-style partition refinement specialised to a single function —
 //! the classical `O(n log n)` sequential algorithm of Aho–Hopcroft–Ullman
-//! cited as [1] in the paper.
+//! cited as \[1\] in the paper.
 //!
 //! The algorithm keeps a worklist of *splitter* blocks.  Processing a
 //! splitter `A` intersects every block `Y` with `f⁻¹(A)`; blocks cut into two

@@ -15,9 +15,9 @@
 //! | Algorithm | Module | Complexity (work, depth) |
 //! |-----------|--------|--------------------------|
 //! | naive fixpoint refinement (oracle) | [`naive`] | `O(n²)`, sequential |
-//! | Hopcroft partition refinement [1]  | [`hopcroft`] | `O(n log n)`, sequential |
-//! | Paige–Tarjan–Bonic-style linear [16] | [`sequential`] | `O(n)`, sequential |
-//! | label doubling (Galley–Iliopoulos-style [10]) | [`doubling`] | `O(n log n)`, `O(log² n)` |
+//! | Hopcroft partition refinement \[1\]  | [`hopcroft`] | `O(n log n)`, sequential |
+//! | Paige–Tarjan–Bonic-style linear \[16\] | [`sequential`] | `O(n)`, sequential |
+//! | label doubling (Galley–Iliopoulos-style \[10\]) | [`doubling`] | `O(n log n)`, `O(log² n)` |
 //! | **JáJá–Ryu parallel algorithm** | [`parallel`] | `O(n log log n)`-style, `O(log n)`-style (see DESIGN.md for the substitutions) |
 //!
 //! ## Quickstart

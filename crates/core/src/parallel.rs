@@ -274,10 +274,10 @@ fn label_tree_nodes_doubling(
     let b = instance.blocks();
     let ws = ctx.workspace();
 
-    // Root (cycle node) of every node's pseudo-tree.
-    let mut roots = ws.take_u32(0);
-    sfcp_parprim::jump::find_roots_into(ctx, dec.forest.parents(), &mut roots);
-    let roots = &roots;
+    // Root (cycle node) of every node's pseudo-tree — computed once by
+    // `decompose` and threaded through on the decomposition (formerly a
+    // third pointer-jumping run per coarsest invocation).
+    let roots = &dec.roots;
 
     // Steps 1–2: the corresponding cycle node of every tree node and the
     // per-node B-label match flag (Lemma 4.1).

@@ -1,4 +1,4 @@
-//! The linear-time sequential algorithm (Paige–Tarjan–Bonic style, [16] in
+//! The linear-time sequential algorithm (Paige–Tarjan–Bonic style, \[16\] in
 //! the paper), structured exactly like the parallel algorithm:
 //!
 //! 1. find the cycle nodes,

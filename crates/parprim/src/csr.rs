@@ -65,7 +65,8 @@ use crate::intsort::{
     counting_pass_items_uncharged, fill_items_uncharged, for_each_block, plan_digits, sig_bits,
     transpose_scan_offsets,
 };
-use sfcp_pram::{Ctx, SortEngine};
+use crate::scatter::ScatterTiles;
+use sfcp_pram::{Ctx, ScatterEngine, SortEngine};
 
 /// Below this stream length the blocked machinery is pure overhead; both
 /// engines run the sequential baseline.
@@ -263,15 +264,21 @@ fn build_csr_direct<F>(
     offsets[num_keys] = running;
 
     // Scatter: stream the slots again; the histogram rows double as write
-    // cursors, and each (block, key) range is disjoint.
+    // cursors, and each (block, key) range is disjoint.  The value stores
+    // go through the scatter engine on the context — direct stores, or
+    // write-combining tiles (the cursor bumps stay direct either way: a
+    // block's row is private and cache-resident).
     items.clear();
     items.resize(running as usize, 0);
     let total = items.len();
     {
         let hist_ptr = SendPtr(hist.as_mut_ptr());
         let items_ptr = SendPtr(items.as_mut_ptr());
+        let tiles = (ctx.scatter_engine() == ScatterEngine::Combining)
+            .then(|| ScatterTiles::new(ctx, total, num_blocks));
         for_each_block(ctx, num_blocks, |b| {
             let (hp, ip) = (hist_ptr, items_ptr);
+            let mut sink = tiles.as_ref().map(|t| t.sink(b, ip.0));
             let start = b * block_size;
             let end = (start + block_size).min(num_slots);
             // Safety: disjoint histogram rows (see above).
@@ -288,14 +295,20 @@ fn build_csr_direct<F>(
                         (*cursor as usize) < total,
                         "csr edge stream changed between the counting and scatter passes"
                     );
-                    // Safety: in-bounds by the check above; offsets of
-                    // different (block, key) pairs are disjoint ranges, so
-                    // each item slot is written once.
-                    unsafe {
-                        *ip.0.add(*cursor as usize) = v;
+                    match sink.as_mut() {
+                        // Safety: in-bounds by the check above; offsets of
+                        // different (block, key) pairs are disjoint ranges,
+                        // so each item slot is written once.
+                        None => unsafe {
+                            *ip.0.add(*cursor as usize) = v;
+                        },
+                        Some(sink) => sink.push(*cursor as usize, v),
                     }
                     *cursor += 1;
                 }
+            }
+            if let Some(mut sink) = sink {
+                sink.flush();
             }
         });
     }

@@ -19,9 +19,10 @@
 //!
 //! Work `O(n)` (plus the list-ranking cost), depth `O(log n)`.
 
-use crate::listrank::list_rank_into;
+use crate::listrank::{is_sampled_ruler, list_rank_into};
 use crate::scan::scan_generic_into;
-use sfcp_pram::Ctx;
+use crate::scatter::{combining_tasks, ScatterTiles, TileValue};
+use sfcp_pram::{Ctx, ScatterEngine};
 
 /// A rooted forest on nodes `0..n`: `parent[r] == r` exactly for roots.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -212,6 +213,118 @@ fn up(v: u32) -> u32 {
     2 * v + 1
 }
 
+/// Emit the successor of every arc node `v` settles — its own down arc and
+/// the up arcs of its children (consecutive children chain up→down, the
+/// last child bounces to `up(v)`, a root terminates its own up arc).  The
+/// third argument marks the one head slot of each tree: the down arc of a
+/// root, which no other arc points to.
+#[inline]
+fn settle_node<W: FnMut(u32, u32, bool)>(forest: &RootedForest, v: u32, emit: &mut W) {
+    let kids = forest.children(v);
+    let root = forest.is_root(v);
+    match kids.first() {
+        Some(&c) => emit(down(v), down(c), root),
+        None => emit(down(v), up(v), root),
+    }
+    for w in kids.windows(2) {
+        emit(up(w[0]), down(w[1]), false);
+    }
+    if let Some(&last) = kids.last() {
+        emit(up(last), up(v), false);
+    }
+    if root {
+        emit(up(v), up(v), false);
+    }
+}
+
+/// The shared successor-construction pass: stream every node's CSR child
+/// list and write each arc's (optionally transformed) successor exactly
+/// once, through the scatter engine selected on the context.  Charges one
+/// round of `2n` operations (one per arc) under both engines.
+fn arc_successor_pass<T>(ctx: &Ctx, forest: &RootedForest, succ: &mut [u32], transform: T)
+where
+    T: Fn(u32, u32, bool) -> u32 + Sync + Send,
+{
+    let n = forest.len();
+    assert_eq!(succ.len(), 2 * n, "tour successor slice must hold 2n arcs");
+    let succ_ptr = SendPtr(succ.as_mut_ptr());
+    match ctx.scatter_engine() {
+        ScatterEngine::Direct => {
+            ctx.par_for_idx(n, |vi| {
+                let sp = succ_ptr;
+                settle_node(forest, vi as u32, &mut |slot, val, head| {
+                    // Safety: each arc slot has exactly one writer (see the
+                    // covering argument on `arc_successors_into`).
+                    unsafe {
+                        *sp.0.add(slot as usize) = transform(slot, val, head);
+                    }
+                });
+            });
+        }
+        ScatterEngine::Combining => {
+            ctx.charge_step(n as u64);
+            let num_tasks = combining_tasks(n);
+            let block = n.div_ceil(num_tasks);
+            let tiles = ScatterTiles::new(ctx, 2 * n, num_tasks);
+            crate::intsort::for_each_block(ctx, num_tasks, |t| {
+                let sp = succ_ptr;
+                let mut sink = tiles.sink(t, sp.0);
+                for vi in t * block..((t + 1) * block).min(n) {
+                    settle_node(forest, vi as u32, &mut |slot, val, head| {
+                        sink.push(slot as usize, transform(slot, val, head));
+                    });
+                }
+                sink.flush();
+            });
+        }
+    }
+    // One round of n was charged for the per-node dispatch; the pass
+    // settles 2n arcs, one operation each.
+    ctx.charge_work(n as u64);
+}
+
+/// Scatter `±value` deltas at every node's entry/exit tour positions,
+/// through the scatter engine on the context.  Charged one round of `n`
+/// (two disjoint writes per node) under both engines — exactly what the
+/// direct `par_for_idx` pass charges.
+fn scatter_entry_exit_deltas<T, F>(ctx: &Ctx, entry: &[u32], exit: &[u32], deltas: &mut [T], f: F)
+where
+    T: TileValue,
+    F: Fn(usize) -> (T, T) + Sync + Send,
+{
+    let n = entry.len();
+    let ptr = SendPtr(deltas.as_mut_ptr());
+    match ctx.scatter_engine() {
+        ScatterEngine::Direct => {
+            ctx.par_for_idx(n, |v| {
+                let p = ptr;
+                let (plus, minus) = f(v);
+                // Safety: entry/exit positions are all distinct.
+                unsafe {
+                    *p.0.add(entry[v] as usize) = plus;
+                    *p.0.add(exit[v] as usize) = minus;
+                }
+            });
+        }
+        ScatterEngine::Combining => {
+            ctx.charge_step(n as u64);
+            let num_tasks = combining_tasks(n);
+            let block = n.div_ceil(num_tasks);
+            let tiles = ScatterTiles::new(ctx, deltas.len(), num_tasks);
+            crate::intsort::for_each_block(ctx, num_tasks, |t| {
+                let p = ptr;
+                let mut sink = tiles.sink(t, p.0);
+                for v in t * block..((t + 1) * block).min(n) {
+                    let (plus, minus) = f(v);
+                    sink.push(entry[v] as usize, plus);
+                    sink.push(exit[v] as usize, minus);
+                }
+                sink.flush();
+            });
+        }
+    }
+}
+
 /// An Euler tour of a [`RootedForest`], with global positions.
 ///
 /// Trees are laid out one after another (in ascending order of root id) in a
@@ -270,43 +383,84 @@ impl EulerTour {
     /// # Panics
     /// Panics if `succ.len() != 2 * forest.len()`.
     pub fn arc_successors_into(ctx: &Ctx, forest: &RootedForest, succ: &mut [u32]) {
-        let n = forest.len();
-        assert_eq!(succ.len(), 2 * n, "tour successor slice must hold 2n arcs");
-        let succ_ptr = SendPtr(succ.as_mut_ptr());
-        ctx.par_for_idx(n, |vi| {
-            let sp = succ_ptr;
-            let v = vi as u32;
-            let kids = forest.children(v);
-            // Safety: the covering argument above — each arc slot has
-            // exactly one writer.
-            unsafe {
-                *sp.0.add(down(v) as usize) = match kids.first() {
-                    Some(&c) => down(c),
-                    None => up(v),
-                };
-                for w in kids.windows(2) {
-                    *sp.0.add(up(w[0]) as usize) = down(w[1]);
-                }
-                if let Some(&last) = kids.last() {
-                    *sp.0.add(up(last) as usize) = up(v);
-                }
-                if forest.is_root(v) {
-                    *sp.0.add(up(v) as usize) = up(v); // terminal
-                }
-            }
+        arc_successor_pass(ctx, forest, succ, |_, val, _| val);
+    }
+
+    /// [`EulerTour::arc_successors_into`] with the ruler flags of the
+    /// list-ranking engines ORed into each word as it is written — the
+    /// Euler half of the `has_pred` fold (see
+    /// [`crate::listrank::list_rank_flagged_into`] for the flag contract).
+    /// The heads of the tour lists are known analytically — the down arc of
+    /// every root, and nothing else, has no predecessor — so no sampling
+    /// pre-pass over the successor array is ever needed.  `domain_len` is
+    /// the length of the full successor array the ranking will run over
+    /// (`2n` for a standalone tour; `2n + m` when broken-cycle chains are
+    /// fused behind the arcs, as in `decompose`).
+    ///
+    /// Charges exactly what [`EulerTour::arc_successors_into`] charges.
+    ///
+    /// # Panics
+    /// Panics if `succ.len() != 2 * forest.len()` or
+    /// `domain_len >= 2^31` (the flag bit must stay out of the index
+    /// space).
+    pub fn arc_successors_flagged_into(
+        ctx: &Ctx,
+        forest: &RootedForest,
+        succ: &mut [u32],
+        domain_len: usize,
+    ) {
+        assert!(
+            domain_len < (1 << 31) && domain_len >= succ.len(),
+            "flagged successor domains pack a flag bit above a 31-bit index"
+        );
+        arc_successor_pass(ctx, forest, succ, move |slot, val, head| {
+            let ruler = head || val == slot || is_sampled_ruler(slot as usize, domain_len);
+            val | (u32::from(ruler) << 31)
         });
-        // par_for_idx charged one round of n; the pass settles 2n arcs.
-        ctx.charge_work(n as u64);
     }
 
     /// Finish the tour from the arc ranking: `dist[a]` is the distance of
-    /// arc `a` (in the [`down`]/[`up`] numbering) to its tree's terminal
+    /// arc `a` (in the `down`/`up` arc numbering) to its tree's terminal
     /// arc, i.e. the output of ranking [`EulerTour::arc_successors_into`].
     ///
     /// # Panics
     /// Panics if `dist.len() < 2 * forest.len()`.
     #[must_use]
     pub fn from_arc_ranks(ctx: &Ctx, forest: &RootedForest, dist: &[u32]) -> Self {
+        if forest.is_empty() {
+            return EulerTour {
+                entry: Vec::new(),
+                exit: Vec::new(),
+            };
+        }
+        // Standalone callers have no root array at hand; compute one here.
+        // `decompose` threads its once-computed roots through
+        // [`EulerTour::from_arc_ranks_with_roots`] instead.
+        let ws = ctx.workspace();
+        let mut root_of = ws.take_u32(0);
+        crate::jump::find_roots_into(ctx, forest.parents(), &mut root_of);
+        Self::from_arc_ranks_with_roots(ctx, forest, dist, &root_of)
+    }
+
+    /// [`EulerTour::from_arc_ranks`] with a caller-provided root array
+    /// (`root_of[v]` = the root of `v`'s tree, i.e. the output of
+    /// [`crate::jump::find_roots`] on `forest.parents()`).  This is the
+    /// root-threading entry: `decompose` computes the root array **once**
+    /// and reuses it here, for the `cycle_of` propagation, and for tree
+    /// labelling, instead of re-running pointer jumping three times.
+    ///
+    /// Charges [`EulerTour::from_arc_ranks`]'s cost minus the root
+    /// computation the caller already paid for.
+    ///
+    /// # Panics
+    /// Panics if `dist` or `root_of` are shorter than the forest requires.
+    #[must_use]
+    pub fn from_arc_ranks_with_roots(
+        ctx: &Ctx,
+        forest: &RootedForest,
+        dist: &[u32],
+        root_of: &[u32],
+    ) -> Self {
         let n = forest.len();
         if n == 0 {
             return EulerTour {
@@ -316,6 +470,7 @@ impl EulerTour {
         }
         let num_arcs = 2 * n;
         assert!(dist.len() >= num_arcs, "arc ranking must cover all 2n arcs");
+        assert!(root_of.len() >= n, "root array must cover every node");
         let dist = &dist[..num_arcs];
         let ws = ctx.workspace();
 
@@ -337,10 +492,6 @@ impl EulerTour {
         debug_assert_eq!(acc as usize, num_arcs);
         ctx.charge_step(num_roots);
 
-        // Every node needs its root to find the offset; reuse pointer jumping.
-        let mut root_of = ws.take_u32(0);
-        crate::jump::find_roots_into(ctx, forest.parents(), &mut root_of);
-
         // One fused pass computes both position arrays: the root lookup, tour
         // length and tree offset gathers are shared, and a node's down/up
         // arc ranks are adjacent in `dist`.  The baseline computes entry and
@@ -350,7 +501,7 @@ impl EulerTour {
         {
             let entry_ptr = SendPtr(entry.as_mut_ptr());
             let exit_ptr = SendPtr(exit.as_mut_ptr());
-            let (dist, tree_offset, root_of) = (&dist, &tree_offset, &root_of);
+            let (dist, tree_offset) = (&dist, &tree_offset);
             ctx.par_for_idx(n, |v| {
                 let r = root_of[v];
                 let len = dist[down(r) as usize] + 1;
@@ -433,14 +584,8 @@ impl EulerTour {
         // checked-out delta buffer.
         let ws = ctx.workspace();
         let mut deltas = ws.take_i64(2 * n);
-        let ptr = SendPtr(deltas.as_mut_ptr());
-        ctx.par_for_idx(n, |v| {
-            let p = ptr;
-            // Safety: entry/exit positions are all distinct.
-            unsafe {
-                *p.0.add(self.entry[v] as usize) = values[v] as i64;
-                *p.0.add(self.exit[v] as usize) = -(values[v] as i64);
-            }
+        scatter_entry_exit_deltas(ctx, &self.entry, &self.exit, &mut deltas, |v| {
+            (values[v] as i64, -(values[v] as i64))
         });
         let mut prefix = ws.take_i64(0);
         scan_generic_into(ctx, &deltas, 0i64, |a, b| a + b, false, &mut prefix);
@@ -471,15 +616,9 @@ impl EulerTour {
         }
         let ws = ctx.workspace();
         let mut deltas = ws.take_u32(2 * n);
-        let ptr = SendPtr(deltas.as_mut_ptr());
-        ctx.par_for_idx(n, |v| {
-            let p = ptr;
+        scatter_entry_exit_deltas(ctx, &self.entry, &self.exit, &mut deltas, |v| {
             let f = flags[v] as u32;
-            // Safety: entry/exit positions are all distinct.
-            unsafe {
-                *p.0.add(self.entry[v] as usize) = f;
-                *p.0.add(self.exit[v] as usize) = f.wrapping_neg();
-            }
+            (f, f.wrapping_neg())
         });
         let mut prefix = ws.take_u32(0);
         scan_generic_into(
@@ -507,16 +646,42 @@ impl EulerTour {
     }
 
     /// [`EulerTour::levels`] writing into a reusable output buffer.
+    ///
+    /// Specializes [`EulerTour::ancestor_counts_into`] for the all-ones
+    /// flag vector: the flags array never materializes (every entry
+    /// position scatters `+1`, every exit `−1`), and the count-to-level
+    /// copy is fused into the prefix gather.  Charges exactly what the
+    /// unspecialized pipeline charges — the skipped copy pass is charged
+    /// without being executed (DESIGN.md, "Charge discipline").
     pub fn levels_into(&self, ctx: &Ctx, out: &mut Vec<u32>) {
         let n = self.len();
         out.clear();
+        if n == 0 {
+            return;
+        }
         let ws = ctx.workspace();
-        let mut ones = ws.take_u64(n);
-        ones.fill(1);
-        let mut sums = ws.take_u64(0);
-        self.ancestor_counts_into(ctx, &ones, &mut sums);
+        let mut deltas = ws.take_u32(2 * n);
+        scatter_entry_exit_deltas(ctx, &self.entry, &self.exit, &mut deltas, |_| {
+            (1u32, 1u32.wrapping_neg())
+        });
+        let mut prefix = ws.take_u32(0);
+        scan_generic_into(
+            ctx,
+            &deltas,
+            0u32,
+            |a, b| a.wrapping_add(b),
+            false,
+            &mut prefix,
+        );
         out.resize(n, 0);
-        ctx.par_update(out, |v, l| *l = sums[v] as u32);
+        ctx.par_update(out, |v, l| {
+            let count = prefix[self.entry[v] as usize];
+            debug_assert!((count as usize) < n.max(1));
+            *l = count;
+        });
+        // The unspecialized pipeline runs a separate u64 count buffer and a
+        // count-to-level copy pass; charge the copy without executing it.
+        ctx.charge_step(n as u64);
     }
 }
 

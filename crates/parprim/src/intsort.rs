@@ -81,8 +81,10 @@ fn block_plan(ctx: &Ctx, n: usize, radix: usize) -> (usize, usize) {
 
 /// Run `f(block_index)` for each block, in parallel when the context is
 /// parallel.  Charges nothing: callers account for the pass explicitly so
-/// that both engines charge identically.
-pub(crate) fn for_each_block<F>(ctx: &Ctx, num_blocks: usize, f: F)
+/// that both engines charge identically.  Public because the blocked
+/// scatter passes outside this crate (the buddy-edge incidence emission in
+/// `sfcp-forest`) share it.
+pub fn for_each_block<F>(ctx: &Ctx, num_blocks: usize, f: F)
 where
     F: Fn(usize) + Sync + Send,
 {
@@ -336,7 +338,7 @@ impl RadixItem for u64 {
 ///
 /// Records are the wide-key representation (16 bytes).  When the key and
 /// payload together fit in 64 bits the engine instead uses
-/// [`radix_sort_words`] — a single `u64` per element, halving the memory
+/// `radix_sort_words` — a single `u64` per element, halving the memory
 /// traffic of every pass.
 pub fn radix_sort_recs(ctx: &Ctx, recs: &mut Vec<Rec>, scratch: &mut Vec<Rec>) {
     let n = recs.len();

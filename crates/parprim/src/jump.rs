@@ -18,6 +18,22 @@
 //! list-ranking / Euler-tour machinery; the experiments quantify the gap.
 
 use sfcp_pram::{Ctx, RankEngine};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Monotone count of [`find_roots_into`] invocations in this process — a
+/// regression hook for the root-threading contract: `decompose` computes
+/// the root array **once** per run and threads it through the tour finish,
+/// the `cycle_of` propagation, and tree labelling (`tests/root_threading.rs`
+/// pins the count).  One relaxed atomic increment per call; not part of the
+/// cost model.
+static FIND_ROOTS_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`find_roots_into`] calls made so far by this process (testing
+/// hook; see `FIND_ROOTS_CALLS`'s doc).
+#[must_use]
+pub fn find_roots_invocations() -> u64 {
+    FIND_ROOTS_CALLS.load(Ordering::Relaxed)
+}
 
 /// For every node of a rooted forest, the root of its tree.
 /// Roots are the fixed points of `parent`.
@@ -36,6 +52,7 @@ pub fn find_roots(ctx: &Ctx, parent: &[u32]) -> Vec<u32> {
 /// arrays ping-pong between `out` and one workspace checkout, so the
 /// `O(log n)` rounds allocate nothing once the pool is warm.
 pub fn find_roots_into(ctx: &Ctx, parent: &[u32], out: &mut Vec<u32>) {
+    FIND_ROOTS_CALLS.fetch_add(1, Ordering::Relaxed);
     let n = parent.len();
     out.clear();
     if n == 0 {
@@ -50,11 +67,33 @@ pub fn find_roots_into(ctx: &Ctx, parent: &[u32], out: &mut Vec<u32>) {
     let mut next_up = ws.take_u32(n);
     let rounds = sfcp_pram::ceil_log2(n) + 1;
     for r in 0..rounds {
+        // Convergence detection rides inside the jump pass itself — each
+        // chunk OR-accumulates `up[up[i]] ^ up[i]` branchlessly and raises
+        // the shared flag once at its end — so no separate array-compare
+        // pass runs per round (idempotent relaxed stores of `true`,
+        // common-CRCW style; uncharged physical glue, as the compare pass
+        // it replaces was).  `par_chunks_mut` charges one round of `n`,
+        // exactly like the `par_update` formulation.
+        let changed = AtomicBool::new(false);
+        let chunk = ctx.grain();
         {
             let up: &[u32] = out;
-            ctx.par_update(&mut next_up, |i, u| *u = up[up[i] as usize]);
+            let changed = &changed;
+            ctx.par_chunks_mut(&mut next_up, chunk, |ci, slice| {
+                let base = ci * chunk;
+                let mut diff = 0u32;
+                for (o, u) in slice.iter_mut().enumerate() {
+                    let cur = up[base + o];
+                    let next = up[cur as usize];
+                    diff |= next ^ cur;
+                    *u = next;
+                }
+                if diff != 0 {
+                    changed.store(true, Ordering::Relaxed);
+                }
+            });
         }
-        if *next_up == *out {
+        if !changed.load(Ordering::Relaxed) {
             // Converged: every pointer is already at its root, so the
             // remaining rounds would be identity passes.  Charge them without
             // executing — the model cost of pointer jumping is
@@ -158,22 +197,80 @@ pub fn permutation_cycle_min_into(ctx: &Ctx, succ: &[u32], out: &mut Vec<u32>) {
     }
     ctx.charge_step(n as u64);
 
-    if n > CYCLE_MIN_CONTRACTION_THRESHOLD && ctx.rank_engine() != RankEngine::PointerJump {
+    if n > CYCLE_MIN_CONTRACTION_THRESHOLD
+        && n < (1 << 31)
+        && ctx.rank_engine() != RankEngine::PointerJump
+    {
         // The contraction executes on the shared ruling-set machinery of the
         // list-ranking subsystem; the engine picks the segment-walk layout
         // (sequential for `RulingSet`, wavefront batches for `CacheBucket`).
         // Both are topped up to the pinned pointer-jumping model below, so
-        // the engine choice never shows in tracked charges.
+        // the engine choice never shows in tracked charges.  Successors at
+        // or above 2^31 cannot carry the machinery's flag bit — such inputs
+        // run the doubling loop below, which charges the identical pinned
+        // model at any size.
         crate::listrank::cycle_min_contraction_into(ctx, succ, out, ctx.rank_engine());
         return;
     }
 
-    // Packed (best, jump) state — the cache-aware twin of the classic
-    // two-array doubling loop.  A round reads `best[jump[i]]` and
-    // `jump[jump[i]]`, i.e. the *same* random index in two arrays; packing
-    // both halves into one u64 word makes that a single gather per element
-    // per round instead of two (plus the sequential read), at 8 bytes of
-    // traffic.  Charges are pinned to the two-pass baseline below.
+    cycle_min_doubling(ctx, succ, out);
+}
+
+/// [`permutation_cycle_min_into`] over a **flagged** successor permutation
+/// the caller built (`flagged[i] = succ[i] | RULER_FLAG·ruler(i)`, see
+/// [`crate::listrank::RULER_FLAG`]): the flag bit must be set for every
+/// fixed point and for the deterministic hash sample
+/// ([`crate::listrank::is_sampled_ruler`]`(i, n)`).  The input is
+/// **trusted** to be a permutation — the validation pass is charged without
+/// being executed (the early-exit discipline of DESIGN.md, "Charge
+/// discipline"); a non-permutation makes the walks spin or panic instead of
+/// being reported up front.  Charges are identical to
+/// [`permutation_cycle_min_into`] on the unflagged permutation.
+///
+/// This is the cycle-min half of the `has_pred`/sampling fold: the
+/// buddy-edge face permutation of `cycle_nodes_euler` ORs the flags in as
+/// it writes each successor, deleting the separate validation and sampling
+/// passes from the hot path.
+pub fn permutation_cycle_min_flagged_into(ctx: &Ctx, flagged: &[u32], out: &mut Vec<u32>) {
+    let n = flagged.len();
+    out.clear();
+    if n == 0 {
+        return;
+    }
+    // The validation pass of the untrusted entry point, charged without
+    // being executed.
+    ctx.charge_step(n as u64);
+    if n > CYCLE_MIN_CONTRACTION_THRESHOLD && ctx.rank_engine() != RankEngine::PointerJump {
+        // No flag-construction pass was charged inside the pinned budget
+        // (the caller's flags ride along in its own charged passes).
+        crate::listrank::cycle_min_contraction_flagged_core(
+            ctx,
+            flagged,
+            out,
+            ctx.rank_engine(),
+            0,
+        );
+        return;
+    }
+    // Strip the flags (uncharged glue, parallel like the other packing
+    // passes) and run the doubling loop the unflagged path would run.
+    let ws = ctx.workspace();
+    let mut plain = ws.take_u32(n);
+    crate::intsort::fill_items_uncharged(ctx, &mut plain, |i| {
+        flagged[i] & !crate::listrank::RULER_FLAG
+    });
+    cycle_min_doubling(ctx, &plain, out);
+}
+
+/// The packed `(best, jump)` doubling loop — the cache-aware twin of the
+/// classic two-array formulation.  A round reads `best[jump[i]]` and
+/// `jump[jump[i]]`, i.e. the *same* random index in two arrays; packing
+/// both halves into one u64 word makes that a single gather per element
+/// per round instead of two (plus the sequential read), at 8 bytes of
+/// traffic.  Charges are pinned to the two-pass baseline.
+fn cycle_min_doubling(ctx: &Ctx, succ: &[u32], out: &mut Vec<u32>) {
+    let n = succ.len();
+    let ws = ctx.workspace();
     let mut state = ws.take_u64(n);
     ctx.par_update(&mut state, |i, s| {
         let best = (i as u32).min(succ[i]);
@@ -377,15 +474,49 @@ mod tests {
         }
     }
 
+    /// The flagged cycle-min entry (flags built per its contract) must match
+    /// the untrusted entry's output and charges for every engine, across the
+    /// contraction threshold.
+    #[test]
+    fn flagged_cycle_min_matches_untrusted_entry() {
+        use crate::listrank::is_sampled_ruler;
+        for (n, seed) in [(100usize, 1u64), (4096, 2), (4097, 3), (30_000, 4)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut succ: Vec<u32> = (0..n as u32).collect();
+            succ.shuffle(&mut rng);
+            let flagged: Vec<u32> = succ
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| {
+                    let ruler = s as usize == i || is_sampled_ruler(i, n);
+                    s | (u32::from(ruler) << 31)
+                })
+                .collect();
+            for engine in RankEngine::ALL {
+                let untrusted = Ctx::parallel().with_rank_engine(engine);
+                let trusted = Ctx::parallel().with_rank_engine(engine);
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                permutation_cycle_min_into(&untrusted, &succ, &mut a);
+                permutation_cycle_min_flagged_into(&trusted, &flagged, &mut b);
+                assert_eq!(a, b, "minima diverged (n={n}, {engine:?})");
+                assert_eq!(
+                    untrusted.stats(),
+                    trusted.stats(),
+                    "flagged cycle-min charges diverged (n={n}, {engine:?})"
+                );
+            }
+        }
+    }
+
     /// Cycles whose members are all unsampled (no hash-selected ruler) are
     /// resolved by the sequential sweep.
     #[test]
     fn contraction_handles_ruler_free_cycles() {
         let n = 10_000;
-        let k = (sfcp_pram::ceil_log2(n) as usize).max(2) * 2;
         // Collect unsampled indices and link them into cycles of length 7.
         let unsampled: Vec<u32> = (0..n as u32)
-            .filter(|&i| !(sfcp_pram::fxhash::hash_u64(u64::from(i)) as usize).is_multiple_of(k))
+            .filter(|&i| !crate::listrank::is_sampled_ruler(i as usize, n))
             .collect();
         assert!(unsampled.len() > 100, "sampling rate sanity");
         let mut succ: Vec<u32> = (0..n as u32).collect();

@@ -15,11 +15,18 @@
 //! | [`csr`] | parallel CSR construction from `(key, value)` streams | children lists, buddy-edge incidence rotations, level buckets |
 //! | [`intsort`] | stable counting sort and LSD radix sort (sequential + parallel) | the Bhatt-et-al. integer sorting the paper charges `O(n log log n)` work to |
 //! | [`rank`] | sorting-based renaming: map items to dense ranks | "replace each pair by its rank" steps of m.s.p. / string sorting |
+//! | [`scatter`] | engine-dispatched bucketed scatter writes (direct vs write-combining) | the physical layer under every disjoint-scatter pass |
 //! | [`listrank`] | engine-dispatched list ranking (pointer jumping, ruling set, cache-bucketed wavefront walks) | Step 1 of *cycle node labeling*, fused Euler-tour + cycle-chain ranking |
 //! | [`jump`] | pointer jumping on rooted forests | tree-node labelling, cycle detection cross-check |
 //! | [`euler`] | Euler tours of rooted forests (levels, entry/exit, ancestor sums) | Section 4 tree labelling and Section 5 cycle finding |
 //! | [`merge`] | parallel merge and merge sort | the Cole-mergesort base case of string sorting |
 //! | [`firstone`] | first set bit in a Boolean array | candidate elimination in *simple m.s.p.* |
+
+// Every public item of this crate is part of the documented substitution
+// surface; the CI rustdoc gate (`RUSTDOCFLAGS="-D warnings" cargo doc`)
+// turns a missing or broken doc into a build failure.
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
 
 pub mod compact;
 pub mod csr;
@@ -32,14 +39,15 @@ pub mod merge;
 pub mod rank;
 pub mod reduce;
 pub mod scan;
+pub mod scatter;
 
 pub use compact::{compact_indices, compact_with};
 pub use csr::{build_csr, build_csr_into};
 pub use euler::{EulerTour, RootedForest};
 pub use firstone::first_true;
 pub use intsort::{
-    counting_sort_by_key, radix_sort_pairs, radix_sort_recs, radix_sort_recs_prebounded,
-    radix_sort_u64,
+    counting_sort_by_key, for_each_block, radix_sort_pairs, radix_sort_recs,
+    radix_sort_recs_prebounded, radix_sort_u64,
 };
 pub use jump::{distance_to_root, find_roots};
 pub use listrank::{
@@ -55,3 +63,4 @@ pub use scan::{
     exclusive_scan, exclusive_scan_into, inclusive_scan, inclusive_scan_into, scan_generic,
     scan_generic_into,
 };
+pub use scatter::{scatter_into, ScatterTiles, TileSink, TileValue};

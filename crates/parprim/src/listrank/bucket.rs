@@ -15,18 +15,22 @@
 //! measure-then-scatter layout, one pass stores per interior node the packed
 //! word `(steps from segment start) << 32 | (start ruler)`, and the final
 //! rank falls out as `rank(start ruler) − steps` — the second walk is gone
-//! entirely.  Charges are **bit-identical** to the `RulingSet` engine
+//! entirely.  The per-node record stores go through the scatter engine
+//! selected on the context ([`sfcp_pram::ScatterEngine`]): direct stores,
+//! or write-combining tiles once the record array outgrows the LLC.
+//! Charges are **bit-identical** to the `RulingSet` engine
 //! (regression-tested): the walk pass charges the same round of `m` plus
 //! `n` work, and the packed contracted doubling charges the two steps per
 //! round of the unpacked loop.
 
-use sfcp_pram::Ctx;
+use sfcp_pram::{Ctx, ScatterEngine};
 
 use super::ruling::{
-    contracted_rank_doubling, index_rulers, sample_chain_rulers, segment_target, SendPtr,
-    FLAGGED_LOW, TINY_LIST_MAX,
+    charge_sampling_model, contracted_rank_doubling, index_rulers, sample_chain_rulers,
+    segment_target, SendPtr, FLAGGED_LOW, TINY_LIST_MAX,
 };
 use super::wyllie::list_rank_wyllie_into;
+use crate::scatter::{ScatterTiles, TileSink, TileValue};
 
 /// Walks advanced in lockstep per bucket.  Enough to cover the memory
 /// latency × bandwidth product of one core; past ~64 the lane state stops
@@ -36,6 +40,36 @@ const WAVE: usize = 64;
 /// Rulers handed to one wavefront task: coarse enough that the per-task
 /// lane-state setup amortises, fine enough to load-balance across threads.
 const WALKS_PER_TASK: usize = 4096;
+
+/// How one wavefront task records its per-node words: straight stores or a
+/// write-combining tile sink, both behind one inlined call.  The sink
+/// variant carries its fill state inline (the size difference to the bare
+/// pointer is expected and task-local).
+#[allow(clippy::large_enum_variant)]
+enum Recorder<'s, T: TileValue> {
+    Direct(*mut T),
+    Combining(TileSink<'s, T>),
+}
+
+impl<T: TileValue> Recorder<'_, T> {
+    /// Record `val` at `idx` (indices are disjoint across all writers).
+    #[inline]
+    fn write(&mut self, idx: usize, val: T) {
+        match self {
+            // Safety: disjoint indices, in range by the caller's walk
+            // invariants (the index was just bounds-checked as a gather).
+            Recorder::Direct(p) => unsafe { *p.add(idx) = val },
+            Recorder::Combining(sink) => sink.push(idx, val),
+        }
+    }
+
+    /// Drain staged writes (no-op for direct stores).
+    fn finish(&mut self) {
+        if let Recorder::Combining(sink) = self {
+            sink.flush();
+        }
+    }
+}
 
 /// Sparse-ruling-set list ranking with wavefront-batched walks — the
 /// `CacheBucket` engine's entry point.
@@ -62,11 +96,26 @@ pub fn list_rank_cache_bucket_into(ctx: &Ctx, next: &[u32], out: &mut Vec<u32>) 
     for (i, &s) in next.iter().enumerate() {
         assert!((s as usize) < n, "next[{i}] = {s} out of range");
     }
+    let flagged_next = sample_chain_rulers(ctx, next, segment_target(n));
+    cache_bucket_rank_core(ctx, &flagged_next, out);
+}
 
-    let k = segment_target(n);
+/// [`list_rank_cache_bucket_into`] over a caller-built flagged successor
+/// array (see [`crate::listrank::list_rank_flagged_into`]); charges the
+/// skipped sampling passes so the two entry points stay charge-identical.
+pub(crate) fn list_rank_cache_bucket_flagged_into(ctx: &Ctx, flagged: &[u32], out: &mut Vec<u32>) {
+    charge_sampling_model(ctx, flagged.len());
+    cache_bucket_rank_core(ctx, flagged, out);
+}
+
+/// The `CacheBucket` ranking body over a flagged successor array.
+fn cache_bucket_rank_core(ctx: &Ctx, flagged_next: &[u32], out: &mut Vec<u32>) {
+    let n = flagged_next.len();
     let ws = ctx.workspace();
-    let (is_ruler, flagged_next) = sample_chain_rulers(ctx, next, k);
-    let (ruler_ids, ruler_index) = index_rulers(ctx, &is_ruler, false);
+    let (ruler_ids, ruler_index) = {
+        let flagged_next = &flagged_next;
+        index_rulers(ctx, n, |i| flagged_next[i] >> 31 == 1, false)
+    };
     let m = ruler_ids.len();
 
     // One wavefront pass over all segments.  No fill of `interior`: every
@@ -78,7 +127,7 @@ pub fn list_rank_cache_bucket_into(ctx: &Ctx, next: &[u32], out: &mut Vec<u32>) 
     let mut state = ws.take_u64(m);
     chain_walk_bucketed(
         ctx,
-        &flagged_next,
+        flagged_next,
         &ruler_ids,
         &ruler_index,
         &mut interior,
@@ -96,10 +145,10 @@ pub fn list_rank_cache_bucket_into(ctx: &Ctx, next: &[u32], out: &mut Vec<u32>) 
     // `steps` below that ruler.
     out.resize(n, 0);
     {
-        let (is_ruler, ruler_index) = (&is_ruler, &ruler_index);
+        let (flagged_next, ruler_index) = (&flagged_next, &ruler_index);
         let (state, interior) = (&state, &interior);
         ctx.par_update(out, |i, r| {
-            *r = if is_ruler[i] == 1 {
+            *r = if flagged_next[i] >> 31 == 1 {
                 (state[ruler_index[i] as usize] >> 32) as u32
             } else {
                 let w = interior[i];
@@ -122,13 +171,13 @@ pub(crate) fn chain_walk_bucketed(
     seg_state: &mut [u64],
 ) {
     let m = ruler_ids.len();
+    let num_tasks = m.div_ceil(WALKS_PER_TASK).max(1);
     let interior_ptr = SendPtr(interior.as_mut_ptr());
     let seg_ptr = SendPtr(seg_state.as_mut_ptr());
-    let num_tasks = m.div_ceil(WALKS_PER_TASK).max(1);
-    crate::intsort::for_each_block(ctx, num_tasks, |t| {
+    let walk = |t: usize, mut rec: Recorder<u64>| {
         let lo = t * WALKS_PER_TASK;
         let hi = ((t + 1) * WALKS_PER_TASK).min(m);
-        let (ip, sp) = (interior_ptr, seg_ptr);
+        let sp = seg_ptr;
         let mut lane_j = [0u32; WAVE];
         let mut lane_cur = [0u32; WAVE];
         let mut lane_word = [0u32; WAVE];
@@ -164,11 +213,9 @@ pub(crate) fn chain_walk_bucketed(
                         Some((lane_steps[l] + 1, ruler_index[nxt]))
                     } else {
                         let steps = lane_steps[l] + 1;
-                        // Safety: each non-ruler node is interior to exactly
-                        // one segment — one writer per slot.
-                        unsafe {
-                            *ip.0.add(nxt) = (u64::from(steps) << 32) | u64::from(lane_j[l]);
-                        }
+                        // Each non-ruler node is interior to exactly one
+                        // segment — one writer per slot.
+                        rec.write(nxt, (u64::from(steps) << 32) | u64::from(lane_j[l]));
                         lane_cur[l] = nxt as u32;
                         lane_word[l] = w;
                         lane_steps[l] = steps;
@@ -194,7 +241,23 @@ pub(crate) fn chain_walk_bucketed(
                 }
             }
         }
-    });
+        rec.finish();
+    };
+    match ctx.scatter_engine() {
+        ScatterEngine::Direct => {
+            crate::intsort::for_each_block(ctx, num_tasks, |t| {
+                let p = interior_ptr;
+                walk(t, Recorder::Direct(p.0));
+            });
+        }
+        ScatterEngine::Combining => {
+            let tiles = ScatterTiles::new(ctx, interior.len(), num_tasks);
+            crate::intsort::for_each_block(ctx, num_tasks, |t| {
+                let p = interior_ptr;
+                walk(t, Recorder::Combining(tiles.sink(t, p.0)));
+            });
+        }
+    }
 }
 
 /// The wavefront cycle walk of the cycle-min contraction: for every ruler
@@ -211,13 +274,13 @@ pub(crate) fn cycle_walk_bucketed(
     state: &mut [u64],
 ) {
     let m = ruler_ids.len();
+    let num_tasks = m.div_ceil(WALKS_PER_TASK).max(1);
     let end_ptr = SendPtr(end_ruler.as_mut_ptr());
     let state_ptr = SendPtr(state.as_mut_ptr());
-    let num_tasks = m.div_ceil(WALKS_PER_TASK).max(1);
-    crate::intsort::for_each_block(ctx, num_tasks, |t| {
+    let walk = |t: usize, mut rec: Recorder<u32>| {
         let lo = t * WALKS_PER_TASK;
         let hi = ((t + 1) * WALKS_PER_TASK).min(m);
-        let (ep, sp) = (end_ptr, state_ptr);
+        let sp = state_ptr;
         let mut lane_j = [0u32; WAVE];
         let mut lane_start = [0u32; WAVE];
         let mut lane_cur = [0u32; WAVE];
@@ -251,20 +314,19 @@ pub(crate) fn cycle_walk_bucketed(
                     if w >> 31 == 1 {
                         Some((lane_min[l], ruler_index[cur]))
                     } else {
-                        // Safety: each element is interior to exactly one
-                        // segment — one writer per slot.
-                        unsafe {
-                            *ep.0.add(cur) = lane_j[l];
-                        }
+                        // Each element is interior to exactly one segment —
+                        // one writer per slot.
+                        rec.write(cur, lane_j[l]);
                         lane_min[l] = lane_min[l].min(cur as u32);
                         lane_cur[l] = w & FLAGGED_LOW;
                         None
                     }
                 };
                 if let Some((min, next_ruler)) = finished {
+                    // The start ruler's own slot, plus the contracted state.
+                    rec.write(lane_start[l] as usize, lane_j[l]);
                     // Safety: one writer per ruler j.
                     unsafe {
-                        *ep.0.add(lane_start[l] as usize) = lane_j[l];
                         *sp.0.add(lane_j[l] as usize) =
                             (u64::from(min) << 32) | u64::from(next_ruler);
                     }
@@ -282,5 +344,21 @@ pub(crate) fn cycle_walk_bucketed(
                 }
             }
         }
-    });
+        rec.finish();
+    };
+    match ctx.scatter_engine() {
+        ScatterEngine::Direct => {
+            crate::intsort::for_each_block(ctx, num_tasks, |t| {
+                let p = end_ptr;
+                walk(t, Recorder::Direct(p.0));
+            });
+        }
+        ScatterEngine::Combining => {
+            let tiles = ScatterTiles::new(ctx, end_ruler.len(), num_tasks);
+            crate::intsort::for_each_block(ctx, num_tasks, |t| {
+                let p = end_ptr;
+                walk(t, Recorder::Combining(tiles.sink(t, p.0)));
+            });
+        }
+    }
 }

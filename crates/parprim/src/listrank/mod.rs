@@ -43,12 +43,18 @@ mod ruling;
 mod wyllie;
 
 pub use bucket::{list_rank_cache_bucket, list_rank_cache_bucket_into};
-pub use ruling::{list_rank_ruling_set, list_rank_ruling_set_into};
+pub use ruling::{is_sampled_ruler, list_rank_ruling_set, list_rank_ruling_set_into};
 pub use wyllie::{list_rank_wyllie, list_rank_wyllie_into};
 
-pub(crate) use ruling::cycle_min_contraction_into;
+pub(crate) use ruling::{cycle_min_contraction_flagged_core, cycle_min_contraction_into};
 
 use sfcp_pram::{Ctx, RankEngine};
+
+/// The ruler-flag bit of a *flagged* successor word: bit 31 of
+/// `flagged[i] = next[i] | RULER_FLAG·(i is a ruler)`.  Successor arrays
+/// therefore must stay below `2^31` elements.  See
+/// [`list_rank_flagged_into`] for the construction contract.
+pub const RULER_FLAG: u32 = 1 << 31;
 
 /// Distance of every element to the terminal of its list, via the engine
 /// selected on the context ([`Ctx::rank_engine`]).
@@ -70,6 +76,56 @@ pub fn list_rank_into(ctx: &Ctx, next: &[u32], out: &mut Vec<u32>) {
         RankEngine::PointerJump => list_rank_wyllie_into(ctx, next, out),
         RankEngine::RulingSet => list_rank_ruling_set_into(ctx, next, out),
         RankEngine::CacheBucket => list_rank_cache_bucket_into(ctx, next, out),
+    }
+}
+
+/// [`list_rank_into`] over a **flagged** successor array the caller built —
+/// the entry point of the `has_pred` fold: callers that lay their successor
+/// lists out anyway (the fused Euler ranking of `decompose`) OR the ruler
+/// flag into each word as they write it, and the engines skip their
+/// `has_pred` sampling passes entirely (charging them without executing, so
+/// the flagged and sampling entry points are charge-identical — see
+/// DESIGN.md, "Charge discipline").
+///
+/// Contract on `flagged[i] = next[i] | RULER_FLAG·ruler(i)`:
+///
+/// * `next[i] < flagged.len() < 2^31` is the successor (terminals point to
+///   themselves), and the flag bit must be set for
+///   * every **head** (element no other element points to),
+///   * every **terminal** (`next[i] == i`), and
+///   * every element of the deterministic hash sample
+///     ([`is_sampled_ruler`]`(i, flagged.len())`).
+///
+/// The flag contract mirrors the internal `sample_chain_rulers` exactly, so
+/// the flagged entries produce the same rulers, the same ranks, and the
+/// same charges as the sampling entries.  The input is trusted: the range
+/// invariant is *not* re-validated here (an out-of-range successor panics
+/// on a bounds-checked gather instead of being reported up front), which is
+/// what deletes the sampling pre-passes from the hot path.
+///
+/// Under [`RankEngine::PointerJump`] (and for tiny inputs) the flags are
+/// stripped into a scratch copy and Wyllie runs as usual.
+pub fn list_rank_flagged_into(ctx: &Ctx, flagged: &[u32], out: &mut Vec<u32>) {
+    let n = flagged.len();
+    out.clear();
+    if n == 0 {
+        return;
+    }
+    let engine = ctx.rank_engine();
+    if n <= ruling::TINY_LIST_MAX || engine == RankEngine::PointerJump {
+        // Strip the flag bits (uncharged glue, parallel like the other
+        // packing passes) and run the Wyllie path the sampling entries
+        // would also take.
+        let ws = ctx.workspace();
+        let mut plain = ws.take_u32(n);
+        crate::intsort::fill_items_uncharged(ctx, &mut plain, |i| flagged[i] & !RULER_FLAG);
+        list_rank_wyllie_into(ctx, &plain, out);
+        return;
+    }
+    match engine {
+        RankEngine::PointerJump => unreachable!("handled above"),
+        RankEngine::RulingSet => ruling::list_rank_ruling_set_flagged_into(ctx, flagged, out),
+        RankEngine::CacheBucket => bucket::list_rank_cache_bucket_flagged_into(ctx, flagged, out),
     }
 }
 
@@ -270,6 +326,56 @@ mod tests {
                 "warm {engine:?} rankings must not allocate fresh buffers"
             );
             assert_eq!(after.outstanding(), 0);
+        }
+    }
+
+    /// Build the flagged successor array of `next` per the
+    /// `list_rank_flagged_into` contract (heads, terminals, hash sample).
+    fn flag_successors(next: &[u32]) -> Vec<u32> {
+        let n = next.len();
+        let mut has_pred = vec![false; n];
+        for (i, &s) in next.iter().enumerate() {
+            if s as usize != i {
+                has_pred[s as usize] = true;
+            }
+        }
+        (0..n)
+            .map(|i| {
+                let ruler = !has_pred[i] || next[i] as usize == i || is_sampled_ruler(i, n);
+                next[i] | (u32::from(ruler) << 31)
+            })
+            .collect()
+    }
+
+    /// The flagged entry point must produce the identical ranks and the
+    /// identical charges as the sampling entry point, for every engine and
+    /// both modes, across the tiny-list threshold.
+    #[test]
+    fn flagged_entry_matches_sampling_entry() {
+        for (n, lists, seed) in [
+            (12usize, 2usize, 3u64), // tiny path (Wyllie fall-back)
+            (1024, 1, 4),            // threshold boundary
+            (1025, 1, 5),
+            (30_000, 5, 6),
+        ] {
+            let next = random_lists(n, lists, seed);
+            let flagged = flag_successors(&next);
+            for mode in [Mode::Sequential, Mode::Parallel] {
+                for engine in all_engines() {
+                    let sampled = Ctx::new(mode).with_rank_engine(engine);
+                    let direct = Ctx::new(mode).with_rank_engine(engine);
+                    let mut a = Vec::new();
+                    let mut b = Vec::new();
+                    list_rank_into(&sampled, &next, &mut a);
+                    list_rank_flagged_into(&direct, &flagged, &mut b);
+                    assert_eq!(a, b, "ranks diverged (n={n}, {engine:?}, {mode:?})");
+                    assert_eq!(
+                        sampled.stats(),
+                        direct.stats(),
+                        "flagged charges diverged (n={n}, {engine:?}, {mode:?})"
+                    );
+                }
+            }
         }
     }
 

@@ -11,6 +11,16 @@
 //!   `jump::permutation_cycle_min` for large permutations): the contracted
 //!   cycle is min-jumped over packed `(best, jump)` words.
 //!
+//! The working representation of both is the **flagged successor array**:
+//! `flagged[i] = next[i] | RULER_FLAG·(i is a ruler)`, so every walk hop
+//! costs a single gather.  Callers that construct their successor lists
+//! anyway — the fused Euler ranking of `decompose` — can emit the flags in
+//! the same pass ([`crate::listrank::list_rank_flagged_into`]), which
+//! deletes the `has_pred` sampling pass entirely; the skipped passes are
+//! charged without being executed, so the flagged entry points are
+//! charge-identical to the sampling ones (see DESIGN.md, "Charge
+//! discipline").
+//!
 //! The sampling, ruler indexing, and packed contracted-doubling kernels are
 //! shared with the `CacheBucket` engine (`bucket.rs`), which replaces only
 //! the physical segment-walk layout; the two engines charge bit-identical
@@ -35,20 +45,41 @@ pub(crate) fn segment_target(n: usize) -> usize {
     (sfcp_pram::ceil_log2(n) as usize).max(2) * 2
 }
 
+/// Whether slot `i` of a `domain_len`-element successor array is in the
+/// deterministic `1/k` hash sample the ruling-set engines use (`k` is the
+/// `segment_target` of the domain — about `2·log2 n`).  Heads and terminals are rulers
+/// unconditionally, *in addition* to this sample.
+///
+/// The sample is a threshold compare against the hash (`hash < 2^64 / k`)
+/// rather than a divisibility test: the one division has loop-invariant
+/// operands, so it hoists out of the per-element loops that call this —
+/// a hardware divide per element would otherwise dominate the flag
+/// construction passes.
+#[inline]
+#[must_use]
+pub fn is_sampled_ruler(i: usize, domain_len: usize) -> bool {
+    hash_u64(i as u64) < sample_threshold(segment_target(domain_len))
+}
+
+/// The hash threshold of a `1/k` sample.
+#[inline]
+pub(crate) fn sample_threshold(k: usize) -> u64 {
+    u64::MAX / k as u64
+}
+
 /// Deterministic chain-ruler sampling shared by the `RulingSet` and
 /// `CacheBucket` engines: element `i` is a ruler iff its hash falls in a
 /// `1/k` slice, or it is a head (no predecessor — the prefix of a list
 /// before the first sampled ruler would never be walked otherwise), or it is
-/// a terminal.  The same pass packs the successor and the ruler flag into
-/// one word (`next[i] | ruler << 31`), so the segment walks cost a single
-/// gather per hop instead of touching two arrays.
+/// a terminal.  The second pass packs the successor and the ruler flag into
+/// one word (`next[i] | RULER_FLAG`), so the segment walks cost a single
+/// gather per hop.
 ///
-/// Returns `(is_ruler, flagged_next)`.
-pub(crate) fn sample_chain_rulers<'c>(
-    ctx: &'c Ctx,
-    next: &[u32],
-    k: usize,
-) -> (Scratch<'c, u8>, Scratch<'c, u32>) {
+/// Returns the flagged successor array.  Callers that already know the
+/// heads of their lists skip this entirely and build the flagged array
+/// themselves (the `_flagged` entry points charge these two passes without
+/// executing them).
+pub(crate) fn sample_chain_rulers<'c>(ctx: &'c Ctx, next: &[u32], k: usize) -> Scratch<'c, u32> {
     let n = next.len();
     assert!(
         n < (1 << 31),
@@ -64,39 +95,42 @@ pub(crate) fn sample_chain_rulers<'c>(
     }
     ctx.charge_step(n as u64);
 
-    let mut is_ruler = ws.take_u8(n);
     let mut flagged_next = ws.take_u32(n);
     {
-        let flagged_ptr = SendPtr(flagged_next.as_mut_ptr());
         let has_pred = &has_pred;
-        ctx.par_update(&mut is_ruler, |i, r| {
-            let ruler = has_pred[i] == 0
-                || next[i] as usize == i
-                || (hash_u64(i as u64) as usize).is_multiple_of(k);
-            *r = u8::from(ruler);
-            let p = flagged_ptr;
-            // Safety: each i writes its own slot.
-            unsafe {
-                *p.0.add(i) = next[i] | (u32::from(ruler) << 31);
-            }
+        let threshold = sample_threshold(k);
+        ctx.par_update(&mut flagged_next, |i, w| {
+            let ruler = has_pred[i] == 0 || next[i] as usize == i || hash_u64(i as u64) < threshold;
+            *w = next[i] | (u32::from(ruler) << 31);
         });
     }
-    (is_ruler, flagged_next)
+    flagged_next
 }
 
-/// Compact the sampled rulers and invert the numbering: returns
-/// `(ruler_ids, ruler_index)` with `ruler_index[ruler_ids[j]] == j`.  Only
-/// ruler slots of `ruler_index` are written (and only those are read back),
-/// unless `fill_unset` asks for a `u32::MAX` fill of the rest.
-pub(crate) fn index_rulers<'c>(
+/// Charge (without executing) the two sampling passes of
+/// [`sample_chain_rulers`] — the flagged entry points' model top-up.
+pub(crate) fn charge_sampling_model(ctx: &Ctx, n: usize) {
+    ctx.charge_step(n as u64); // the has_pred predecessor pass
+    ctx.charge_step(n as u64); // the ruler-flag packing pass
+}
+
+/// Compact the rulers of a flagged successor array and invert the
+/// numbering: returns `(ruler_ids, ruler_index)` with
+/// `ruler_index[ruler_ids[j]] == j`.  Only ruler slots of `ruler_index` are
+/// written (and only those are read back), unless `fill_unset` asks for a
+/// `u32::MAX` fill of the rest.
+pub(crate) fn index_rulers<'c, F>(
     ctx: &'c Ctx,
-    is_ruler: &[u8],
+    n: usize,
+    is_ruler: F,
     fill_unset: bool,
-) -> (Scratch<'c, u32>, Scratch<'c, u32>) {
-    let n = is_ruler.len();
+) -> (Scratch<'c, u32>, Scratch<'c, u32>)
+where
+    F: Fn(usize) -> bool + Sync + Send,
+{
     let ws = ctx.workspace();
     let mut ruler_ids = ws.take_u32(0);
-    crate::compact::compact_indices_into(ctx, n, |i| is_ruler[i] == 1, &mut ruler_ids);
+    crate::compact::compact_indices_into(ctx, n, is_ruler, &mut ruler_ids);
     let m = ruler_ids.len();
     let mut ruler_index = ws.take_u32(n);
     if fill_unset {
@@ -156,10 +190,10 @@ pub fn list_rank_ruling_set(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
 }
 
 /// [`list_rank_ruling_set`] writing into a reusable output buffer.  All
-/// intermediates — ruler flags, per-node segment data, the contracted list —
-/// are workspace checkouts, and segments are walked twice with O(1) memory
-/// (measure, then re-walk and scatter) instead of collecting a per-segment
-/// path vector.
+/// intermediates — the flagged successor words, per-node segment data, the
+/// contracted list — are workspace checkouts, and segments are walked twice
+/// with O(1) memory (measure, then re-walk and scatter) instead of
+/// collecting a per-segment path vector.
 pub fn list_rank_ruling_set_into(ctx: &Ctx, next: &[u32], out: &mut Vec<u32>) {
     let n = next.len();
     out.clear();
@@ -174,11 +208,27 @@ pub fn list_rank_ruling_set_into(ctx: &Ctx, next: &[u32], out: &mut Vec<u32>) {
     for (i, &s) in next.iter().enumerate() {
         assert!((s as usize) < n, "next[{i}] = {s} out of range");
     }
+    let flagged_next = sample_chain_rulers(ctx, next, segment_target(n));
+    ruling_set_rank_core(ctx, &flagged_next, out);
+}
 
-    let k = segment_target(n);
+/// [`list_rank_ruling_set_into`] over a caller-built flagged successor
+/// array (see [`crate::listrank::list_rank_flagged_into`] for the
+/// contract); charges the skipped sampling passes so the two entry points
+/// stay charge-identical.
+pub(crate) fn list_rank_ruling_set_flagged_into(ctx: &Ctx, flagged: &[u32], out: &mut Vec<u32>) {
+    charge_sampling_model(ctx, flagged.len());
+    ruling_set_rank_core(ctx, flagged, out);
+}
+
+/// The `RulingSet` ranking body over a flagged successor array.
+fn ruling_set_rank_core(ctx: &Ctx, flagged_next: &[u32], out: &mut Vec<u32>) {
+    let n = flagged_next.len();
     let ws = ctx.workspace();
-    let (is_ruler, flagged_next) = sample_chain_rulers(ctx, next, k);
-    let (ruler_ids, ruler_index) = index_rulers(ctx, &is_ruler, true);
+    let (ruler_ids, ruler_index) = {
+        let flagged_next = &flagged_next;
+        index_rulers(ctx, n, |i| flagged_next[i] >> 31 == 1, true)
+    };
     let m = ruler_ids.len();
 
     // One parallel pass over segments: starting from every ruler, walk until
@@ -199,7 +249,8 @@ pub fn list_rank_ruling_set_into(ctx: &Ctx, next: &[u32], out: &mut Vec<u32>) {
         let end_ptr = SendPtr(end_ruler.as_mut_ptr());
         let next_ptr = SendPtr(seg_next.as_mut_ptr());
         let len_ptr = SendPtr(seg_len.as_mut_ptr());
-        let (ruler_ids, ruler_index, flagged_next) = (&ruler_ids, &ruler_index, &flagged_next);
+        let (ruler_ids, ruler_index) = (&ruler_ids, &ruler_index);
+        let flagged_next = &flagged_next;
         ctx.par_for_idx(m, |j| {
             let start = ruler_ids[j] as usize;
             // Walk 1: measure the segment (hops from start to its end ruler).
@@ -281,14 +332,15 @@ pub fn list_rank_ruling_set_into(ctx: &Ctx, next: &[u32], out: &mut Vec<u32>) {
     let contracted_rank_in_hops = rank;
 
     // Final rank: a ruler takes its contracted rank; an interior node adds
-    // its local distance to the rank of its segment's end ruler.
+    // its local distance to the rank of its segment's end ruler.  Ruler-ness
+    // is read off the flag bit — no separate flag array exists.
     out.resize(n, 0);
     {
-        let (is_ruler, ruler_index) = (&is_ruler, &ruler_index);
+        let (flagged_next, ruler_index) = (&flagged_next, &ruler_index);
         let (local_dist, end_ruler) = (&local_dist, &end_ruler);
         let contracted_rank_in_hops = &contracted_rank_in_hops;
         ctx.par_update(out, |i, r| {
-            *r = if is_ruler[i] == 1 {
+            *r = if flagged_next[i] >> 31 == 1 {
                 contracted_rank_in_hops[ruler_index[i] as usize]
             } else {
                 local_dist[i] + contracted_rank_in_hops[end_ruler[i] as usize]
@@ -328,21 +380,52 @@ pub(crate) fn cycle_min_contraction_into(
     engine: RankEngine,
 ) {
     let n = succ.len();
+    assert!(
+        n < (1 << 31),
+        "the cycle-min contraction packs successors and ruler flags into u32 words"
+    );
+    let ws = ctx.workspace();
+    let k = segment_target(n);
+    // Rulers: fixed points (their cycle is just {i}) plus a deterministic
+    // 1/k hash sample, packed next to the successor so every walk hop costs
+    // a single gather.  A cycle may end up with no ruler at all — handled by
+    // the final sequential sweep.
+    let mut flagged = ws.take_u32(n);
+    let threshold = sample_threshold(k);
+    ctx.par_update(&mut flagged, |i, w| {
+        let ruler = succ[i] as usize == i || hash_u64(i as u64) < threshold;
+        *w = succ[i] | (u32::from(ruler) << 31);
+    });
+    cycle_min_contraction_flagged_core(ctx, &flagged, out, engine, 1);
+}
+
+/// The contraction body over a caller-built flagged successor permutation
+/// (see `jump::permutation_cycle_min_flagged_into`).  `charged_flag_passes`
+/// counts how many rounds of `n` the caller's flag construction already
+/// charged inside the pinned budget (the sampling entry charges one).
+pub(crate) fn cycle_min_contraction_flagged_core(
+    ctx: &Ctx,
+    flagged: &[u32],
+    out: &mut Vec<u32>,
+    engine: RankEngine,
+    charged_flag_passes: u64,
+) {
+    let n = flagged.len();
     let ws = ctx.workspace();
     let before = ctx.stats();
     let rounds = (sfcp_pram::ceil_log2(n) + 1) as u64;
-    let target_work = (n as u64) * (1 + 2 * rounds);
-    let target_rounds = 1 + 2 * rounds;
+    // The pinned model budget (init plus two steps of `n` per round, the
+    // jumping path's post-validation cost), minus whatever flag-construction
+    // passes the caller already charged against it — the sampling entry
+    // charges one round of `n`, the flagged entries none (their flags ride
+    // along in passes charged elsewhere).
+    let target_work = (n as u64) * (1 + 2 * rounds - charged_flag_passes);
+    let target_rounds = 1 + 2 * rounds - charged_flag_passes;
 
-    let k = segment_target(n);
-    // Rulers: fixed points (their cycle is just {i}) plus a deterministic
-    // 1/k hash sample.  A cycle may end up with no ruler at all — handled by
-    // the final sequential sweep.
-    let mut is_ruler = ws.take_u8(n);
-    ctx.par_update(&mut is_ruler, |i, r| {
-        *r = u8::from(succ[i] as usize == i || (hash_u64(i as u64) as usize).is_multiple_of(k));
-    });
-    let (ruler_ids, ruler_index) = index_rulers(ctx, &is_ruler, false);
+    let (ruler_ids, ruler_index) = {
+        let flagged = &flagged;
+        index_rulers(ctx, n, |i| flagged[i] >> 31 == 1, false)
+    };
     let m = ruler_ids.len();
 
     // Walk every segment once: record the end ruler of each element and the
@@ -352,23 +435,10 @@ pub(crate) fn cycle_min_contraction_into(
     let mut end_ruler = ws.take_u32(n);
     end_ruler.fill(u32::MAX);
     let mut state = ws.take_u64(m);
-    // The wavefront walk needs the ruler flag packed next to the successor
-    // (one gather per hop); the packing pass is uncharged glue under the
-    // pinned model, like the packed sort engine's fill passes.  Successors
-    // past 2^31 cannot carry the flag bit — fall back to the sequential
-    // walk there.
-    let bucketed = engine == RankEngine::CacheBucket && n < (1 << 31);
-    if bucketed {
-        let mut flagged = ws.take_u32(n);
-        {
-            let is_ruler = &is_ruler;
-            crate::intsort::fill_items_uncharged(ctx, &mut flagged, |i| {
-                succ[i] | (u32::from(is_ruler[i]) << 31)
-            });
-        }
+    if engine == RankEngine::CacheBucket {
         bucket::cycle_walk_bucketed(
             ctx,
-            &flagged,
+            flagged,
             &ruler_ids,
             &ruler_index,
             &mut end_ruler,
@@ -378,19 +448,19 @@ pub(crate) fn cycle_min_contraction_into(
     } else {
         let end_ptr = SendPtr(end_ruler.as_mut_ptr());
         let state_ptr = SendPtr(state.as_mut_ptr());
-        let (ruler_ids, ruler_index, is_ruler) = (&ruler_ids, &ruler_index, &is_ruler);
+        let (ruler_ids, ruler_index, flagged) = (&ruler_ids, &ruler_index, &flagged);
         ctx.par_for_idx(m, |j| {
             let start = ruler_ids[j] as usize;
             let mut min = start as u32;
-            let mut cur = succ[start] as usize;
+            let mut cur = (flagged[start] & FLAGGED_LOW) as usize;
             let (ep, sp) = (end_ptr, state_ptr);
-            while cur != start && is_ruler[cur] == 0 {
+            while cur != start && flagged[cur] >> 31 == 0 {
                 // Safety: each element is interior to exactly one segment.
                 unsafe {
                     *ep.0.add(cur) = j as u32;
                 }
                 min = min.min(cur as u32);
-                cur = succ[cur] as usize;
+                cur = (flagged[cur] & FLAGGED_LOW) as usize;
             }
             // Wrapped all the way around: this cycle's only ruler is j.
             let next_ruler = if cur == start {
@@ -451,18 +521,18 @@ pub(crate) fn cycle_min_contraction_into(
             continue;
         }
         let mut min = i as u32;
-        let mut cur = succ[i] as usize;
+        let mut cur = (flagged[i] & FLAGGED_LOW) as usize;
         while cur != i {
             min = min.min(cur as u32);
-            cur = succ[cur] as usize;
+            cur = (flagged[cur] & FLAGGED_LOW) as usize;
         }
         out[i] = min;
         end_ruler[i] = u32::MAX - 1;
-        let mut cur = succ[i] as usize;
+        let mut cur = (flagged[i] & FLAGGED_LOW) as usize;
         while cur != i {
             out[cur] = min;
             end_ruler[cur] = u32::MAX - 1;
-            cur = succ[cur] as usize;
+            cur = (flagged[cur] & FLAGGED_LOW) as usize;
         }
     }
 

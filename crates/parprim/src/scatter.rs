@@ -1,0 +1,415 @@
+//! Bucketed scatter writes — the engine-dispatched write-combining subsystem.
+//!
+//! Every hot pass of the decomposition pipeline that is *not* a dependent
+//! pointer-chase is a scatter: the Euler-tour successor construction writes
+//! `2n` arcs at random slots, the CSR builder's final sweep writes every
+//! value at its cursor, the wavefront walks record `(steps, start-ruler)`
+//! words at every interior node, the ancestor-sum passes drop `±value`
+//! deltas at tour positions, and the dense-rank finish scatters
+//! `ranks[payload] = group`.  On machines whose last-level cache no longer
+//! holds the destination, each of those stores is a cache-and-TLB miss.
+//!
+//! Like the sort, CSR, and list-ranking layers, the scatter layer is a
+//! pluggable engine selected on the [`Ctx`]
+//! ([`sfcp_pram::ScatterEngine`]):
+//!
+//! * [`ScatterEngine::Direct`] (default) — plain random stores, the model
+//!   baseline.  On hosts with a large last-level cache (the reference
+//!   container has 260 MB of L3) this is also the fastest physical layout
+//!   for the problem sizes benchmarked here.
+//! * [`ScatterEngine::Combining`] — software write-combining: stores are
+//!   staged into cache-resident per-bucket tiles ([`ScatterTiles`]),
+//!   bucketed by the high bits of the destination index, and flushed a tile
+//!   at a time, so each flush touches one destination window of
+//!   `len / 2^BUCKET_BITS` elements instead of the whole array.  This is
+//!   the layout that wins once the destination outgrows the LLC; the
+//!   `scatter` row of `BENCH_parprim.json` tracks the crossover on the
+//!   machine at hand.
+//!
+//! Both engines produce identical destination contents and charge identical
+//! work/depth — the charge rule of every engine pair in this workspace (see
+//! DESIGN.md, "Charge discipline" and "Bucketed scatters").  The staging
+//! tiles are workspace checkouts with a deterministic task plan, so pool
+//! population and pooled bytes stay stable across warm runs
+//! (`tests/workspace_leaks.rs`).
+
+use sfcp_pram::{Ctx, ScatterEngine, Scratch};
+
+/// Destination-index bits used for bucketing: `2^6 = 64` staging buckets.
+/// Few enough that the per-task fill state lives in registers/L1, many
+/// enough that one bucket's destination window is a small fraction of the
+/// array.
+pub(crate) const BUCKET_BITS: u32 = 6;
+
+/// Buckets per staging sink.
+pub(crate) const NUM_BUCKETS: usize = 1 << BUCKET_BITS;
+
+/// Staged entries per bucket tile.  128 entries × 16 B = 2 KB per tile —
+/// one tile streams out in a handful of cache lines while the next refills.
+pub(crate) const TILE_ENTRIES: usize = 128;
+
+/// Values the combining engine can stage: anything that round-trips through
+/// the `u64` staging word.
+pub trait TileValue: Copy + Send + Sync {
+    /// Pack the value into the staging word.
+    fn to_word(self) -> u64;
+    /// Unpack the value from the staging word.
+    fn from_word(w: u64) -> Self;
+}
+
+impl TileValue for u32 {
+    #[inline]
+    fn to_word(self) -> u64 {
+        u64::from(self)
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        w as u32
+    }
+}
+
+impl TileValue for u64 {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        w
+    }
+}
+
+impl TileValue for i64 {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        w as i64
+    }
+}
+
+/// The staging store of one combining scatter pass: `num_tasks` disjoint
+/// regions of `NUM_BUCKETS × TILE_ENTRIES` `(index, value)` entries, all in
+/// one workspace checkout so the pool population stays deterministic
+/// regardless of rayon scheduling.  Each parallel task takes its own
+/// [`TileSink`] via [`ScatterTiles::sink`].
+pub struct ScatterTiles<'c> {
+    /// The staging checkout, held for the lifetime of the pass; all sink
+    /// writes go through `entries_ptr`, taken from an exclusive borrow at
+    /// construction (a `&self`-derived `*mut` would be undefined
+    /// behaviour).
+    _entries: Scratch<'c, (u64, u64)>,
+    entries_ptr: *mut (u64, u64),
+    num_tasks: usize,
+    /// Right-shift turning a destination index into its bucket id.
+    shift: u32,
+}
+
+// Sinks write disjoint per-task regions of the staging buffer; the struct
+// itself is only read after construction.
+unsafe impl Sync for ScatterTiles<'_> {}
+unsafe impl Send for ScatterTiles<'_> {}
+
+impl<'c> ScatterTiles<'c> {
+    /// Stage storage for `num_tasks` concurrent sinks over a destination of
+    /// `dest_len` elements.
+    #[must_use]
+    pub fn new(ctx: &'c Ctx, dest_len: usize, num_tasks: usize) -> Self {
+        let bits = usize::BITS - dest_len.saturating_sub(1).leading_zeros();
+        let shift = bits.saturating_sub(BUCKET_BITS);
+        let num_tasks = num_tasks.max(1);
+        let mut entries = ctx
+            .workspace()
+            .take_pairs(num_tasks * NUM_BUCKETS * TILE_ENTRIES);
+        let entries_ptr = entries.as_mut_ptr();
+        ScatterTiles {
+            _entries: entries,
+            entries_ptr,
+            num_tasks,
+            shift,
+        }
+    }
+
+    /// The sink of task `task`, writing through to `dest` (raw parts).
+    ///
+    /// # Safety contract (enforced by the callers)
+    /// Tasks must use distinct `task` ids, every pushed index must be below
+    /// the destination length, and — as with every scatter in this
+    /// workspace — distinct pushes must target distinct indices (or
+    /// concurrent writers must be storing the same value).
+    ///
+    /// # Panics
+    /// Panics if `task` is outside the planned task count.
+    #[must_use]
+    pub fn sink<T: TileValue>(&self, task: usize, dest: *mut T) -> TileSink<'_, T> {
+        assert!(task < self.num_tasks, "scatter task {task} out of plan");
+        // Safety: disjoint per-task regions of the staging checkout, whose
+        // base pointer was taken from an exclusive borrow in `new`.
+        let region = unsafe { self.entries_ptr.add(task * NUM_BUCKETS * TILE_ENTRIES) };
+        TileSink {
+            entries: region,
+            fill: [0u32; NUM_BUCKETS],
+            shift: self.shift,
+            dest,
+            _staging: std::marker::PhantomData,
+        }
+    }
+}
+
+/// One task's write-combining sink: push `(index, value)` pairs, which are
+/// staged per bucket and flushed as tile-sized runs into the destination.
+/// Call [`TileSink::flush`] before the destination is read back — dropping
+/// a sink with staged entries loses them (the callers all flush at the end
+/// of their task body).
+pub struct TileSink<'s, T> {
+    entries: *mut (u64, u64),
+    fill: [u32; NUM_BUCKETS],
+    shift: u32,
+    dest: *mut T,
+    _staging: std::marker::PhantomData<&'s ()>,
+}
+
+impl<T: TileValue> TileSink<'_, T> {
+    /// Stage one write of `val` at destination slot `idx`.
+    #[inline]
+    pub fn push(&mut self, idx: usize, val: T) {
+        let bucket = idx >> self.shift;
+        debug_assert!(bucket < NUM_BUCKETS);
+        let fill = self.fill[bucket] as usize;
+        // Safety: bucket-local fill < TILE_ENTRIES, region is task-private.
+        unsafe {
+            *self.entries.add(bucket * TILE_ENTRIES + fill) = (idx as u64, val.to_word());
+        }
+        if fill + 1 == TILE_ENTRIES {
+            self.flush_bucket(bucket, TILE_ENTRIES);
+            self.fill[bucket] = 0;
+        } else {
+            self.fill[bucket] = fill as u32 + 1;
+        }
+    }
+
+    /// Drain every partially filled tile into the destination.
+    pub fn flush(&mut self) {
+        for bucket in 0..NUM_BUCKETS {
+            let fill = self.fill[bucket] as usize;
+            if fill > 0 {
+                self.flush_bucket(bucket, fill);
+                self.fill[bucket] = 0;
+            }
+        }
+    }
+
+    #[inline]
+    fn flush_bucket(&mut self, bucket: usize, fill: usize) {
+        for e in 0..fill {
+            // Safety: entries were staged by `push` from in-range indices;
+            // the caller guarantees index disjointness across writers.
+            unsafe {
+                let (idx, word) = *self.entries.add(bucket * TILE_ENTRIES + e);
+                *self.dest.add(idx as usize) = T::from_word(word);
+            }
+        }
+    }
+}
+
+// The raw pointers are confined to one task's disjoint staging region and
+// the shared (index-disjoint) destination.
+unsafe impl<T: TileValue> Send for TileSink<'_, T> {}
+
+/// Deterministic task plan of a combining scatter pass: fixed-size slot
+/// blocks, independent of the thread count (charges never see it, but the
+/// staging checkout size must not wander between runs either).
+#[must_use]
+pub fn combining_tasks(num_slots: usize) -> usize {
+    num_slots.div_ceil(1 << 16).clamp(1, 256)
+}
+
+/// Scatter an `(index, value)` stream into `dest` through the engine
+/// selected on the context: `item(s)` is invoked for every stream slot
+/// `s in 0..num_slots` and returns `Some((index, value))` or `None` for
+/// slots contributing nothing.  Distinct slots must produce distinct
+/// indices (or store identical values), and every index must be in range —
+/// the usual disjoint-scatter contract of this workspace.
+///
+/// Charged one round of `num_slots` operations under **both** engines (the
+/// staging and flush traffic of the combining engine is uncharged physical
+/// glue, like the packed sort engine's fill/extract passes).
+///
+/// # Panics
+/// Panics if an index is out of range (combining engine: on the staged
+/// flush; direct engine: on the store).
+pub fn scatter_into<T, F>(ctx: &Ctx, dest: &mut [T], num_slots: usize, item: F)
+where
+    T: TileValue,
+    F: Fn(usize) -> Option<(usize, T)> + Sync + Send,
+{
+    let len = dest.len();
+    match ctx.scatter_engine() {
+        ScatterEngine::Direct => {
+            let ptr = SendPtr(dest.as_mut_ptr());
+            ctx.par_for_idx(num_slots, |s| {
+                if let Some((idx, val)) = item(s) {
+                    assert!(idx < len, "scatter index {idx} out of range ({len})");
+                    let p = ptr;
+                    // Safety: in range (checked) and index-disjoint (caller
+                    // contract).
+                    unsafe {
+                        *p.0.add(idx) = val;
+                    }
+                }
+            });
+        }
+        ScatterEngine::Combining => {
+            ctx.charge_step(num_slots as u64);
+            let num_tasks = combining_tasks(num_slots);
+            let block = num_slots.div_ceil(num_tasks);
+            let tiles = ScatterTiles::new(ctx, len, num_tasks);
+            let ptr = SendPtr(dest.as_mut_ptr());
+            crate::intsort::for_each_block(ctx, num_tasks, |t| {
+                let p = ptr;
+                let mut sink = tiles.sink(t, p.0);
+                let start = t * block;
+                let end = (start + block).min(num_slots);
+                for s in start..end {
+                    if let Some((idx, val)) = item(s) {
+                        assert!(idx < len, "scatter index {idx} out of range ({len})");
+                        sink.push(idx, val);
+                    }
+                }
+                sink.flush();
+            });
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use sfcp_pram::Mode;
+
+    fn scatter_both_ways(n: usize, stream: &[Option<(usize, u32)>]) -> (Vec<u32>, Vec<u32>) {
+        let direct = Ctx::parallel();
+        let combining = Ctx::parallel().with_scatter_engine(ScatterEngine::Combining);
+        let mut a = vec![0u32; n];
+        let mut b = vec![0u32; n];
+        scatter_into(&direct, &mut a, stream.len(), |s| stream[s]);
+        scatter_into(&combining, &mut b, stream.len(), |s| stream[s]);
+        assert_eq!(
+            direct.stats(),
+            combining.stats(),
+            "engines must charge identically"
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let (a, b) = scatter_both_ways(0, &[]);
+        assert!(a.is_empty() && b.is_empty());
+        let stream = [Some((2usize, 7u32)), None, Some((0, 9))];
+        let (a, b) = scatter_both_ways(4, &stream);
+        assert_eq!(a, vec![9, 0, 7, 0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn permutation_scatter_matches_across_engines_and_modes() {
+        let n = 200_000;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        idx.shuffle(&mut rng);
+        for mode in [Mode::Sequential, Mode::Parallel] {
+            let mut results = Vec::new();
+            for engine in ScatterEngine::ALL {
+                let ctx = Ctx::new(mode).with_scatter_engine(engine);
+                let mut dest = vec![0u64; n];
+                scatter_into(&ctx, &mut dest, n, |s| Some((idx[s] as usize, s as u64)));
+                results.push((ctx.stats(), dest));
+            }
+            assert_eq!(results[0], results[1], "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn i64_values_round_trip() {
+        let ctx = Ctx::parallel().with_scatter_engine(ScatterEngine::Combining);
+        let mut dest = vec![0i64; 10_000];
+        scatter_into(&ctx, &mut dest, 10_000, |s| {
+            Some((s, if s % 2 == 0 { -(s as i64) } else { s as i64 }))
+        });
+        assert_eq!(dest[6], -6);
+        assert_eq!(dest[7], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn direct_engine_rejects_out_of_range() {
+        let ctx = Ctx::parallel();
+        let mut dest = vec![0u32; 4];
+        scatter_into(&ctx, &mut dest, 8, |s| Some((s, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn combining_engine_rejects_out_of_range() {
+        let ctx = Ctx::parallel().with_scatter_engine(ScatterEngine::Combining);
+        let mut dest = vec![0u32; 4];
+        scatter_into(&ctx, &mut dest, 8, |s| Some((s, 1)));
+    }
+
+    #[test]
+    fn warm_combining_scatters_allocate_nothing() {
+        let n = 100_000;
+        let ctx = Ctx::parallel().with_scatter_engine(ScatterEngine::Combining);
+        let mut dest = vec![0u32; n];
+        scatter_into(&ctx, &mut dest, n, |s| Some((s, s as u32))); // warm up
+        let before = ctx.workspace().stats();
+        let warm_pool = ctx.workspace().pooled_buffers();
+        let warm_bytes = ctx.workspace().pooled_bytes();
+        for _ in 0..4 {
+            scatter_into(&ctx, &mut dest, n, |s| Some(((s * 7919) % n, s as u32)));
+        }
+        let after = ctx.workspace().stats();
+        assert_eq!(after.misses, before.misses, "warm staging must pool-hit");
+        assert_eq!(after.outstanding(), 0);
+        assert_eq!(ctx.workspace().pooled_buffers(), warm_pool);
+        assert_eq!(ctx.workspace().pooled_bytes(), warm_bytes);
+    }
+
+    proptest! {
+        /// Direct and combining engines produce identical destinations and
+        /// identical charges on arbitrary partial streams.
+        #[test]
+        fn engines_agree(
+            n in 1usize..2000,
+            seed in 0u64..64,
+            density_pct in 5u32..96,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut slots: Vec<u32> = (0..n as u32).collect();
+            slots.shuffle(&mut rng);
+            let stream: Vec<Option<(usize, u32)>> = (0..n)
+                .map(|s| {
+                    rng.gen_bool(f64::from(density_pct) / 100.0)
+                        .then(|| (slots[s] as usize, rng.gen_range(0..1_000_000)))
+                })
+                .collect();
+            let mut expected = vec![0u32; n];
+            for pair in stream.iter().flatten() {
+                expected[pair.0] = pair.1;
+            }
+            let (a, b) = scatter_both_ways(n, &stream);
+            prop_assert_eq!(&a, &expected);
+            prop_assert_eq!(&a, &b);
+        }
+    }
+}

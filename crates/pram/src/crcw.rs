@@ -11,7 +11,7 @@
 //!   `BB[EQ[d1], EQ[d2]]` so that every distinct pair of labels ends up with
 //!   exactly one representative position — modelled by [`CrcwTable`], an
 //!   insert-if-absent concurrent map (the `O(n^2)` table of the paper, with
-//!   the memory reduced the same way the paper cites [3] for).
+//!   the memory reduced the same way the paper cites \[3\] for).
 //!
 //! The *common* CRCW variant (all concurrent writers must write the same
 //! value) is provided as [`CommonCell`] with a debug-mode check.

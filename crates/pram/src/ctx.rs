@@ -86,6 +86,36 @@ impl RankEngine {
     ];
 }
 
+/// Which scatter-write engine `sfcp-parprim` routes random `(index, value)`
+/// stores through.
+///
+/// Both engines produce identical destination contents and charge
+/// **identical** work/depth (a regression-tested invariant, like the other
+/// engine selectors), so the choice only affects wall-clock and the staging
+/// buffers checked out of the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScatterEngine {
+    /// Plain random stores straight into the destination — the model
+    /// baseline.  Fastest whenever the destination is cache-resident (on
+    /// hosts with a large last-level cache this covers surprisingly large
+    /// problems).
+    #[default]
+    Direct,
+    /// Software write-combining: stores are staged into cache-resident
+    /// per-bucket tiles (bucketed by the high bits of the destination
+    /// index) and flushed a tile at a time, so each flush touches one small
+    /// destination window instead of the whole array.  Pays off when the
+    /// destination outgrows the last-level cache; charge-identical to
+    /// [`ScatterEngine::Direct`].
+    Combining,
+}
+
+impl ScatterEngine {
+    /// Every engine variant — swept by the parity/determinism/leak suites,
+    /// like [`RankEngine::ALL`].
+    pub const ALL: [ScatterEngine; 2] = [ScatterEngine::Direct, ScatterEngine::Combining];
+}
+
 /// Execution context shared by all algorithms: execution mode + cost tracker
 /// + scratch-buffer workspace.
 #[derive(Debug)]
@@ -95,6 +125,7 @@ pub struct Ctx {
     grain: usize,
     engine: SortEngine,
     rank_engine: RankEngine,
+    scatter_engine: ScatterEngine,
     workspace: Workspace,
 }
 
@@ -114,6 +145,7 @@ impl Ctx {
             grain: DEFAULT_GRAIN,
             engine: SortEngine::default(),
             rank_engine: RankEngine::default(),
+            scatter_engine: ScatterEngine::default(),
             workspace: Workspace::new(),
         }
     }
@@ -140,6 +172,7 @@ impl Ctx {
             grain: DEFAULT_GRAIN,
             engine: SortEngine::default(),
             rank_engine: RankEngine::default(),
+            scatter_engine: ScatterEngine::default(),
             workspace: Workspace::new(),
         }
     }
@@ -178,6 +211,20 @@ impl Ctx {
     #[must_use]
     pub fn rank_engine(&self) -> RankEngine {
         self.rank_engine
+    }
+
+    /// Select the scatter-write engine (default: [`ScatterEngine::Direct`]).
+    #[must_use]
+    pub fn with_scatter_engine(mut self, engine: ScatterEngine) -> Self {
+        self.scatter_engine = engine;
+        self
+    }
+
+    /// The selected scatter-write engine.
+    #[inline]
+    #[must_use]
+    pub fn scatter_engine(&self) -> ScatterEngine {
+        self.scatter_engine
     }
 
     /// The scratch-buffer workspace: checkout/return of reusable vectors so

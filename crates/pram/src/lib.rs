@@ -38,6 +38,12 @@
 //! assert!(stats.rounds >= 1);    // one parallel round
 //! ```
 
+// Every public item of this crate is part of the documented substitution
+// surface; the CI rustdoc gate (`RUSTDOCFLAGS="-D warnings" cargo doc`)
+// turns a missing or broken doc into a build failure.
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
 pub mod brent;
 pub mod crcw;
 pub mod ctx;
@@ -47,7 +53,7 @@ pub mod workspace;
 
 pub use brent::{predicted_time, BrentModel};
 pub use crcw::{ArbitraryCell, CommonCell, CrcwTable};
-pub use ctx::{Ctx, Mode, RankEngine, SortEngine};
+pub use ctx::{Ctx, Mode, RankEngine, ScatterEngine, SortEngine};
 pub use tracker::{Stats, Tracker};
 pub use workspace::{Rec, Scratch, Workspace, WorkspaceStats};
 

@@ -35,6 +35,7 @@ pub struct Rec {
 }
 
 impl Rec {
+    /// Pack a key and its payload into one record.
     #[inline]
     #[must_use]
     pub fn new(key: u64, pay: u32) -> Self {
@@ -79,6 +80,7 @@ pub struct Workspace {
 
 /// Element types the workspace pools.
 pub trait Poolable: Copy + Default + Send + Sync + 'static {
+    /// The pool holding returned buffers of this element type.
     fn pool(ws: &Workspace) -> &Mutex<Vec<Vec<Self>>>;
 }
 

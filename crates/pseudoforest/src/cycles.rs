@@ -16,8 +16,10 @@
 //!   both).  Near-linear work, `O(log n)` depth.
 
 use crate::graph::FunctionalGraph;
-use sfcp_parprim::jump::permutation_cycle_min_into;
-use sfcp_pram::Ctx;
+use sfcp_parprim::jump::permutation_cycle_min_flagged_into;
+use sfcp_parprim::listrank::{is_sampled_ruler, RULER_FLAG};
+use sfcp_parprim::scatter::{combining_tasks, ScatterTiles};
+use sfcp_pram::{Ctx, ScatterEngine};
 
 /// Which cycle-node detection algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -157,24 +159,40 @@ pub fn cycle_nodes_euler(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
     // at position p+1 (cyclically) in v's incident list.
     // Unused arc slots (self-loop edges) stay as self-loops of the
     // permutation and are ignored afterwards.
-    let mut succ = ws.take_u32(2 * n);
+    //
+    // The ruler flags of the cycle-min contraction ride along in bit 31 of
+    // every word as it is written (fixed points and the deterministic hash
+    // sample — the `has_pred` fold of DESIGN.md "Bucketed scatters"), so
+    // `permutation_cycle_min_flagged_into` skips its validation and
+    // sampling pre-passes entirely, charging them without executing.  Arc
+    // ids at or above 2^31 cannot carry the flag bit — graphs that large
+    // fall back to the unflagged construction and the untrusted cycle-min
+    // entry, exactly the pre-fold pipeline.
+    let num_arcs = 2 * n;
+    let flagging = num_arcs < (1 << 31);
+    let id_flag = if flagging { RULER_FLAG } else { 0 };
+    let mut succ = ws.take_u32(num_arcs);
     for (a, s) in succ.iter_mut().enumerate() {
-        *s = a as u32;
+        *s = a as u32 | id_flag; // identity = fixed point = ruler
     }
     {
-        let succ_ptr = SendPtr(succ.as_mut_ptr());
-        let start_ref = &start;
-        let incident_ref = &incident;
-        ctx.par_for_idx(n, |v| {
-            let s = start_ref[v] as usize;
-            let e = start_ref[v + 1] as usize;
-            let degree = e - s;
-            if degree == 0 {
+        // Per-vertex emission of the incoming-arc → outgoing-arc pairs; the
+        // random stores go through the scatter engine on the context.
+        fn emit_vertex<W: FnMut(usize, u32)>(
+            start: &[u32],
+            incident: &[u32],
+            num_arcs: usize,
+            flagging: bool,
+            v: usize,
+            write: &mut W,
+        ) {
+            let s = start[v] as usize;
+            let e = start[v + 1] as usize;
+            if e == s {
                 return;
             }
-            let p = succ_ptr;
             for idx in s..e {
-                let endpoint = incident_ref[idx];
+                let endpoint = incident[idx];
                 let edge = endpoint >> 1;
                 let is_tail = endpoint & 1 == 1;
                 // Incoming arc at this endpoint: the arc pointing *to* v along
@@ -183,7 +201,7 @@ pub fn cycle_nodes_euler(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
                 let in_arc = if is_tail { 2 * edge + 1 } else { 2 * edge };
                 // Next endpoint in v's rotation.
                 let next_idx = if idx + 1 == e { s } else { idx + 1 };
-                let next_endpoint = incident_ref[next_idx];
+                let next_endpoint = incident[next_idx];
                 let next_edge = next_endpoint >> 1;
                 let next_is_tail = next_endpoint & 1 == 1;
                 // Outgoing arc of the next endpoint: the arc leaving v.
@@ -192,19 +210,60 @@ pub fn cycle_nodes_euler(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
                 } else {
                     2 * next_edge + 1
                 };
-                // Safety: each incoming arc is written exactly once (it has a
-                // unique endpoint position).
-                unsafe {
-                    *p.0.add(in_arc as usize) = out_arc;
-                }
+                let flag = u32::from(flagging && is_sampled_ruler(in_arc as usize, num_arcs));
+                write(in_arc as usize, out_arc | (flag << 31));
             }
-        });
+        }
+        let succ_ptr = SendPtr(succ.as_mut_ptr());
+        match ctx.scatter_engine() {
+            ScatterEngine::Direct => {
+                let (start, incident) = (&start, &incident);
+                ctx.par_for_idx(n, |v| {
+                    let p = succ_ptr;
+                    // Safety: each incoming arc is written exactly once (it
+                    // has a unique endpoint position).
+                    emit_vertex(
+                        start,
+                        incident,
+                        num_arcs,
+                        flagging,
+                        v,
+                        &mut |slot, val| unsafe {
+                            *p.0.add(slot) = val;
+                        },
+                    );
+                });
+            }
+            ScatterEngine::Combining => {
+                ctx.charge_step(n as u64);
+                let num_tasks = combining_tasks(n);
+                let block = n.div_ceil(num_tasks);
+                let tiles = ScatterTiles::new(ctx, num_arcs, num_tasks);
+                let (start, incident) = (&start, &incident);
+                sfcp_parprim::for_each_block(ctx, num_tasks, |t| {
+                    let p = succ_ptr;
+                    let mut sink = tiles.sink(t, p.0);
+                    for v in t * block..((t + 1) * block).min(n) {
+                        emit_vertex(start, incident, num_arcs, flagging, v, &mut |slot, val| {
+                            sink.push(slot, val);
+                        });
+                    }
+                    sink.flush();
+                });
+            }
+        }
         ctx.charge_work(2 * n as u64);
     }
 
-    // Faces = cycles of the successor permutation.
+    // Faces = cycles of the successor permutation (a genuine permutation by
+    // construction — the trusted flagged entry point charges the validation
+    // of the untrusted one without executing it).
     let mut face = ws.take_u32(0);
-    permutation_cycle_min_into(ctx, &succ, &mut face);
+    if flagging {
+        permutation_cycle_min_flagged_into(ctx, &succ, &mut face);
+    } else {
+        sfcp_parprim::jump::permutation_cycle_min_into(ctx, &succ, &mut face);
+    }
 
     // An edge lies on the graph cycle iff its two arcs are on different faces;
     // its tail endpoint x is then a cycle node.  Self-loops are cycle nodes.

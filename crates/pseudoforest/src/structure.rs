@@ -10,7 +10,7 @@
 use crate::cycles::{cycle_nodes, CycleMethod};
 use crate::graph::FunctionalGraph;
 use sfcp_parprim::euler::{EulerTour, RootedForest};
-use sfcp_parprim::listrank::list_rank_into;
+use sfcp_parprim::listrank::{is_sampled_ruler, list_rank_flagged_into};
 use sfcp_pram::Ctx;
 
 /// The decomposition of a functional graph into cycles and hanging trees.
@@ -44,6 +44,12 @@ pub struct Decomposition {
     pub tour: EulerTour,
     /// Distance of every node to its cycle (0 for cycle nodes).
     pub levels: Vec<u32>,
+    /// The root (cycle node) of every node's pseudo-tree — the root array
+    /// computed **once** per decomposition and threaded through the tour
+    /// finish, the `cycle_of` propagation, and (by `sfcp-core`'s tree
+    /// labelling) the Lemma 4.1 correspondence, instead of re-running
+    /// pointer jumping at each consumer.
+    pub roots: Vec<u32>,
 }
 
 /// Compute the decomposition.
@@ -118,20 +124,33 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
     // cycle node forward from its leader).  Both are successor lists, so
     // they share one buffer — tour arcs in [..2n], chains (shifted by 2n)
     // in [2n..] — and ONE engine invocation ranks them together: one
-    // sampling pass, one segment walk, one contracted doubling for both.
+    // segment walk, one contracted doubling for both.  The ruler flags of
+    // the ranking engines are ORed into each word as it is written — heads
+    // are known analytically (the down arc of every root; the leader of
+    // every chain), so the engines' `has_pred` sampling passes disappear
+    // (the `has_pred` fold; see DESIGN.md "Bucketed scatters").
     let num_arcs = 2 * n;
-    let mut fused_succ = ws.take_u32(num_arcs + m);
+    let domain = num_arcs + m;
+    let mut fused_succ = ws.take_u32(domain);
     {
         // Break each cycle just before its leader: the chain element j
-        // terminates when its successor is the leader.
+        // terminates when its successor is the leader.  Flags: a chain's
+        // head is its leader (nothing points to it — its predecessor
+        // terminated), terminals flag themselves, and the hash sample rides
+        // along.
         let (cycle_succ, leader_compact) = (&cycle_succ, &leader_compact);
         ctx.par_update(&mut fused_succ[num_arcs..], |j, b| {
-            *b = if leader_compact[cycle_succ[j] as usize] == cycle_succ[j] {
+            let slot = (num_arcs + j) as u32;
+            let val = if leader_compact[cycle_succ[j] as usize] == cycle_succ[j] {
                 // The successor is the leader: terminate here.
-                (num_arcs + j) as u32
+                slot
             } else {
                 num_arcs as u32 + cycle_succ[j]
             };
+            let ruler = leader_compact[j] as usize == j // head
+                || val == slot // terminal
+                || is_sampled_ruler(slot as usize, domain);
+            *b = val | (u32::from(ruler) << 31);
         });
     }
 
@@ -147,13 +166,20 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
     } else {
         RootedForest::from_parents(ctx, parents)
     };
-    EulerTour::arc_successors_into(ctx, &forest, &mut fused_succ[..num_arcs]);
+    EulerTour::arc_successors_flagged_into(ctx, &forest, &mut fused_succ[..num_arcs], domain);
+
+    // The root array, computed ONCE per decomposition (pointer jumping) and
+    // threaded through the tour finish, the cycle_of propagation below, and
+    // tree labelling (retained on the returned structure) — formerly three
+    // independent find_roots runs per coarsest invocation.
+    let mut roots = Vec::new();
+    sfcp_parprim::jump::find_roots_into(ctx, forest.parents(), &mut roots);
 
     // The single fused ranking: arc a's tour rank lands in [..2n], chain
     // element j's distance-to-chain-end in [2n + j].
     let mut fused_ranks = ws.take_u32(0);
-    list_rank_into(ctx, &fused_succ, &mut fused_ranks);
-    let tour = EulerTour::from_arc_ranks(ctx, &forest, &fused_ranks[..num_arcs]);
+    list_rank_flagged_into(ctx, &fused_succ, &mut fused_ranks);
+    let tour = EulerTour::from_arc_ranks_with_roots(ctx, &forest, &fused_ranks[..num_arcs], &roots);
     let dist_to_end = &fused_ranks[num_arcs..];
 
     // Cycle length = dist(leader) + 1; position = length - 1 - dist.
@@ -228,9 +254,7 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
 
     let levels = tour.levels(ctx);
 
-    // Propagate the cycle id to tree nodes through their root.
-    let mut roots = ws.take_u32(0);
-    sfcp_parprim::jump::find_roots_into(ctx, forest.parents(), &mut roots);
+    // Propagate the cycle id to tree nodes through the threaded root array.
     let cycle_of = {
         let (cycle_of, roots) = (&cycle_of, &roots);
         ctx.par_map_idx(n, |x| cycle_of[roots[x] as usize])
@@ -245,6 +269,7 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
         forest,
         tour,
         levels,
+        roots,
     }
 }
 
@@ -286,22 +311,11 @@ impl Decomposition {
         (0..self.num_cycles()).map(|c| self.cycle(c))
     }
 
-    /// The root (cycle node) of the pseudo-tree containing `x`.
+    /// The root (cycle node) of the pseudo-tree containing `x` — a lookup
+    /// into the once-computed [`Decomposition::roots`] array.
     #[must_use]
     pub fn root_of(&self, x: u32) -> u32 {
-        if self.is_cycle[x as usize] {
-            x
-        } else {
-            // Walk is not needed: the forest is rooted at cycle nodes, so the
-            // Euler tour's level-0 ancestor is found by parent jumps; for a
-            // convenience accessor a short walk is fine (levels are usually
-            // small), but use the precomputed structures in hot paths.
-            let mut cur = x;
-            while !self.is_cycle[cur as usize] {
-                cur = self.forest.parent(cur);
-            }
-            cur
-        }
+        self.roots[x as usize]
     }
 }
 

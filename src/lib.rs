@@ -9,6 +9,57 @@
 //! * [`sfcp_strings`] — circular string canonization and string sorting,
 //! * [`sfcp_parprim`] — parallel primitives (scan, sort, list ranking, Euler tour),
 //! * [`sfcp_pram`] — the PRAM work/depth cost model.
+//!
+//! ## Quickstart
+//!
+//! The paper's own 16-node example (Fig. 1 / Example 2.2), solved by every
+//! algorithm behind the [`sfcp::coarsest_partition`] facade — the runnable
+//! twin of `examples/quickstart.rs` (run that one with
+//! `cargo run --example quickstart --release`):
+//!
+//! ```
+//! use sfcp_repro::sfcp::{coarsest_partition, Algorithm, Instance, ALL_ALGORITHMS};
+//! use sfcp_repro::sfcp_pram::Ctx;
+//!
+//! let instance = Instance::paper_example();
+//! for algorithm in ALL_ALGORITHMS {
+//!     let ctx = Ctx::parallel();
+//!     let q = coarsest_partition(&ctx, &instance, algorithm);
+//!     sfcp_repro::sfcp::verify::assert_valid(&instance, &q);
+//!     assert_eq!(q.num_blocks(), 4, "{algorithm:?}");
+//!     // Work/depth of the run were tracked on the context:
+//!     assert!(ctx.stats().work > 0 && ctx.stats().rounds > 0);
+//! }
+//!
+//! // The paper reports A_Q = [1,2,1,3,2,2,4,4,1,3,4,3,1,2,3,4]; the
+//! // parallel algorithm reproduces exactly that partition (Example 3.1).
+//! let expected = sfcp_repro::sfcp::Partition::new(
+//!     sfcp_repro::sfcp_forest::generators::paper_example_expected_q(),
+//! );
+//! let ctx = Ctx::parallel();
+//! let q = coarsest_partition(&ctx, &instance, Algorithm::Parallel);
+//! assert!(q.same_partition(&expected));
+//! ```
+//!
+//! The engine selectors (sort, list ranking, scatter — see the top-level
+//! `README.md` and `DESIGN.md`) ride on the context and never change
+//! results or tracked charges:
+//!
+//! ```
+//! use sfcp_repro::sfcp::{coarsest_partition, Algorithm, Instance};
+//! use sfcp_repro::sfcp_pram::{Ctx, RankEngine, ScatterEngine, SortEngine};
+//!
+//! let instance = Instance::random(512, 3, 7);
+//! let default_engines = Ctx::parallel();
+//! let baselines = Ctx::parallel()
+//!     .with_sort_engine(SortEngine::Permutation)
+//!     .with_rank_engine(RankEngine::RulingSet)
+//!     .with_scatter_engine(ScatterEngine::Combining);
+//! let a = coarsest_partition(&default_engines, &instance, Algorithm::Parallel);
+//! let b = coarsest_partition(&baselines, &instance, Algorithm::Parallel);
+//! assert!(a.same_partition(&b));
+//! assert_eq!(default_engines.stats(), baselines.stats());
+//! ```
 
 pub use sfcp;
 pub use sfcp_forest;

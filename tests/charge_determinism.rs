@@ -15,7 +15,7 @@
 
 use sfcp::{coarsest_partition, Algorithm, Instance};
 use sfcp_forest::cycles::CycleMethod;
-use sfcp_pram::{Ctx, Mode, RankEngine, SortEngine, Stats};
+use sfcp_pram::{Ctx, Mode, RankEngine, ScatterEngine, SortEngine, Stats};
 
 /// Run `f` under a virtual rayon pool of `threads` workers and return the
 /// charges it reports.
@@ -66,30 +66,35 @@ fn coarsest_parallel_charges_are_thread_count_independent() {
     }
 }
 
-/// Every `RankEngine` × `SortEngine` combination must charge bit-identically
-/// across thread counts on the full algorithm — the acceptance gate of the
-/// list-ranking engine subsystem.
+/// Every `ScatterEngine` × `RankEngine` × `SortEngine` combination must
+/// charge bit-identically across thread counts on the full algorithm — the
+/// acceptance gate of the engine subsystems (the scatter dimension guards
+/// the write-combining tiles' task plans, which are physically blocked but
+/// must stay charge-invisible).
 #[test]
 fn coarsest_parallel_engine_grid_is_thread_count_independent() {
     let inst = Instance::random(20_000, 4, 11);
-    for rank in rank_engines() {
-        for sort in [SortEngine::Packed, SortEngine::Permutation] {
-            let mut baseline: Option<Stats> = None;
-            for threads in thread_counts() {
-                let stats = charges_with_threads(threads, || {
-                    let ctx = Ctx::new(Mode::Parallel)
-                        .with_rank_engine(rank)
-                        .with_sort_engine(sort);
-                    let q = coarsest_partition(&ctx, &inst, Algorithm::Parallel);
-                    std::hint::black_box(q.num_blocks());
-                    ctx.stats()
-                });
-                match &baseline {
-                    None => baseline = Some(stats),
-                    Some(b) => assert_eq!(
-                        *b, stats,
-                        "charges diverged at {threads} threads ({rank:?}, {sort:?})"
-                    ),
+    for scatter in ScatterEngine::ALL {
+        for rank in rank_engines() {
+            for sort in [SortEngine::Packed, SortEngine::Permutation] {
+                let mut baseline: Option<Stats> = None;
+                for threads in thread_counts() {
+                    let stats = charges_with_threads(threads, || {
+                        let ctx = Ctx::new(Mode::Parallel)
+                            .with_rank_engine(rank)
+                            .with_sort_engine(sort)
+                            .with_scatter_engine(scatter);
+                        let q = coarsest_partition(&ctx, &inst, Algorithm::Parallel);
+                        std::hint::black_box(q.num_blocks());
+                        ctx.stats()
+                    });
+                    match &baseline {
+                        None => baseline = Some(stats),
+                        Some(b) => assert_eq!(
+                            *b, stats,
+                            "charges diverged at {threads} threads ({scatter:?}, {rank:?}, {sort:?})"
+                        ),
+                    }
                 }
             }
         }
