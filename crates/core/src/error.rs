@@ -1,0 +1,103 @@
+//! Typed errors of the solver facades.
+//!
+//! The crates below this one ([`sfcp_pram`], `sfcp-parprim`, `sfcp-forest`)
+//! share one error type, [`sfcp_pram::Error`]; the solver facades wrap it in
+//! [`DecomposeError`] to preserve the one distinction a caller acts on:
+//! *was the input bad, or did the run fail?*  Invalid input is permanent —
+//! retrying the same instance cannot help — while an execution failure (an
+//! injected fault, a panic surfaced through
+//! [`try_coarsest_partition`](crate::try_coarsest_partition)) leaves the
+//! context recovered and the call retryable.
+
+use std::fmt;
+
+/// Why a fallible solver entry point refused or failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DecomposeError {
+    /// The instance itself is malformed (mismatched arrays, out-of-range
+    /// function values, domain too large for the 31-bit index space).
+    /// Permanent: the same input always fails.
+    InvalidInput(sfcp_pram::Error),
+    /// The run failed mid-pipeline (injected fault or panic).  The context
+    /// has been through [`sfcp_pram::Ctx::recover`]; retrying the same call
+    /// is sound.
+    Execution(sfcp_pram::Error),
+}
+
+impl DecomposeError {
+    /// The underlying error, whichever side it is classified on.
+    #[must_use]
+    pub fn inner(&self) -> &sfcp_pram::Error {
+        match self {
+            DecomposeError::InvalidInput(e) | DecomposeError::Execution(e) => e,
+        }
+    }
+
+    /// Whether retrying the identical call can succeed (`Execution`) or is
+    /// pointless (`InvalidInput`).
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, DecomposeError::Execution(_))
+    }
+}
+
+impl From<sfcp_pram::Error> for DecomposeError {
+    /// Classify: panics and injected faults are execution failures, every
+    /// validation error is an input error.
+    fn from(e: sfcp_pram::Error) -> Self {
+        match e {
+            sfcp_pram::Error::Panicked { .. } | sfcp_pram::Error::Injected(_) => {
+                DecomposeError::Execution(e)
+            }
+            _ => DecomposeError::InvalidInput(e),
+        }
+    }
+}
+
+impl fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecomposeError::InvalidInput(e) => write!(f, "invalid instance: {e}"),
+            DecomposeError::Execution(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecomposeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_splits_on_retryability() {
+        let input: DecomposeError = sfcp_pram::Error::LengthMismatch {
+            what: "A_f and A_B",
+            left: 3,
+            right: 4,
+        }
+        .into();
+        assert!(matches!(input, DecomposeError::InvalidInput(_)));
+        assert!(!input.is_retryable());
+
+        let exec: DecomposeError = sfcp_pram::Error::Panicked {
+            message: "boom".into(),
+        }
+        .into();
+        assert!(matches!(exec, DecomposeError::Execution(_)));
+        assert!(exec.is_retryable());
+    }
+
+    #[test]
+    fn display_and_source_expose_the_inner_error() {
+        let e: DecomposeError = sfcp_pram::Error::NotAPermutation { duplicate: 7 }.into();
+        assert!(e.to_string().contains("invalid instance"));
+        let dyn_err: &dyn std::error::Error = &e;
+        assert!(dyn_err.source().is_some());
+    }
+}

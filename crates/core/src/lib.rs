@@ -36,6 +36,7 @@
 
 pub mod cycle_equivalence;
 pub mod doubling;
+pub mod error;
 pub mod hopcroft;
 pub mod naive;
 pub mod parallel;
@@ -44,7 +45,8 @@ pub mod sequential;
 pub mod verify;
 
 pub use cycle_equivalence::GroupingMethod;
-pub use parallel::{ParallelConfig, TreeLabelMethod};
+pub use error::DecomposeError;
+pub use parallel::{try_coarsest_parallel, ParallelConfig, TreeLabelMethod};
 pub use problem::{Instance, Partition};
 pub use verify::{verify, VerifyError};
 
@@ -91,6 +93,36 @@ pub fn coarsest_partition(ctx: &Ctx, instance: &Instance, algorithm: Algorithm) 
         }
         Algorithm::Doubling => doubling::coarsest_doubling(ctx, instance),
         Algorithm::Parallel => parallel::coarsest_parallel(ctx, instance),
+    }
+}
+
+/// Fallible [`coarsest_partition`]: validates the instance envelope and
+/// converts any mid-run panic — internal invariant asserts, faults injected
+/// through [`sfcp_pram::faults`] — into a typed [`DecomposeError`].  On an
+/// execution failure the context has been through [`Ctx::recover`], so its
+/// warm buffer pools survive and retrying the identical call is sound.
+///
+/// # Errors
+/// [`DecomposeError::InvalidInput`] for oversized instances,
+/// [`DecomposeError::Execution`] when the run unwinds.
+pub fn try_coarsest_partition(
+    ctx: &Ctx,
+    instance: &Instance,
+    algorithm: Algorithm,
+) -> Result<Partition, DecomposeError> {
+    if let Algorithm::Parallel = algorithm {
+        return parallel::try_coarsest_parallel(ctx, instance);
+    }
+    sfcp_pram::check_index_width(instance.len()).map_err(DecomposeError::InvalidInput)?;
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        coarsest_partition(ctx, instance, algorithm)
+    })) {
+        Ok(q) => Ok(q),
+        Err(payload) => {
+            let err = sfcp_pram::Error::from_panic(payload);
+            ctx.recover();
+            Err(err.into())
+        }
     }
 }
 

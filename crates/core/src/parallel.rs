@@ -18,6 +18,7 @@
 //! bounds at once via Kedem–Palem scheduling — see DESIGN.md).
 
 use crate::cycle_equivalence::{group_cycles, GroupingMethod};
+use crate::error::DecomposeError;
 use crate::problem::{Instance, Partition};
 use sfcp_forest::cycles::CycleMethod;
 use sfcp_forest::{decompose, Decomposition};
@@ -77,6 +78,49 @@ impl Default for ParallelConfig {
 #[must_use]
 pub fn coarsest_parallel(ctx: &Ctx, instance: &Instance) -> Partition {
     coarsest_parallel_with(ctx, instance, ParallelConfig::default())
+}
+
+/// Fallible [`coarsest_parallel`]: validates the size envelope, converts any
+/// mid-pipeline panic (internal assert or injected fault) into a typed
+/// [`DecomposeError`], and runs [`Ctx::recover`] before returning so the
+/// context and its warm pools stay usable (see DESIGN.md, "Failure model and
+/// recovery").
+///
+/// # Errors
+/// [`DecomposeError::InvalidInput`] when the instance exceeds the fused
+/// ranking domain's size envelope; [`DecomposeError::Execution`] when the
+/// pipeline unwinds (retrying the same call is sound).
+pub fn try_coarsest_parallel(ctx: &Ctx, instance: &Instance) -> Result<Partition, DecomposeError> {
+    try_coarsest_parallel_with(ctx, instance, ParallelConfig::default())
+}
+
+/// [`try_coarsest_parallel`] with an explicit configuration.
+///
+/// # Errors
+/// See [`try_coarsest_parallel`].
+pub fn try_coarsest_parallel_with(
+    ctx: &Ctx,
+    instance: &Instance,
+    config: ParallelConfig,
+) -> Result<Partition, DecomposeError> {
+    // Same envelope as `sfcp_forest::try_decompose`: the fused Euler +
+    // broken-cycle ranking runs over 2n + m words flagged at bit 31.
+    if instance.len() >= sfcp_pram::MAX_DOMAIN / 2 {
+        return Err(DecomposeError::InvalidInput(sfcp_pram::Error::TooLarge {
+            n: instance.len(),
+            max: sfcp_pram::MAX_DOMAIN / 2,
+        }));
+    }
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        coarsest_parallel_with(ctx, instance, config)
+    })) {
+        Ok(q) => Ok(q),
+        Err(payload) => {
+            let err = sfcp_pram::Error::from_panic(payload);
+            ctx.recover();
+            Err(err.into())
+        }
+    }
 }
 
 /// Compute the coarsest stable refinement with an explicit configuration.

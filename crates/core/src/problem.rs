@@ -33,6 +33,26 @@ impl Instance {
         }
     }
 
+    /// Fallible [`Instance::new`]: the constructor for untrusted inputs.
+    ///
+    /// # Errors
+    /// [`sfcp_pram::Error::LengthMismatch`] when the arrays have different
+    /// lengths, plus everything [`FunctionalGraph::try_new`] rejects
+    /// (out-of-range values, oversized domains).
+    pub fn try_new(f: Vec<u32>, blocks: Vec<u32>) -> Result<Self, sfcp_pram::Error> {
+        if f.len() != blocks.len() {
+            return Err(sfcp_pram::Error::LengthMismatch {
+                what: "A_f and A_B",
+                left: f.len(),
+                right: blocks.len(),
+            });
+        }
+        Ok(Instance {
+            graph: FunctionalGraph::try_new(f)?,
+            blocks,
+        })
+    }
+
     /// Build from an existing functional graph.
     #[must_use]
     pub fn from_graph(graph: FunctionalGraph, blocks: Vec<u32>) -> Self {

@@ -52,6 +52,7 @@ where
     F: Fn(usize) -> bool + Sync + Send,
     P: Fn(usize) -> T + Sync + Send,
 {
+    sfcp_pram::faults::on_engine_pass();
     out.clear();
     if n == 0 {
         return;

@@ -120,6 +120,7 @@ pub fn build_csr_into<F>(
 ) where
     F: Fn(usize) -> Option<(u32, u32)> + Sync + Send,
 {
+    sfcp_pram::faults::on_engine_pass();
     assert!(
         num_keys < u32::MAX as usize,
         "num_keys {num_keys} too large for the u32 key space"

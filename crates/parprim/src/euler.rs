@@ -22,7 +22,7 @@
 use crate::listrank::{is_sampled_ruler, list_rank_into};
 use crate::scan::scan_generic_into;
 use crate::scatter::{combining_tasks, ScatterTiles, TileValue};
-use sfcp_pram::{Ctx, ScatterEngine};
+use sfcp_pram::{Ctx, Error, ScatterEngine};
 
 /// A rooted forest on nodes `0..n`: `parent[r] == r` exactly for roots.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,19 +65,33 @@ impl RootedForest {
         forest
     }
 
-    /// [`RootedForest::from_parents`] plus an `O(n)` acyclicity validation —
-    /// the constructor for untrusted parent arrays (tests, debug builds,
+    /// [`RootedForest::from_parents`] plus full typed validation — the
+    /// constructor for untrusted parent arrays (tests, debug builds,
     /// external input).  Charges exactly what the unchecked fast path
     /// charges.
     ///
-    /// # Panics
-    /// Panics if an index is out of range or the parent pointers contain a
-    /// cycle (i.e. the input is not a forest).
-    #[must_use]
-    pub fn from_parents_checked(ctx: &Ctx, parent: Vec<u32>) -> Self {
+    /// # Errors
+    /// [`Error::TooLarge`] for `parent.len() >= 2^31` (indices must stay
+    /// below the bit-31 ruler flag of the ranking machinery),
+    /// [`Error::OutOfRange`] for an out-of-range parent pointer, and
+    /// [`Error::CycleDetected`] when the parent pointers contain a cycle
+    /// (i.e. the input is not a forest).
+    pub fn from_parents_checked(ctx: &Ctx, parent: Vec<u32>) -> Result<Self, Error> {
+        sfcp_pram::check_index_width(parent.len())?;
+        let n = parent.len();
+        for (i, &p) in parent.iter().enumerate() {
+            if p as usize >= n {
+                return Err(Error::OutOfRange {
+                    what: "parent",
+                    index: i,
+                    value: p,
+                    len: n,
+                });
+            }
+        }
         let forest = Self::build_unchecked(ctx, parent);
-        forest.assert_acyclic(ctx);
-        forest
+        forest.check_acyclic(ctx)?;
+        Ok(forest)
     }
 
     /// Shared constructor body: range check + CSR children build.
@@ -116,8 +130,9 @@ impl RootedForest {
     /// The acyclicity walk: visit every node once with memoized states; if a
     /// walk revisits a node already on its own path, the parent pointers
     /// contain a cycle.  `0` = unvisited, `1` = on the current path,
-    /// `2` = finished.  One charged round of `n` operations.
-    fn assert_acyclic(&self, ctx: &Ctx) {
+    /// `2` = finished.  One charged round of `n` operations on success; the
+    /// error path charges nothing (the caller discards the forest anyway).
+    fn check_acyclic(&self, ctx: &Ctx) -> Result<(), Error> {
         let n = self.parent.len();
         let ws = ctx.workspace();
         let mut state = ws.take_u8(n);
@@ -142,7 +157,7 @@ impl RootedForest {
                         }
                         cur = p;
                     }
-                    1 => panic!("parent array contains a cycle (not a rooted forest)"),
+                    1 => return Err(Error::CycleDetected { node: cur as u32 }),
                     _ => break,
                 }
             }
@@ -151,6 +166,7 @@ impl RootedForest {
             }
         }
         ctx.charge_step(n as u64);
+        Ok(())
     }
 
     /// Number of nodes.
@@ -245,6 +261,7 @@ fn arc_successor_pass<T>(ctx: &Ctx, forest: &RootedForest, succ: &mut [u32], tra
 where
     T: Fn(u32, u32, bool) -> u32 + Sync + Send,
 {
+    sfcp_pram::faults::on_engine_pass();
     let n = forest.len();
     assert_eq!(succ.len(), 2 * n, "tour successor slice must hold 2n arcs");
     let succ_ptr = SendPtr(succ.as_mut_ptr());
@@ -349,6 +366,7 @@ impl EulerTour {
     /// engine invocation (see DESIGN.md, "List ranking engines").
     #[must_use]
     pub fn build(ctx: &Ctx, forest: &RootedForest) -> Self {
+        sfcp_pram::faults::on_engine_pass();
         let n = forest.len();
         if n == 0 {
             return EulerTour {
@@ -419,6 +437,26 @@ impl EulerTour {
         });
     }
 
+    /// Fallible [`EulerTour::from_arc_ranks`]: the entry point for arc-rank
+    /// streams of untrusted length (e.g. truncated inputs).
+    ///
+    /// # Errors
+    /// [`Error::LengthMismatch`] when `dist.len() < 2 * forest.len()`.
+    pub fn try_from_arc_ranks(
+        ctx: &Ctx,
+        forest: &RootedForest,
+        dist: &[u32],
+    ) -> Result<Self, Error> {
+        if dist.len() < 2 * forest.len() {
+            return Err(Error::LengthMismatch {
+                what: "arc ranking must cover all 2n arcs",
+                left: dist.len(),
+                right: 2 * forest.len(),
+            });
+        }
+        Ok(Self::from_arc_ranks(ctx, forest, dist))
+    }
+
     /// Finish the tour from the arc ranking: `dist[a]` is the distance of
     /// arc `a` (in the `down`/`up` arc numbering) to its tree's terminal
     /// arc, i.e. the output of ranking [`EulerTour::arc_successors_into`].
@@ -461,6 +499,7 @@ impl EulerTour {
         dist: &[u32],
         root_of: &[u32],
     ) -> Self {
+        sfcp_pram::faults::on_engine_pass();
         let n = forest.len();
         if n == 0 {
             return EulerTour {
@@ -570,6 +609,7 @@ impl EulerTour {
     /// the delta and prefix intermediates are workspace checkouts, so the
     /// whole pass is allocation-free once the pools are warm.
     pub fn ancestor_sums_into(&self, ctx: &Ctx, values: &[u64], out: &mut Vec<u64>) {
+        sfcp_pram::faults::on_engine_pass();
         let n = self.len();
         assert_eq!(values.len(), n);
         out.clear();
@@ -607,6 +647,7 @@ impl EulerTour {
     /// # Panics
     /// Debug-asserts every flag is 0 or 1.
     pub fn ancestor_counts_into(&self, ctx: &Ctx, flags: &[u64], out: &mut Vec<u64>) {
+        sfcp_pram::faults::on_engine_pass();
         let n = self.len();
         assert_eq!(flags.len(), n);
         debug_assert!(flags.iter().all(|&v| v <= 1), "flags must be 0/1");
@@ -654,6 +695,7 @@ impl EulerTour {
     /// unspecialized pipeline charges — the skipped copy pass is charged
     /// without being executed (DESIGN.md, "Charge discipline").
     pub fn levels_into(&self, ctx: &Ctx, out: &mut Vec<u32>) {
+        sfcp_pram::faults::on_engine_pass();
         let n = self.len();
         out.clear();
         if n == 0 {
@@ -732,7 +774,7 @@ mod tests {
     fn forest_structure_small() {
         let ctx = Ctx::parallel();
         // 0 is root; children 1,2; 1 has child 3; 4 is an isolated root.
-        let forest = RootedForest::from_parents_checked(&ctx, vec![0, 0, 0, 1, 4]);
+        let forest = RootedForest::from_parents_checked(&ctx, vec![0, 0, 0, 1, 4]).unwrap();
         assert_eq!(forest.len(), 5);
         assert_eq!(forest.roots(), vec![0, 4]);
         assert_eq!(forest.children(0), &[1, 2]);
@@ -750,11 +792,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a rooted forest")]
     fn forest_rejects_cycles() {
         let ctx = Ctx::sequential();
         // 1 -> 2 -> 1 cycle.
-        let _ = RootedForest::from_parents_checked(&ctx, vec![0, 2, 1]);
+        let err = RootedForest::from_parents_checked(&ctx, vec![0, 2, 1]).unwrap_err();
+        assert!(matches!(err, Error::CycleDetected { .. }));
+        assert!(err.to_string().contains("not a rooted forest"));
+        // The error path must leave the workspace reconciled.
+        assert_eq!(ctx.workspace().stats().outstanding(), 0);
+    }
+
+    #[test]
+    fn checked_constructor_rejects_out_of_range_with_typed_error() {
+        let ctx = Ctx::sequential();
+        let err = RootedForest::from_parents_checked(&ctx, vec![0, 5, 1]).unwrap_err();
+        assert!(matches!(err, Error::OutOfRange { index: 1, .. }));
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn truncated_arc_ranks_are_a_typed_error() {
+        let ctx = Ctx::parallel();
+        let forest = RootedForest::from_parents(&ctx, vec![0u32, 0, 1]);
+        let err = EulerTour::try_from_arc_ranks(&ctx, &forest, &[0u32; 5]).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::LengthMismatch {
+                left: 5,
+                right: 6,
+                ..
+            }
+        ));
     }
 
     /// The fast and checked constructors must agree structurally *and* charge
@@ -767,7 +835,7 @@ mod tests {
             let fast_ctx = Ctx::parallel();
             let checked_ctx = Ctx::parallel();
             let fast = RootedForest::from_parents(&fast_ctx, parent.clone());
-            let checked = RootedForest::from_parents_checked(&checked_ctx, parent);
+            let checked = RootedForest::from_parents_checked(&checked_ctx, parent).unwrap();
             assert_eq!(fast, checked, "structures diverged at n={n}");
             assert_eq!(
                 fast_ctx.stats(),
@@ -872,7 +940,7 @@ mod tests {
         fn levels_match_reference(n in 1usize..300, roots in 1usize..6, seed in 0u64..40) {
             let parent = random_forest(n, roots, seed);
             let ctx = Ctx::parallel().with_grain(32);
-            let forest = RootedForest::from_parents_checked(&ctx, parent.clone());
+            let forest = RootedForest::from_parents_checked(&ctx, parent.clone()).unwrap();
             let tour = EulerTour::build(&ctx, &forest);
             prop_assert_eq!(tour.levels(&ctx), reference_levels(&parent));
         }
@@ -881,7 +949,7 @@ mod tests {
         fn subtree_sizes_match_reference(n in 1usize..200, seed in 0u64..40) {
             let parent = random_forest(n, 2, seed);
             let ctx = Ctx::parallel().with_grain(32);
-            let forest = RootedForest::from_parents_checked(&ctx, parent.clone());
+            let forest = RootedForest::from_parents_checked(&ctx, parent.clone()).unwrap();
             let tour = EulerTour::build(&ctx, &forest);
             let sizes = tour.subtree_sizes(&ctx);
             // Reference by counting descendants.

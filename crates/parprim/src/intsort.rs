@@ -359,6 +359,7 @@ pub fn radix_sort_recs_prebounded(
     scratch: &mut Vec<Rec>,
     significant_bits: u32,
 ) {
+    sfcp_pram::faults::on_engine_pass();
     let n = recs.len();
     if n <= 1 {
         return;
@@ -676,6 +677,7 @@ fn stable_reorder_sort(ctx: &Ctx, keys: &[u64], order: &[u32]) -> Vec<u32> {
 /// that dense (polynomial-range) keys need only a couple of counting passes.
 #[must_use]
 pub fn radix_sort_u64(ctx: &Ctx, keys: &[u64]) -> Vec<u32> {
+    sfcp_pram::faults::on_engine_pass();
     match ctx.sort_engine() {
         SortEngine::Permutation => radix_sort_u64_permutation(ctx, keys),
         SortEngine::Packed => {
@@ -714,6 +716,7 @@ pub fn radix_sort_u64(ctx: &Ctx, keys: &[u64]) -> Vec<u32> {
 /// ordered pairs lexicographically").
 #[must_use]
 pub fn radix_sort_pairs(ctx: &Ctx, pairs: &[(u64, u64)]) -> Vec<u32> {
+    sfcp_pram::faults::on_engine_pass();
     let n = pairs.len();
     if n <= 1 {
         return (0..n as u32).collect();
@@ -804,6 +807,7 @@ pub fn counting_sort_by_key<F>(ctx: &Ctx, n: usize, bound: usize, key: F) -> Vec
 where
     F: Fn(usize) -> usize + Sync + Send,
 {
+    sfcp_pram::faults::on_engine_pass();
     if n == 0 {
         return Vec::new();
     }

@@ -17,7 +17,7 @@
 //! needs the work-optimal variant it combines pointer jumping with the
 //! list-ranking / Euler-tour machinery; the experiments quantify the gap.
 
-use sfcp_pram::{Ctx, RankEngine};
+use sfcp_pram::{Ctx, Error, RankEngine};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Monotone count of [`find_roots_into`] invocations in this process — a
@@ -53,6 +53,7 @@ pub fn find_roots(ctx: &Ctx, parent: &[u32]) -> Vec<u32> {
 /// `O(log n)` rounds allocate nothing once the pool is warm.
 pub fn find_roots_into(ctx: &Ctx, parent: &[u32], out: &mut Vec<u32>) {
     FIND_ROOTS_CALLS.fetch_add(1, Ordering::Relaxed);
+    sfcp_pram::faults::on_engine_pass();
     let n = parent.len();
     out.clear();
     if n == 0 {
@@ -123,6 +124,7 @@ fn charge_skipped_rounds(ctx: &Ctx, skipped: u64, ops_per_round: u64) {
 /// root of its tree.
 #[must_use]
 pub fn distance_to_root(ctx: &Ctx, parent: &[u32]) -> Vec<u32> {
+    sfcp_pram::faults::on_engine_pass();
     let n = parent.len();
     if n == 0 {
         return Vec::new();
@@ -175,11 +177,32 @@ pub fn permutation_cycle_min(ctx: &Ctx, succ: &[u32]) -> Vec<u32> {
 /// per-round jump/best arrays are workspace checkouts ping-ponged across the
 /// `O(log n)` rounds.
 pub fn permutation_cycle_min_into(ctx: &Ctx, succ: &[u32], out: &mut Vec<u32>) {
+    try_permutation_cycle_min_into(ctx, succ, out).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// [`permutation_cycle_min`] with typed validation: rejects out-of-range
+/// successors, repeated elements (non-permutations), and domains at or above
+/// `2^31` (whose indices would collide with the bit-31 ruler flag of the
+/// contraction machinery) with an [`Error`] instead of panicking.
+pub fn try_permutation_cycle_min(ctx: &Ctx, succ: &[u32]) -> Result<Vec<u32>, Error> {
+    let mut out = Vec::new();
+    try_permutation_cycle_min_into(ctx, succ, &mut out)?;
+    Ok(out)
+}
+
+/// [`try_permutation_cycle_min`] writing into a reusable output buffer.
+pub fn try_permutation_cycle_min_into(
+    ctx: &Ctx,
+    succ: &[u32],
+    out: &mut Vec<u32>,
+) -> Result<(), Error> {
+    sfcp_pram::faults::on_engine_pass();
     let n = succ.len();
     out.clear();
     if n == 0 {
-        return;
+        return Ok(());
     }
+    sfcp_pram::check_index_width(n)?;
     let ws = ctx.workspace();
     // Validate permutation-ness: every element must appear exactly once.
     // `seen` is a bitset so the random probes stay inside an n/8-byte,
@@ -187,33 +210,36 @@ pub fn permutation_cycle_min_into(ctx: &Ctx, succ: &[u32], out: &mut Vec<u32>) {
     let mut seen = ws.take_u64(n.div_ceil(64));
     seen.fill(0);
     for (i, &s) in succ.iter().enumerate() {
-        assert!((s as usize) < n, "succ[{i}] = {s} out of range");
+        if s as usize >= n {
+            return Err(Error::OutOfRange {
+                what: "succ",
+                index: i,
+                value: s,
+                len: n,
+            });
+        }
         let (word, bit) = (s as usize / 64, s as usize % 64);
-        assert!(
-            seen[word] >> bit & 1 == 0,
-            "succ is not a permutation: {s} repeated"
-        );
+        if seen[word] >> bit & 1 != 0 {
+            return Err(Error::NotAPermutation { duplicate: s });
+        }
         seen[word] |= 1 << bit;
     }
     ctx.charge_step(n as u64);
 
-    if n > CYCLE_MIN_CONTRACTION_THRESHOLD
-        && n < (1 << 31)
-        && ctx.rank_engine() != RankEngine::PointerJump
-    {
+    if n > CYCLE_MIN_CONTRACTION_THRESHOLD && ctx.rank_engine() != RankEngine::PointerJump {
         // The contraction executes on the shared ruling-set machinery of the
         // list-ranking subsystem; the engine picks the segment-walk layout
         // (sequential for `RulingSet`, wavefront batches for `CacheBucket`).
         // Both are topped up to the pinned pointer-jumping model below, so
-        // the engine choice never shows in tracked charges.  Successors at
-        // or above 2^31 cannot carry the machinery's flag bit — such inputs
-        // run the doubling loop below, which charges the identical pinned
-        // model at any size.
+        // the engine choice never shows in tracked charges.  Domains at or
+        // above 2^31 cannot carry the machinery's flag bit; they were
+        // rejected by the width check above.
         crate::listrank::cycle_min_contraction_into(ctx, succ, out, ctx.rank_engine());
-        return;
+        return Ok(());
     }
 
     cycle_min_doubling(ctx, succ, out);
+    Ok(())
 }
 
 /// [`permutation_cycle_min_into`] over a **flagged** successor permutation
@@ -232,6 +258,7 @@ pub fn permutation_cycle_min_into(ctx: &Ctx, succ: &[u32], out: &mut Vec<u32>) {
 /// it writes each successor, deleting the separate validation and sampling
 /// passes from the hot path.
 pub fn permutation_cycle_min_flagged_into(ctx: &Ctx, flagged: &[u32], out: &mut Vec<u32>) {
+    sfcp_pram::faults::on_engine_pass();
     let n = flagged.len();
     out.clear();
     if n == 0 {

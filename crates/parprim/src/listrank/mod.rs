@@ -72,6 +72,7 @@ pub fn list_rank(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
 /// (the fused Euler-tour + cycle-chain pass of a decomposition) allocate
 /// nothing once the caller's buffer and the workspace pools are warm.
 pub fn list_rank_into(ctx: &Ctx, next: &[u32], out: &mut Vec<u32>) {
+    sfcp_pram::faults::on_engine_pass();
     match ctx.rank_engine() {
         RankEngine::PointerJump => list_rank_wyllie_into(ctx, next, out),
         RankEngine::RulingSet => list_rank_ruling_set_into(ctx, next, out),
@@ -106,6 +107,7 @@ pub fn list_rank_into(ctx: &Ctx, next: &[u32], out: &mut Vec<u32>) {
 /// Under [`RankEngine::PointerJump`] (and for tiny inputs) the flags are
 /// stripped into a scratch copy and Wyllie runs as usual.
 pub fn list_rank_flagged_into(ctx: &Ctx, flagged: &[u32], out: &mut Vec<u32>) {
+    sfcp_pram::faults::on_engine_pass();
     let n = flagged.len();
     out.clear();
     if n == 0 {

@@ -93,6 +93,7 @@ pub fn scan_generic_into<T, F>(
     T: Copy + Send + Sync,
     F: Fn(T, T) -> T + Sync + Send,
 {
+    sfcp_pram::faults::on_engine_pass();
     let n = values.len();
     out.clear();
     if n == 0 {

@@ -245,6 +245,7 @@ where
     T: TileValue,
     F: Fn(usize) -> Option<(usize, T)> + Sync + Send,
 {
+    sfcp_pram::faults::on_engine_pass();
     let len = dest.len();
     match ctx.scatter_engine() {
         ScatterEngine::Direct => {

@@ -274,6 +274,19 @@ impl Ctx {
         self.tracker.reset();
     }
 
+    /// Recover the context after a failed invocation (a caught panic or an
+    /// injected fault): reconcile the workspace ([`Workspace::recover`] —
+    /// `outstanding()` back to zero, pooled bytes recounted from the pools,
+    /// epoch bumped) and reset the cost counters, so the next run on this
+    /// context starts from a clean tracker over warm pools and produces
+    /// bit-identical charges to a run on a freshly warmed context.  The
+    /// `try_` wrappers across the workspace call this before returning an
+    /// `Err` (see DESIGN.md, "Failure model and recovery").
+    pub fn recover(&self) {
+        self.workspace.recover();
+        self.tracker.reset();
+    }
+
     /// Charge extra work (operations) without a round.
     #[inline]
     pub fn charge_work(&self, ops: u64) {

@@ -1,0 +1,231 @@
+//! Typed errors for the fallible public surface.
+//!
+//! Every validation failure a caller can trigger from outside — out-of-range
+//! indices, non-permutation successor arrays, cyclic "forests", mismatched
+//! array lengths, domains too large for the bit-31 ruler flag — is a variant
+//! of [`Error`], and every crate in the workspace exposes `try_`-variants of
+//! its entry points returning `Result<_, Error>` next to the historical
+//! panicking ones (which now panic with the same [`Error`] rendered through
+//! its `Display`).  Failures that escape as panics anyway — engine-internal
+//! invariant violations, or faults injected by [`crate::faults`] — are
+//! captured by the `try_` wrappers via `catch_unwind` and surfaced as
+//! [`Error::Panicked`] / [`Error::Injected`], after which
+//! [`crate::Ctx::recover`] restores the context for reuse (see DESIGN.md,
+//! "Failure model and recovery").
+
+use std::fmt;
+
+/// Exclusive upper bound on domain lengths of the flagged-successor
+/// machinery: bit 31 of a successor word is the ruler flag
+/// (`sfcp-parprim`'s `RULER_FLAG`), so element indices must fit in 31 bits.
+/// A domain of `MAX_DOMAIN - 1` elements (indices `0 ..= MAX_DOMAIN - 2`) is
+/// the largest representable; `MAX_DOMAIN` elements would let an index
+/// collide with the flag bit and **silently corrupt** — which is why the
+/// constructors reject it up front ([`check_index_width`]).
+pub const MAX_DOMAIN: usize = 1 << 31;
+
+/// Reject domain lengths whose indices would collide with the bit-31 ruler
+/// flag: `Ok` for `n < 2^31`, [`Error::TooLarge`] otherwise.  Called by the
+/// validating constructors (`FunctionalGraph::try_new` and friends); the
+/// boundary (`2^31 - 1` accepted, `2^31` rejected) is pinned by a unit test
+/// here so it never needs an 8 GiB allocation to exercise.
+pub fn check_index_width(n: usize) -> Result<(), Error> {
+    if n >= MAX_DOMAIN {
+        Err(Error::TooLarge { n, max: MAX_DOMAIN })
+    } else {
+        Ok(())
+    }
+}
+
+/// A typed validation or execution error from the fallible surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An index-valued entry points outside its domain.
+    OutOfRange {
+        /// Name of the offending array (e.g. `"f"`, `"parent"`, `"succ"`).
+        what: &'static str,
+        /// Position of the offending entry.
+        index: usize,
+        /// The out-of-range value.
+        value: u32,
+        /// The domain length the value must stay below.
+        len: usize,
+    },
+    /// Two arrays that must be parallel have different lengths.
+    LengthMismatch {
+        /// What the two arrays are (e.g. `"A_f and A_B"`).
+        what: &'static str,
+        /// Length of the first array.
+        left: usize,
+        /// Length of the second array.
+        right: usize,
+    },
+    /// A successor array that must be a permutation repeats an element.
+    NotAPermutation {
+        /// The repeated element.
+        duplicate: u32,
+    },
+    /// A parent array that must be a rooted forest contains a cycle.
+    CycleDetected {
+        /// A node on the offending cycle.
+        node: u32,
+    },
+    /// The domain is too large for the bit-31 ruler-flag representation
+    /// (see [`MAX_DOMAIN`]).
+    TooLarge {
+        /// The rejected domain length.
+        n: usize,
+        /// The exclusive upper bound it violated.
+        max: usize,
+    },
+    /// A `try_` wrapper caught a panic that was not a typed injected fault
+    /// (an internal invariant assert, an index bound, …).
+    Panicked {
+        /// The panic message, when the payload was a string.
+        message: String,
+    },
+    /// A `try_` wrapper caught a fault injected by [`crate::faults`].
+    Injected(crate::faults::InjectedFault),
+}
+
+impl Error {
+    /// Convert a caught panic payload (from `std::panic::catch_unwind`) into
+    /// a typed error: an [`crate::faults::InjectedFault`] payload becomes
+    /// [`Error::Injected`], string payloads become [`Error::Panicked`].
+    #[must_use]
+    pub fn from_panic(payload: Box<dyn std::any::Any + Send>) -> Error {
+        match payload.downcast::<crate::faults::InjectedFault>() {
+            Ok(fault) => Error::Injected(*fault),
+            Err(payload) => {
+                let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Error::Panicked { message }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::OutOfRange {
+                what,
+                index,
+                value,
+                len,
+            } => write!(f, "{what}[{index}] = {value} is out of range for n = {len}"),
+            Error::LengthMismatch { what, left, right } => {
+                write!(f, "{what} must have equal length (got {left} and {right})")
+            }
+            Error::NotAPermutation { duplicate } => {
+                write!(f, "succ is not a permutation: {duplicate} repeated")
+            }
+            Error::CycleDetected { node } => write!(
+                f,
+                "parent array contains a cycle (not a rooted forest) through node {node}"
+            ),
+            Error::TooLarge { n, max } => write!(
+                f,
+                "domain length {n} is too large: indices must stay below {max} \
+                 (bit 31 is the ruler flag)"
+            ),
+            Error::Panicked { message } => write!(f, "computation panicked: {message}"),
+            Error::Injected(fault) => fault.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The bit-31 boundary, pinned without an 8 GiB allocation: a domain of
+    /// `2^31 - 1` elements is representable, `2^31` is not.
+    #[test]
+    fn index_width_boundary() {
+        assert_eq!(check_index_width(0), Ok(()));
+        assert_eq!(check_index_width((1 << 31) - 1), Ok(()));
+        assert_eq!(
+            check_index_width(1 << 31),
+            Err(Error::TooLarge {
+                n: 1 << 31,
+                max: 1 << 31
+            })
+        );
+        assert_eq!(
+            check_index_width((1 << 31) + 1),
+            Err(Error::TooLarge {
+                n: (1 << 31) + 1,
+                max: 1 << 31
+            })
+        );
+    }
+
+    #[test]
+    fn display_messages_keep_the_panicking_surface_wording() {
+        // The `try_` variants and the historical panicking entry points share
+        // these renderings; the substrings are what the long-standing
+        // `#[should_panic(expected = …)]` tests match on.
+        let e = Error::OutOfRange {
+            what: "f",
+            index: 1,
+            value: 5,
+            len: 3,
+        };
+        assert!(e.to_string().contains("out of range"));
+        let e = Error::NotAPermutation { duplicate: 7 };
+        assert!(e.to_string().contains("not a permutation"));
+        let e = Error::CycleDetected { node: 2 };
+        assert!(e.to_string().contains("not a rooted forest"));
+        let e = Error::LengthMismatch {
+            what: "A_f and A_B",
+            left: 2,
+            right: 1,
+        };
+        assert!(e.to_string().contains("equal length"));
+    }
+
+    #[test]
+    fn from_panic_classifies_payloads() {
+        let str_payload: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(
+            Error::from_panic(str_payload),
+            Error::Panicked {
+                message: "boom".to_string()
+            }
+        );
+        let string_payload: Box<dyn std::any::Any + Send> = Box::new("ouch".to_string());
+        assert_eq!(
+            Error::from_panic(string_payload),
+            Error::Panicked {
+                message: "ouch".to_string()
+            }
+        );
+        let fault = crate::faults::InjectedFault {
+            site: crate::faults::FaultSite::Checkout,
+            index: 3,
+            kind: crate::faults::FaultKind::Panic,
+        };
+        let fault_payload: Box<dyn std::any::Any + Send> = Box::new(fault.clone());
+        assert_eq!(Error::from_panic(fault_payload), Error::Injected(fault));
+        let opaque: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert!(matches!(
+            Error::from_panic(opaque),
+            Error::Panicked { message } if message.contains("non-string")
+        ));
+    }
+
+    #[test]
+    fn error_trait_object_safety() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::TooLarge { n: 1, max: 0 });
+        assert!(!e.to_string().is_empty());
+    }
+}

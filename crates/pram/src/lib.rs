@@ -20,6 +20,11 @@
 //!   O(1) buffers per run, plus the [`SortEngine`] selector that routes the
 //!   integer-sort/rank layer between the packed cache-aware engine and the
 //!   permutation baseline;
+//! * a failure model: typed [`Error`]s for the fallible (`try_`) surface of
+//!   the downstream crates, a poison/recover protocol on the workspace
+//!   ([`Workspace::recover`] / [`Ctx::recover`]) so a context survives a
+//!   failed invocation with warm pools, and a deterministic fault-injection
+//!   layer ([`faults`]) that is zero-cost when disabled;
 //! * [`brent::predicted_time`], Brent's scheduling principle
 //!   (`time ≈ work / p + depth`), used by the benchmark harness to convert
 //!   (work, depth) pairs into the per-processor running times that the
@@ -47,6 +52,8 @@
 pub mod brent;
 pub mod crcw;
 pub mod ctx;
+pub mod error;
+pub mod faults;
 pub mod fxhash;
 pub mod tracker;
 pub mod workspace;
@@ -54,6 +61,7 @@ pub mod workspace;
 pub use brent::{predicted_time, BrentModel};
 pub use crcw::{ArbitraryCell, CommonCell, CrcwTable};
 pub use ctx::{Ctx, Mode, RankEngine, ScatterEngine, SortEngine};
+pub use error::{check_index_width, Error, MAX_DOMAIN};
 pub use tracker::{Stats, Tracker};
 pub use workspace::{Rec, Scratch, Workspace, WorkspaceStats};
 

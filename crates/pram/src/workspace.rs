@@ -76,6 +76,7 @@ pub struct Workspace {
     misses: AtomicU64,
     returns: AtomicU64,
     pooled_bytes: AtomicU64,
+    epoch: AtomicU64,
 }
 
 /// Element types the workspace pools.
@@ -132,6 +133,11 @@ impl Workspace {
     /// overwrite every element it reads.
     #[must_use]
     pub fn take<T: Poolable>(&self, len: usize) -> Scratch<'_, T> {
+        // The fault hook fires before any counter increment or pool pop, so
+        // an injected failure at this checkout leaves every counter and pool
+        // exactly as they were — the unwind releases live `Scratch` guards
+        // (returning their buffers) and `outstanding()` stays reconciled.
+        crate::faults::on_checkout();
         self.checkouts.fetch_add(1, Ordering::Relaxed);
         let mut buf = match T::pool(self).lock().pop() {
             Some(buf) => {
@@ -223,6 +229,53 @@ impl Workspace {
     pub fn pooled_bytes(&self) -> u64 {
         self.pooled_bytes.load(Ordering::Relaxed)
     }
+
+    /// Recovery epoch: incremented by every [`Workspace::recover`] call.
+    /// A caller holding per-workspace caches can compare epochs to notice
+    /// that a recovery happened in between.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Reconcile the workspace after a failed invocation (the poison/recover
+    /// protocol; see DESIGN.md, "Failure model and recovery").
+    ///
+    /// The `Scratch` guards are unwind-safe — a panic that unwinds through
+    /// algorithm code drops every live guard, returning its buffer to the
+    /// pool — so after `catch_unwind` the pools already hold every buffer.
+    /// This call closes the remaining gaps a mid-`take` failure could leave:
+    ///
+    /// * `returns` is set to `checkouts`, so [`WorkspaceStats::outstanding`]
+    ///   reads zero again;
+    /// * `pooled_bytes` is recomputed from the pools themselves (the
+    ///   source of truth), erasing any drift from a checkout that
+    ///   unwound between its accounting steps;
+    /// * the [`Workspace::epoch`] is bumped.
+    ///
+    /// The pools and their buffers are kept — a recovered workspace is warm,
+    /// and the next identical run serves every checkout from the pools with
+    /// bit-identical charges (the fault-injection suite pins this).
+    pub fn recover(&self) {
+        let checkouts = self.checkouts.load(Ordering::Relaxed);
+        self.returns.store(checkouts, Ordering::Relaxed);
+        let bytes = pool_capacity_bytes(&self.u8s)
+            + pool_capacity_bytes(&self.u32s)
+            + pool_capacity_bytes(&self.u64s)
+            + pool_capacity_bytes(&self.i64s)
+            + pool_capacity_bytes(&self.recs)
+            + pool_capacity_bytes(&self.pairs);
+        self.pooled_bytes.store(bytes, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Total capacity (bytes) of the buffers currently held by one pool.
+fn pool_capacity_bytes<T>(pool: &Mutex<Vec<Vec<T>>>) -> u64 {
+    pool.lock()
+        .iter()
+        .map(|buf| (buf.capacity() * std::mem::size_of::<T>()) as u64)
+        .sum()
 }
 
 /// RAII guard for a checked-out buffer; dereferences to `Vec<T>` and returns
@@ -412,6 +465,57 @@ mod tests {
             run(&ws);
             assert_eq!(ws.pooled_bytes(), warm);
         }
+    }
+
+    #[test]
+    fn guards_return_buffers_on_panic_unwind() {
+        let ws = Workspace::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _a = ws.take_u32(64);
+            let _b = ws.take_u64(64);
+            panic!("mid-run failure");
+        }));
+        assert!(result.is_err());
+        // Both guards dropped during the unwind: nothing outstanding, both
+        // buffers back in the pools with their bytes accounted.
+        assert_eq!(ws.stats().outstanding(), 0);
+        assert_eq!(ws.pooled_buffers(), 2);
+        assert_eq!(ws.pooled_bytes(), 64 * 4 + 64 * 8);
+    }
+
+    #[test]
+    fn recover_reconciles_counters_and_recounts_bytes() {
+        let ws = Workspace::new();
+        drop(ws.take_u32(100));
+        // Simulate a mid-`take` unwind that incremented `checkouts` without a
+        // matching return by leaking a guard.
+        std::mem::forget(ws.take_u32(100));
+        assert_eq!(ws.stats().outstanding(), 1);
+        let epoch_before = ws.epoch();
+        ws.recover();
+        assert_eq!(ws.stats().outstanding(), 0);
+        assert_eq!(ws.epoch(), epoch_before + 1);
+        // Bytes recomputed from the pools themselves (the leaked buffer is
+        // gone; the pool is empty), and the workspace is reusable.
+        assert_eq!(ws.pooled_bytes(), 0);
+        assert_eq!(ws.pooled_buffers(), 0);
+        drop(ws.take_u32(50));
+        assert_eq!(ws.stats().outstanding(), 0);
+        assert_eq!(ws.pooled_buffers(), 1);
+    }
+
+    #[test]
+    fn recover_on_a_healthy_workspace_is_idempotent() {
+        let ws = Workspace::new();
+        drop(ws.take_u32(128));
+        drop(ws.take_u64(16));
+        let stats = ws.stats();
+        let bytes = ws.pooled_bytes();
+        let buffers = ws.pooled_buffers();
+        ws.recover();
+        assert_eq!(ws.stats(), stats);
+        assert_eq!(ws.pooled_bytes(), bytes);
+        assert_eq!(ws.pooled_buffers(), buffers);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The functional graph `G = (V, E)` with `V = {0, …, n-1}` and
 //! `E = {(x, f(x))}` — a pseudo-forest.
 
-use sfcp_pram::Ctx;
+use sfcp_pram::{Ctx, Error};
 
 /// A total function on `{0, …, n-1}`, i.e. the array `A_f` of the paper.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,11 +16,30 @@ impl FunctionalGraph {
     /// Panics if any value is out of range.
     #[must_use]
     pub fn new(f: Vec<u32>) -> Self {
+        Self::try_new(f).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`FunctionalGraph::new`]: the constructor for untrusted
+    /// function tables.
+    ///
+    /// # Errors
+    /// [`Error::TooLarge`] when `f.len() >= 2^31` (node ids must stay below
+    /// the bit-31 ruler flag of the ranking machinery) and
+    /// [`Error::OutOfRange`] when any value is not a node id.
+    pub fn try_new(f: Vec<u32>) -> Result<Self, Error> {
+        sfcp_pram::check_index_width(f.len())?;
         let n = f.len();
         for (x, &y) in f.iter().enumerate() {
-            assert!((y as usize) < n, "f({x}) = {y} is out of range for n = {n}");
+            if y as usize >= n {
+                return Err(Error::OutOfRange {
+                    what: "f",
+                    index: x,
+                    value: y,
+                    len: n,
+                });
+            }
         }
-        FunctionalGraph { f }
+        Ok(FunctionalGraph { f })
     }
 
     /// Number of elements of the ground set.
@@ -112,6 +131,21 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range() {
         let _ = FunctionalGraph::new(vec![0, 5, 1]);
+    }
+
+    #[test]
+    fn try_new_reports_the_offending_entry() {
+        let err = FunctionalGraph::try_new(vec![0, 5, 1]).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::OutOfRange {
+                index: 1,
+                value: 5,
+                len: 3,
+                ..
+            }
+        ));
+        assert!(FunctionalGraph::try_new(vec![0, 2, 1]).is_ok());
     }
 
     #[test]

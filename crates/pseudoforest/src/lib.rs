@@ -26,4 +26,4 @@ pub mod structure;
 
 pub use cycles::{cycle_nodes, CycleMethod};
 pub use graph::FunctionalGraph;
-pub use structure::{decompose, Decomposition};
+pub use structure::{decompose, try_decompose, Decomposition};

@@ -11,7 +11,8 @@ use crate::cycles::{cycle_nodes, CycleMethod};
 use crate::graph::FunctionalGraph;
 use sfcp_parprim::euler::{EulerTour, RootedForest};
 use sfcp_parprim::listrank::{is_sampled_ruler, list_rank_flagged_into};
-use sfcp_pram::Ctx;
+use sfcp_pram::{Ctx, Error};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// The decomposition of a functional graph into cycles and hanging trees.
 ///
@@ -65,6 +66,42 @@ pub struct Decomposition {
 /// fused Euler ranking; see DESIGN.md, "List ranking engines"), so the
 /// sampling, walk, and contraction passes of the selected
 /// [`sfcp_pram::RankEngine`] run once instead of twice.
+/// Fallible [`decompose`]: validates the size envelope up front, converts any
+/// mid-pipeline panic (including injected faults, see [`sfcp_pram::faults`])
+/// into a typed [`Error`], and runs the [`Ctx::recover`] protocol before
+/// returning, so the context — and its warm buffer pools — stays usable:
+/// `outstanding() == 0`, stable `pooled_bytes()`, and bit-identical charges
+/// on the next successful run (see DESIGN.md, "Failure model and recovery").
+///
+/// # Errors
+/// [`Error::TooLarge`] when `2 * g.len() + m` could reach `2^31` (the fused
+/// Euler + broken-cycle ranking domain must keep bit 31 free for the ruler
+/// flag, so `n` is capped at `2^30` up front); [`Error::Injected`] /
+/// [`Error::Panicked`] when the pipeline unwinds.
+pub fn try_decompose(
+    ctx: &Ctx,
+    g: &FunctionalGraph,
+    method: CycleMethod,
+) -> Result<Decomposition, Error> {
+    // The fused ranking domain is 2n + m with m <= n, so n < 2^31 / 3 would
+    // be exact; the simpler n < 2^30 bound is what MAX_DOMAIN/2 gives and is
+    // already far beyond the u32 node-id space the structure retains.
+    if g.len() >= sfcp_pram::MAX_DOMAIN / 2 {
+        return Err(Error::TooLarge {
+            n: g.len(),
+            max: sfcp_pram::MAX_DOMAIN / 2,
+        });
+    }
+    match catch_unwind(AssertUnwindSafe(|| decompose(ctx, g, method))) {
+        Ok(d) => Ok(d),
+        Err(payload) => {
+            let err = Error::from_panic(payload);
+            ctx.recover();
+            Err(err)
+        }
+    }
+}
+
 #[must_use]
 pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decomposition {
     let n = g.len();
@@ -163,6 +200,7 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
     let parents: Vec<u32> = ctx.par_map_idx(n, |x| if is_cycle[x] { x as u32 } else { f[x] });
     let forest = if cfg!(debug_assertions) {
         RootedForest::from_parents_checked(ctx, parents)
+            .expect("decompose builds acyclic in-range parents")
     } else {
         RootedForest::from_parents(ctx, parents)
     };

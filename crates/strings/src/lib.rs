@@ -45,9 +45,9 @@ pub mod period;
 pub mod string_sort;
 
 pub use canonical::{booth_msp, naive_msp};
-pub use msp::{minimal_starting_point, MspMethod};
+pub use msp::{minimal_starting_point, try_minimal_starting_point, MspMethod};
 pub use period::{smallest_period, smallest_period_seq};
-pub use string_sort::{sort_strings, StringSortMethod};
+pub use string_sort::{sort_strings, try_sort_strings, StringSortMethod};
 
 /// Compare two rotations of the same circular string lexicographically.
 ///

@@ -48,6 +48,33 @@ pub enum MspMethod {
     Doubling,
 }
 
+/// Fallible [`minimal_starting_point`]: validates the size envelope and
+/// converts any mid-run panic (internal assert or fault injected through
+/// [`sfcp_pram::faults`]) into a typed [`sfcp_pram::Error`], running
+/// [`Ctx::recover`] before returning so the context stays usable.
+///
+/// # Errors
+/// [`sfcp_pram::Error::TooLarge`] when `s.len() >= 2^31`;
+/// [`sfcp_pram::Error::Injected`] / [`sfcp_pram::Error::Panicked`] when the
+/// run unwinds.
+pub fn try_minimal_starting_point(
+    ctx: &Ctx,
+    s: &[u32],
+    method: MspMethod,
+) -> Result<usize, sfcp_pram::Error> {
+    sfcp_pram::check_index_width(s.len())?;
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        minimal_starting_point(ctx, s, method)
+    })) {
+        Ok(p) => Ok(p),
+        Err(payload) => {
+            let err = sfcp_pram::Error::from_panic(payload);
+            ctx.recover();
+            Err(err)
+        }
+    }
+}
+
 /// Minimal starting point of the circular string `s` (smallest index among
 /// minimal rotation starts), using `method`.  Handles repeating inputs.
 #[must_use]

@@ -31,6 +31,35 @@ pub enum StringSortMethod {
     Comparison,
 }
 
+/// Fallible [`sort_strings`]: validates the size envelope and converts any
+/// mid-run panic (internal assert or fault injected through
+/// [`sfcp_pram::faults`]) into a typed [`sfcp_pram::Error`], running
+/// [`Ctx::recover`] before returning so the context stays usable.
+///
+/// # Errors
+/// [`sfcp_pram::Error::TooLarge`] when the string count or total symbol
+/// count reaches `2^31`; [`sfcp_pram::Error::Injected`] /
+/// [`sfcp_pram::Error::Panicked`] when the run unwinds.
+pub fn try_sort_strings(
+    ctx: &Ctx,
+    strings: &[Vec<u32>],
+    method: StringSortMethod,
+) -> Result<Vec<u32>, sfcp_pram::Error> {
+    sfcp_pram::check_index_width(strings.len())?;
+    let total: usize = strings.iter().map(Vec::len).sum();
+    sfcp_pram::check_index_width(total)?;
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sort_strings(ctx, strings, method)
+    })) {
+        Ok(order) => Ok(order),
+        Err(payload) => {
+            let err = sfcp_pram::Error::from_panic(payload);
+            ctx.recover();
+            Err(err)
+        }
+    }
+}
+
 /// Sort `strings` lexicographically and return the permutation of indices in
 /// sorted order.  Equal strings keep their original relative order (the
 /// result is a stable order), which also makes the output deterministic.

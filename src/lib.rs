@@ -60,6 +60,44 @@
 //! assert!(a.same_partition(&b));
 //! assert_eq!(default_engines.stats(), baselines.stats());
 //! ```
+//!
+//! ## Error handling
+//!
+//! Every panicking entry point has a fallible `try_` twin returning a typed
+//! error; untrusted input never panics, and a failed run leaves the context
+//! recovered and reusable (see `DESIGN.md`, "Failure model and recovery"):
+//!
+//! ```
+//! use sfcp_repro::sfcp::{try_coarsest_partition, Algorithm, DecomposeError, Instance};
+//! use sfcp_repro::sfcp_forest::{try_decompose, FunctionalGraph};
+//! use sfcp_repro::sfcp_forest::cycles::CycleMethod;
+//! use sfcp_repro::sfcp_pram::{Ctx, Error};
+//!
+//! // Malformed input surfaces as a typed error, not a panic.
+//! assert!(matches!(
+//!     FunctionalGraph::try_new(vec![0, 9, 1]),
+//!     Err(Error::OutOfRange { index: 1, value: 9, .. })
+//! ));
+//! assert!(matches!(
+//!     Instance::try_new(vec![0, 1], vec![0]),
+//!     Err(Error::LengthMismatch { .. })
+//! ));
+//!
+//! // Well-formed input decomposes and solves fallibly.
+//! let ctx = Ctx::parallel();
+//! let g = FunctionalGraph::try_new(vec![1, 2, 0, 0]).unwrap();
+//! let d = try_decompose(&ctx, &g, CycleMethod::Euler).unwrap();
+//! assert_eq!(d.num_cycles(), 1);
+//!
+//! let instance = Instance::paper_example();
+//! let q = try_coarsest_partition(&ctx, &instance, Algorithm::Parallel).unwrap();
+//! assert_eq!(q.num_blocks(), 4);
+//!
+//! // DecomposeError separates bad input (permanent) from failed runs
+//! // (retryable after the built-in Ctx::recover).
+//! let err: DecomposeError = Error::NotAPermutation { duplicate: 3 }.into();
+//! assert!(!err.is_retryable());
+//! ```
 
 pub use sfcp;
 pub use sfcp_forest;

@@ -31,7 +31,7 @@ fn from_parents_returns_every_checkout() {
     let ctx = Ctx::parallel();
     // Warm up both constructors (the checked walk uses extra pool buffers).
     let a = RootedForest::from_parents(&ctx, parent.clone());
-    let b = RootedForest::from_parents_checked(&ctx, parent.clone());
+    let b = RootedForest::from_parents_checked(&ctx, parent.clone()).unwrap();
     assert_eq!(a, b);
     assert_eq!(ctx.workspace().stats().outstanding(), 0);
 
@@ -40,7 +40,7 @@ fn from_parents_returns_every_checkout() {
     let warm_misses = ctx.workspace().stats().misses;
     for round in 0..3 {
         let fast = RootedForest::from_parents(&ctx, parent.clone());
-        let checked = RootedForest::from_parents_checked(&ctx, parent.clone());
+        let checked = RootedForest::from_parents_checked(&ctx, parent.clone()).unwrap();
         std::hint::black_box((fast.len(), checked.len()));
         assert_eq!(
             ctx.workspace().stats().outstanding(),
@@ -244,4 +244,58 @@ fn coarsest_parallel_returns_every_checkout() {
         );
     }
     assert_eq!(ctx.workspace().stats().misses, warm_misses);
+}
+
+/// Post-panic recovery (DESIGN.md, "Failure model and recovery"): a panic
+/// mid-pipeline unwinds through the `Scratch` guards (returning every
+/// checkout), `Ctx::recover` re-reconciles the counters and byte accounting,
+/// and warm runs on the recovered context are exactly as stable as they were
+/// before the failure.
+#[test]
+fn recovered_context_is_warm_and_stable_after_a_panic() {
+    let g = sfcp_forest::generators::random_function(30_000, 53);
+    let ctx = Ctx::parallel();
+    for _ in 0..3 {
+        let d = sfcp_forest::decompose(&ctx, &g, CycleMethod::Euler);
+        std::hint::black_box(d.num_cycles());
+    }
+    ctx.reset_stats();
+    let baseline = sfcp_forest::decompose(&ctx, &g, CycleMethod::Euler);
+    let baseline_stats = ctx.stats();
+    let warm_pool = ctx.workspace().pooled_buffers();
+    let warm_bytes = ctx.workspace().pooled_bytes();
+    let epoch_before = ctx.workspace().epoch();
+
+    // Panic while scratch buffers are checked out; the unwind must return
+    // them all.
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let ws = ctx.workspace();
+        let _a = ws.take_u32(4096);
+        let _b = ws.take_u64(4096);
+        panic!("mid-run failure with live checkouts");
+    }))
+    .unwrap_err();
+    assert_eq!(
+        payload.downcast_ref::<&'static str>(),
+        Some(&"mid-run failure with live checkouts")
+    );
+    assert_eq!(
+        ctx.workspace().stats().outstanding(),
+        0,
+        "guards must return their buffers during the unwind"
+    );
+
+    ctx.recover();
+    assert_eq!(ctx.workspace().epoch(), epoch_before + 1);
+    assert_eq!(ctx.workspace().stats().outstanding(), 0);
+    assert_eq!(ctx.workspace().pooled_buffers(), warm_pool);
+    assert_eq!(ctx.workspace().pooled_bytes(), warm_bytes);
+
+    // The recovered context reproduces the warm baseline bit-identically.
+    let rerun = sfcp_forest::decompose(&ctx, &g, CycleMethod::Euler);
+    assert_eq!(ctx.stats(), baseline_stats);
+    assert_eq!(rerun, baseline);
+    assert_eq!(ctx.workspace().stats().outstanding(), 0);
+    assert_eq!(ctx.workspace().pooled_buffers(), warm_pool);
+    assert_eq!(ctx.workspace().pooled_bytes(), warm_bytes);
 }
