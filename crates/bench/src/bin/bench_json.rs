@@ -34,6 +34,11 @@
 //!
 //! Run with: `cargo run -p sfcp-bench --bin bench_json --release [out.json]`
 //!
+//! `--bign` runs the separate **out-of-cache tier** instead: `scatter`,
+//! `csr_build` and `decompose` at n = 1e8 (override with `--bign-n`), one
+//! row per `ScatterEngine` including the footprint-adaptive `Auto`, written
+//! to `BENCH_parprim_bign.json` — see [`run_bign`].
+//!
 //! `--smoke` runs only n = 1e5 and additionally compares the fresh
 //! `decompose`, `decompose_warm`, `decompose_checked`, `csr_build`,
 //! `list_rank`, `euler_build`,
@@ -90,6 +95,16 @@ fn charges<F: FnMut(&Ctx)>(engines: EngineSet, mut f: F) -> Stats {
 struct Row {
     name: &'static str,
     n: usize,
+    /// What the two timing columns actually dispatch on — `SortEngine` /
+    /// `RankEngine` sets for most rows, `ScatterEngine`s for the scatter
+    /// row.  Emitted per row so the JSON is self-describing: the historical
+    /// schema labelled every row with the global
+    /// `"engines": ["packed", "permutation"]` header, which mislabelled the
+    /// scatter row (its columns are direct vs combining stores and have
+    /// nothing to do with the sort engines).  The column *field names* keep
+    /// the historical `packed_ms` / `permutation_ms` spelling so committed
+    /// trajectories stay comparable.
+    engines: [&'static str; 2],
     packed_ms: f64,
     permutation_ms: f64,
     work: u64,
@@ -101,11 +116,14 @@ impl Row {
         format!(
             concat!(
                 "    {{\"name\": \"{}\", \"n\": {}, ",
+                "\"engines\": [\"{}\", \"{}\"], ",
                 "\"packed_ms\": {:.3}, \"permutation_ms\": {:.3}, ",
                 "\"speedup\": {:.3}, \"work\": {}, \"rounds\": {}}}"
             ),
             self.name,
             self.n,
+            self.engines[0],
+            self.engines[1],
             self.packed_ms,
             self.permutation_ms,
             self.permutation_ms / self.packed_ms,
@@ -114,6 +132,9 @@ impl Row {
         )
     }
 }
+
+/// Row engine labels for the sort/rank-engine benches.
+const SORT_RANK_LABELS: [&str; 2] = ["packed", "permutation"];
 
 fn measure<F: FnMut(&Ctx) + Clone>(name: &'static str, n: usize, reps: usize, f: F) -> Row {
     let packed_ms = best_ms(DEFAULT_ENGINES, reps, f.clone());
@@ -128,6 +149,7 @@ fn measure<F: FnMut(&Ctx) + Clone>(name: &'static str, n: usize, reps: usize, f:
     Row {
         name,
         n,
+        engines: SORT_RANK_LABELS,
         packed_ms,
         permutation_ms,
         work: cp.work,
@@ -140,12 +162,28 @@ fn measure<F: FnMut(&Ctx) + Clone>(name: &'static str, n: usize, reps: usize, f:
 /// every repetition reuses the same workspace pools — this is the "warm"
 /// number the decompose trajectory in ROADMAP.md quotes; the plain
 /// `measure` rows pay the cold-pool allocations every repetition).
-/// Each repetition times `f` then `g` back-to-back, so both
-/// best-of-k minima sample the same quiet scheduler windows and their ratio
-/// cancels machine jitter.  This is what makes the checked-vs-unchecked
-/// overhead gate meaningful on noisy shared runners — two independent
-/// best-of-k loops minutes apart can diverge by more than the gate's
-/// tolerance from scheduling alone.
+/// Each repetition times both closures back-to-back, so both best-of-k
+/// minima sample the same quiet scheduler windows and their ratio cancels
+/// machine jitter.  This is what makes the checked-vs-unchecked overhead
+/// gate meaningful on noisy shared runners — two independent best-of-k
+/// loops minutes apart can diverge by more than the gate's tolerance from
+/// scheduling alone.
+///
+/// **Run order alternates per repetition.**  A fixed `f`-then-`g` order
+/// biases the pair: the member that runs second inherits warmed caches,
+/// branch predictors and page tables from the first, and at the 1e6 tier
+/// the effect is larger than the overhead being gated (a committed fixed-
+/// order trajectory showed `decompose_checked` at 203.9 ms *beating*
+/// `decompose_warm` at 216.7 ms — the validated superset of the warm path
+/// cannot genuinely be 6% faster; that gap was pure ordering).  Alternating
+/// gives each member the lead position on half the reps, so the order bias
+/// cancels out of both the best-of-k columns and the per-rep ratios.
+///
+/// Returns the two rows plus the **median paired ratio** `g/f` over the
+/// default-engine reps — the statistic the overhead gate checks.  The
+/// median of per-rep ratios is robust against a single noisy rep in a way
+/// the ratio-of-minima is not (the two minima can come from different reps
+/// and different run orders).
 fn measure_warm_pair<F, G>(
     name_a: &'static str,
     name_b: &'static str,
@@ -153,7 +191,7 @@ fn measure_warm_pair<F, G>(
     reps: usize,
     f: F,
     g: G,
-) -> (Row, Row)
+) -> (Row, Row, f64)
 where
     F: FnMut(&Ctx) + Clone,
     G: FnMut(&Ctx) + Clone,
@@ -165,18 +203,31 @@ where
         f(&ctx); // warm the pools (shared by both closures)
         g(&ctx);
         let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
-        for _ in 0..reps {
+        let mut ratios = Vec::with_capacity(reps);
+        let time = |h: &mut dyn FnMut(&Ctx)| {
             let t = Instant::now();
-            f(&ctx);
-            best_a = best_a.min(t.elapsed().as_secs_f64() * 1e3);
-            let t = Instant::now();
-            g(&ctx);
-            best_b = best_b.min(t.elapsed().as_secs_f64() * 1e3);
+            h(&ctx);
+            t.elapsed().as_secs_f64() * 1e3
+        };
+        for rep in 0..reps {
+            let (a, b) = if rep % 2 == 0 {
+                let a = time(&mut f);
+                let b = time(&mut g);
+                (a, b)
+            } else {
+                let b = time(&mut g);
+                let a = time(&mut f);
+                (a, b)
+            };
+            best_a = best_a.min(a);
+            best_b = best_b.min(b);
+            ratios.push(b / a);
         }
-        (best_a, best_b)
+        ratios.sort_by(f64::total_cmp);
+        (best_a, best_b, ratios[ratios.len() / 2])
     };
-    let (packed_a, packed_b) = pair_best(DEFAULT_ENGINES, f.clone(), g.clone());
-    let (perm_a, perm_b) = pair_best(BASELINE_ENGINES, f.clone(), g.clone());
+    let (packed_a, packed_b, paired_ratio) = pair_best(DEFAULT_ENGINES, f.clone(), g.clone());
+    let (perm_a, perm_b, _) = pair_best(BASELINE_ENGINES, f.clone(), g.clone());
     let ca = charges(DEFAULT_ENGINES, f.clone());
     assert_eq!(
         ca,
@@ -197,6 +248,7 @@ where
         Row {
             name,
             n,
+            engines: SORT_RANK_LABELS,
             packed_ms,
             permutation_ms,
             work: c.work,
@@ -206,6 +258,7 @@ where
     (
         row(name_a, packed_a, perm_a, ca),
         row(name_b, packed_b, perm_b, cb),
+        paired_ratio,
     )
 }
 
@@ -255,11 +308,316 @@ fn measure_scatter(n: usize, reps: usize, idx: &[u32]) -> Row {
     Row {
         name: "scatter",
         n,
+        engines: ["direct", "combining"],
         packed_ms: direct_ms,
         permutation_ms: combining_ms,
         work: cd.work,
         rounds: cd.rounds,
     }
+}
+
+/// One out-of-cache tier measurement: a routine under one explicit (or
+/// auto-resolved) scatter engine.
+struct BignRow {
+    name: &'static str,
+    n: usize,
+    engine: &'static str,
+    ms: f64,
+    work: u64,
+    rounds: u64,
+}
+
+impl BignRow {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"n\": {}, \"engine\": \"{}\", ",
+                "\"ms\": {:.3}, \"work\": {}, \"rounds\": {}}}"
+            ),
+            self.name, self.n, self.engine, self.ms, self.work, self.rounds,
+        )
+    }
+}
+
+/// The out-of-cache bench tier (`--bign`): every scatter-dispatching
+/// routine at a footprint far past the probed LLC, one row per
+/// `ScatterEngine` *including* `Auto`, written to
+/// `BENCH_parprim_bign.json`.  This is the tier that proves where the
+/// engines cross over and that the footprint-adaptive selector lands on
+/// the right side: past the LLC a direct store misses on nearly every
+/// slot, while the combining tiles turn the same stream into bucketed
+/// line-sized bursts.  Two in-run gates:
+///
+/// * charges are asserted bit-identical across all three engines for the
+///   scatter and CSR rows (`decompose` charge equality across engines is
+///   pinned by `tests/charge_determinism.rs`; its tracked pass here runs
+///   once, under `Auto`, and its charges label all three rows), and
+/// * `Auto` must land within 10% of the best explicit engine on every
+///   routine that actually dispatches on the selection — the acceptance
+///   bound for the selector.  (`csr_build` at default bign scale is in
+///   the bucketed fallback, which never consults the scatter engine; its
+///   three rows are the same code, so the gate is skipped there as
+///   vacuous — it would only measure environment noise.)
+///
+/// Every routine times all three engines against **shared state**: one
+/// context (so all engines hit the same warm workspace pools and the same
+/// physical pages) and one destination/output buffer set, with the
+/// selector swapped per run via `with_scatter_engine` and the engine
+/// order rotated per rep.  Per-engine buffers would hand each engine
+/// different allocation luck — THP backing and heap fragmentation at the
+/// moment its multi-GB buffers were carved — which at this footprint
+/// dwarfs the engine effect itself (observed: the *same machine code*
+/// measuring 10–14% apart between separately-allocated contexts); and
+/// running engines in per-engine blocks lands slow environmental drift
+/// entirely on whichever runs last — the same ordering-bias class the
+/// warm/checked pair fix addresses ([`measure_warm_pair`]).
+///
+/// Workloads are generated chunked (see
+/// [`sfcp_bench::workloads::bign_function`]) and the scatter permutation
+/// is the zero-memory multiplicative bijection
+/// ([`sfcp_bench::workloads::scatter_dest`]): at `n = 10^8` a shuffled
+/// index array alone would be 400 MB of harness state.
+fn run_bign(out_path: &str, n: usize) {
+    use sfcp_bench::workloads::{bign_function, scatter_dest};
+
+    let engines: [(&str, ScatterEngine); 3] = [
+        ("direct", ScatterEngine::Direct),
+        ("combining", ScatterEngine::Combining),
+        ("auto", ScatterEngine::Auto),
+    ];
+    let probe_ctx = Ctx::untracked(Mode::Parallel);
+    let llc = probe_ctx.topology().llc_bytes();
+    let resolved = probe_ctx.scatter_engine_for(n * std::mem::size_of::<u32>());
+    println!(
+        "bign tier: n={n}, dest footprint {} MB, probed LLC {} MB, Auto resolves to {resolved:?}",
+        n * 4 / (1 << 20),
+        llc / (1 << 20),
+    );
+
+    let mut rows: Vec<BignRow> = Vec::new();
+
+    // At the default n = 1e8 each rep is seconds long and best-of-few is
+    // already tight; a small `--bign-n` smoke has millisecond reps where
+    // the 10% gate needs more samples for the minima to converge.
+    let reps_fast = (100_000_000 / n.max(1)).clamp(3, 15);
+    let reps_slow = (100_000_000 / n.max(1)).clamp(2, 5);
+
+    // -- scatter: a full permutation store through the subsystem. --
+    {
+        let run = |ctx: &Ctx, dest: &mut Vec<u32>| {
+            sfcp_parprim::scatter::scatter_into(ctx, dest, n, |s| {
+                Some((scatter_dest(n, s), s as u32))
+            });
+        };
+        let stats = |engine: ScatterEngine| {
+            let ctx = Ctx::parallel().with_scatter_engine(engine);
+            let mut dest = vec![0u32; n];
+            run(&ctx, &mut dest);
+            ctx.stats()
+        };
+        let all_stats: Vec<Stats> = engines.iter().map(|&(_, e)| stats(e)).collect();
+        assert!(
+            all_stats.windows(2).all(|w| w[0] == w[1]),
+            "scatter: engines must charge identical work/depth at n={n}"
+        );
+        // Shared-state timing (see the function doc): one ctx + one dest
+        // for all engines, selector swapped per run, order rotated per rep.
+        let mut ctx = Ctx::untracked(Mode::Parallel);
+        let mut dest = vec![0u32; n];
+        let mut best = [f64::INFINITY; 3];
+        for &(_, e) in &engines {
+            ctx = ctx.with_scatter_engine(e);
+            run(&ctx, &mut dest); // warm pools + pages under every engine
+        }
+        for rep in 0..reps_fast {
+            for k in 0..engines.len() {
+                let i = (rep + k) % engines.len();
+                ctx = ctx.with_scatter_engine(engines[i].1);
+                let t = Instant::now();
+                run(&ctx, &mut dest);
+                best[i] = best[i].min(t.elapsed().as_secs_f64() * 1e3);
+                std::hint::black_box(&dest);
+            }
+        }
+        for (i, &(label, _)) in engines.iter().enumerate() {
+            let ms = best[i];
+            println!("{:>22} n={n:>10}: {label:>9} {ms:10.3} ms", "bign scatter");
+            rows.push(BignRow {
+                name: "scatter",
+                n,
+                engine: label,
+                ms,
+                work: all_stats[i].work,
+                rounds: all_stats[i].rounds,
+            });
+        }
+    }
+
+    // -- csr_build + decompose share the chunked function workload. --
+    let g = bign_function(n);
+    let f = g.table();
+
+    // CSR of the buddy-edge incidence stream, exactly the decompose-gating
+    // build (at this key count the builder is in the bucketed fallback —
+    // `direct_build_max_keys` caps the counting array far below n — and the
+    // scatter engine drives the value-placement passes).
+    {
+        let run = |ctx: &Ctx, offsets: &mut Vec<u32>, items: &mut Vec<u32>| {
+            sfcp_parprim::csr::build_csr_into(
+                ctx,
+                n,
+                2 * n,
+                |s| {
+                    let x = s / 2;
+                    if f[x] as usize == x {
+                        None
+                    } else if s % 2 == 0 {
+                        Some((x as u32, (x as u32) * 2 + 1))
+                    } else {
+                        Some((f[x], (x as u32) * 2))
+                    }
+                },
+                offsets,
+                items,
+            );
+        };
+        let stats = |engine: ScatterEngine| {
+            let ctx = Ctx::parallel().with_scatter_engine(engine);
+            let (mut offsets, mut items) = (Vec::new(), Vec::new());
+            run(&ctx, &mut offsets, &mut items);
+            ctx.stats()
+        };
+        let all_stats: Vec<Stats> = engines.iter().map(|&(_, e)| stats(e)).collect();
+        assert!(
+            all_stats.windows(2).all(|w| w[0] == w[1]),
+            "csr_build: engines must charge identical work/depth at n={n}"
+        );
+        let mut ctx = Ctx::untracked(Mode::Parallel);
+        let (mut offsets, mut items) = (Vec::new(), Vec::new());
+        let mut best = [f64::INFINITY; 3];
+        for &(_, e) in &engines {
+            ctx = ctx.with_scatter_engine(e);
+            run(&ctx, &mut offsets, &mut items); // warm pools + pages
+        }
+        for rep in 0..reps_fast {
+            for k in 0..engines.len() {
+                let i = (rep + k) % engines.len();
+                ctx = ctx.with_scatter_engine(engines[i].1);
+                let t = Instant::now();
+                run(&ctx, &mut offsets, &mut items);
+                best[i] = best[i].min(t.elapsed().as_secs_f64() * 1e3);
+                std::hint::black_box(offsets.len() + items.len());
+            }
+        }
+        for (i, &(label, _)) in engines.iter().enumerate() {
+            let ms = best[i];
+            println!(
+                "{:>22} n={n:>10}: {label:>9} {ms:10.3} ms",
+                "bign csr_build"
+            );
+            rows.push(BignRow {
+                name: "csr_build",
+                n,
+                engine: label,
+                ms,
+                work: all_stats[i].work,
+                rounds: all_stats[i].rounds,
+            });
+        }
+    }
+
+    // -- decompose: the whole pipeline on warm pools per engine. --
+    {
+        // One tracked pass (under Auto) labels all three rows; cross-engine
+        // charge equality at every size is pinned by charge_determinism.
+        let charges = {
+            let ctx = Ctx::parallel().with_scatter_engine(ScatterEngine::Auto);
+            let d = sfcp_forest::decompose(&ctx, &g, sfcp_forest::cycles::CycleMethod::Euler);
+            std::hint::black_box(d.num_cycles());
+            ctx.stats()
+        };
+        let mut ctx = Ctx::untracked(Mode::Parallel);
+        let mut best = [f64::INFINITY; 3];
+        for &(_, e) in &engines {
+            ctx = ctx.with_scatter_engine(e);
+            let d = sfcp_forest::decompose(&ctx, &g, sfcp_forest::cycles::CycleMethod::Euler);
+            std::hint::black_box(d.num_cycles()); // warm pools + pages
+        }
+        for rep in 0..reps_slow {
+            for k in 0..engines.len() {
+                let i = (rep + k) % engines.len();
+                ctx = ctx.with_scatter_engine(engines[i].1);
+                let t = Instant::now();
+                let d = sfcp_forest::decompose(&ctx, &g, sfcp_forest::cycles::CycleMethod::Euler);
+                best[i] = best[i].min(t.elapsed().as_secs_f64() * 1e3);
+                std::hint::black_box(d.num_cycles());
+            }
+        }
+        for (i, &(label, _)) in engines.iter().enumerate() {
+            let ms = best[i];
+            println!(
+                "{:>22} n={n:>10}: {label:>9} {ms:10.3} ms",
+                "bign decompose"
+            );
+            rows.push(BignRow {
+                name: "decompose",
+                n,
+                engine: label,
+                ms,
+                work: charges.work,
+                rounds: charges.rounds,
+            });
+        }
+    }
+
+    // The selector gate: Auto within 10% of the best explicit engine on
+    // every routine that dispatches on the selection.  (Auto *is* one of
+    // the explicit engines after resolution, so this bounds pure selection
+    // overhead plus noise.)  `csr_build` only consults the scatter engine
+    // in its direct-build regime; past `direct_build_max_keys` the
+    // bucketed fallback runs identical code under all three selections and
+    // the ratio would gate nothing but environment noise, so it is skipped
+    // (the charge-equality assert above still covers it).
+    let csr_dispatches =
+        n <= sfcp_parprim::csr::direct_build_max_keys(&Ctx::untracked(Mode::Parallel));
+    for name in ["scatter", "csr_build", "decompose"] {
+        let of = |engine: &str| {
+            rows.iter()
+                .find(|r| r.name == name && r.engine == engine)
+                .map(|r| r.ms)
+                .expect("row present")
+        };
+        let (auto, best_explicit) = (of("auto"), of("direct").min(of("combining")));
+        let ratio = auto / best_explicit;
+        if name == "csr_build" && !csr_dispatches {
+            println!(
+                "bign gate: csr_build skipped — {n} keys is past direct_build_max_keys, \
+                 the bucketed fallback never consults the scatter engine \
+                 (auto {auto:.3} ms vs best explicit {best_explicit:.3} ms is noise only)"
+            );
+            continue;
+        }
+        println!("bign gate: {name} auto {auto:.3} ms vs best explicit {best_explicit:.3} ms ({ratio:.3}x)");
+        assert!(
+            ratio < 1.10,
+            "{name}: Auto selection is {ratio:.2}x the best explicit engine at n={n} \
+             (must stay within 10%)"
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"sfcp_parprim_out_of_cache\",\n");
+    json.push_str(&format!(
+        "  \"threads\": {},\n",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    ));
+    json.push_str(&format!("  \"llc_bytes\": {llc},\n"));
+    json.push_str("  \"results\": [\n");
+    let body: Vec<String> = rows.iter().map(BignRow::json).collect();
+    json.push_str(&body.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(out_path, &json).expect("failed to write bign benchmark json");
+    println!("wrote {out_path}");
 }
 
 /// Extract `field` from the row of `json` whose name/n match, e.g.
@@ -277,10 +635,21 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut committed_path = "BENCH_parprim.json".to_string();
     let mut smoke = false;
+    let mut bign = false;
+    let mut bign_n: usize = 100_000_000;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--bign" => bign = true,
+            "--bign-n" => {
+                i += 1;
+                bign_n = args
+                    .get(i)
+                    .expect("--bign-n needs a size")
+                    .parse()
+                    .expect("--bign-n must be an integer");
+            }
             "--committed" => {
                 i += 1;
                 committed_path = args.get(i).expect("--committed needs a path").clone();
@@ -288,6 +657,12 @@ fn main() {
             other => out_path = Some(other.to_string()),
         }
         i += 1;
+    }
+    if bign {
+        assert!(!smoke, "--bign and --smoke are separate tiers");
+        let out = out_path.unwrap_or_else(|| "BENCH_parprim_bign.json".to_string());
+        run_bign(&out, bign_n);
+        return;
     }
     // A smoke run must never clobber the committed trajectory it is about to
     // read back, so its default output goes elsewhere.
@@ -309,6 +684,9 @@ fn main() {
         &[100_000, 1_000_000]
     };
     let mut rows: Vec<Row> = Vec::new();
+    // Median paired checked/warm ratio at the largest size (overwritten per
+    // tier; sizes ascend, so the last assignment is the largest n).
+    let mut checked_paired_ratio = f64::NAN;
 
     for &n in sizes {
         let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ n as u64);
@@ -415,7 +793,7 @@ fn main() {
         // around the identical pipeline), and the gate below holds it
         // within noise of `decompose_warm` — which requires correlated
         // sampling, not two independent best-of-k loops.
-        let (warm_row, checked_row) = measure_warm_pair(
+        let (warm_row, checked_row, pair_ratio) = measure_warm_pair(
             "decompose_warm",
             "decompose_checked",
             n,
@@ -433,6 +811,7 @@ fn main() {
         );
         rows.push(warm_row);
         rows.push(checked_row);
+        checked_paired_ratio = pair_ratio;
         let inst = Instance::random(n, 8, 0xC0FFEE);
         rows.push(measure("coarsest_parallel", n, reps, |ctx: &Ctx| {
             let q = coarsest_partition(ctx, &inst, Algorithm::Parallel);
@@ -446,6 +825,8 @@ fn main() {
         "  \"threads\": {},\n",
         std::thread::available_parallelism().map_or(0, usize::from)
     ));
+    // Historical header kept for old tooling; rows now carry their own
+    // (authoritative) per-row "engines" labels — see `Row::engines`.
     json.push_str("  \"engines\": [\"packed\", \"permutation\"],\n");
     json.push_str("  \"results\": [\n");
     let body: Vec<String> = rows.iter().map(Row::json).collect();
@@ -476,8 +857,13 @@ fn main() {
 
     // The validated entry point must be free: at the largest size, the
     // `try_decompose` row (size check + catch_unwind around the identical
-    // pipeline) stays within noise of the unchecked warm row.  The absolute
-    // floor covers timer granularity on fast runs.
+    // pipeline) stays within noise of the unchecked warm row.  The gated
+    // statistic is the **median paired ratio** from the order-alternating
+    // interleaved reps, not the ratio of the two best-of-k columns: the
+    // paired median is immune both to the fixed-order cache bias (each
+    // member leads half the reps) and to the two minima landing in
+    // different scheduler windows.  The absolute floor covers timer
+    // granularity on fast runs.
     let largest = rows.iter().map(|r| r.n).max().unwrap();
     let warm = rows
         .iter()
@@ -487,16 +873,17 @@ fn main() {
         .iter()
         .find(|r| r.name == "decompose_checked" && r.n == largest)
         .expect("decompose_checked row present");
-    let overhead = checked.packed_ms / warm.packed_ms;
+    let overhead = checked_paired_ratio;
     println!(
-        "checked-path overhead n={largest}: {overhead:.3}x \
-         ({:.3} ms vs {:.3} ms)",
+        "checked-path overhead n={largest}: median paired {overhead:.3}x \
+         (best-of-k {:.3} ms vs {:.3} ms)",
         checked.packed_ms, warm.packed_ms
     );
     assert!(
         overhead < 1.10 || checked.packed_ms - warm.packed_ms < 0.5,
         "the validated decompose path costs {overhead:.2}x the unchecked warm path \
-         (must stay within noise; the try_ surface is a size check + catch_unwind)"
+         (median paired ratio; must stay within noise — the try_ surface is a size \
+         check + catch_unwind)"
     );
 
     // Smoke gate: the decompose, csr_build, list_rank, and euler_build

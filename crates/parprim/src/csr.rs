@@ -18,8 +18,9 @@
 //! (see ROADMAP, "Multigraph CSR build is the new decompose bottleneck").
 //!
 //! The builder here turns the build into blocked, parallel passes with two
-//! regimes, picked by the same counter budget the radix engine's
-//! `block_plan` uses:
+//! regimes, picked by a counter budget derived from the probed last-level
+//! cache ([`direct_build_max_keys`], hard-capped by the same `2^22`-counter
+//! bound the radix engine's `block_plan` charges for):
 //!
 //! * **Direct** (`num_keys` counters fit the budget): one stable counting
 //!   pass at radix `num_keys` — each block histograms its slice of the
@@ -65,22 +66,37 @@ use crate::intsort::{
     counting_pass_items_uncharged, fill_items_uncharged, for_each_block, plan_digits, sig_bits,
     transpose_scan_offsets,
 };
-use crate::scatter::ScatterTiles;
+use crate::scatter::{ScatterTiles, BUCKET_BITS, NUM_BUCKETS};
 use sfcp_pram::{Ctx, ScatterEngine, SortEngine};
 
 /// Below this stream length the blocked machinery is pure overhead; both
 /// engines run the sequential baseline.
 pub const SEQUENTIAL_BUILD_MAX: usize = 1024;
 
-/// Largest key space the direct (single counting pass at radix `num_keys`)
-/// build will allocate histograms for — the same `2^22`-counter budget that
-/// bounds `intsort`'s per-pass offset matrices.  Beyond it the builder falls
-/// back to multi-pass radix bucketing over packed words.
+/// Hard cap on the key space the direct (single counting pass at radix
+/// `num_keys`) build will allocate histograms for — the same `2^22`-counter
+/// budget that bounds `intsort`'s per-pass offset matrices.  Beyond it the
+/// builder falls back to multi-pass radix bucketing over packed words.
+///
+/// The cap a given context actually applies is
+/// [`direct_build_max_keys`] — this constant tightened by the probed LLC
+/// budget, so small-cache hosts fall back to the bucketed regime earlier.
 ///
 /// Public so workloads and tests can assert which regime a key space lands
 /// in (the sharded-multigraph workload of `sfcp-bench` exists to push real
 /// builds past this budget).
 pub const DIRECT_BUILD_MAX_KEYS: usize = 1 << 22;
+
+/// The live direct-build key cap on this context: [`DIRECT_BUILD_MAX_KEYS`]
+/// tightened so the counting pass's per-block histogram rows fit the probed
+/// LLC budget ([`sfcp_pram::Topology::csr_direct_counter_budget`]).  The
+/// regime choice is physical only — results and charges are identical in
+/// both regimes — so consulting the probe here is charge-neutral (DESIGN.md,
+/// "Footprint-adaptive selection").
+#[must_use]
+pub fn direct_build_max_keys(ctx: &Ctx) -> usize {
+    DIRECT_BUILD_MAX_KEYS.min(ctx.topology().csr_direct_counter_budget())
+}
 
 /// Build the CSR grouping of an edge stream, returning `(offsets, items)`.
 ///
@@ -140,7 +156,7 @@ pub fn build_csr_into<F>(
 
     if num_slots <= SEQUENTIAL_BUILD_MAX || ctx.sort_engine() == SortEngine::Permutation {
         build_csr_sequential(ctx, num_keys, num_slots, &edge, offsets, items);
-    } else if num_keys <= DIRECT_BUILD_MAX_KEYS {
+    } else if num_keys <= direct_build_max_keys(ctx) {
         build_csr_direct(ctx, num_keys, num_slots, &edge, offsets, items);
     } else {
         build_csr_bucketed(ctx, num_keys, num_slots, &edge, offsets, items);
@@ -228,9 +244,24 @@ fn build_csr_direct<F>(
     let block_size = num_slots.div_ceil(num_blocks);
     let mut hist = ws.take_u32(num_blocks * num_keys);
 
+    // Write-combined counting regime: once a block's histogram row outgrows
+    // the probed L2, the random `row[k] += 1` increments become the pass's
+    // miss bill.  Past that boundary each block stages the keys into
+    // per-bucket tiles (bucketed by the high key bits, like the scatter
+    // engine's sinks) and applies a tile of increments at a time, so every
+    // burst lands in one `num_keys / 2^BUCKET_BITS` row window instead of
+    // striding the whole row.  Physical only: the counts are identical, the
+    // model charge above never changes.
+    let stage_entries = ctx.topology().scatter_tile_entries();
+    let wc_counting = num_keys * std::mem::size_of::<u32>() > ctx.topology().l2_bytes();
+    let key_bits = usize::BITS - num_keys.saturating_sub(1).leading_zeros();
+    let bucket_shift = key_bits.saturating_sub(BUCKET_BITS);
+    let mut stage = wc_counting.then(|| ws.take_u32(num_blocks * NUM_BUCKETS * stage_entries));
+
     // Count: each block fills its own histogram row.
     {
         let hist_ptr = SendPtr(hist.as_mut_ptr());
+        let stage_ptr = stage.as_mut().map(|s| SendPtr(s.as_mut_ptr()));
         for_each_block(ctx, num_blocks, |b| {
             let hp = hist_ptr;
             let start = b * block_size;
@@ -238,17 +269,54 @@ fn build_csr_direct<F>(
             // Safety: rows of the histogram matrix are disjoint per block.
             let row = unsafe { std::slice::from_raw_parts_mut(hp.0.add(b * num_keys), num_keys) };
             row.fill(0);
-            for s in start..end {
-                if let Some((k, _)) = edge(s) {
-                    assert!(
-                        (k as usize) < num_keys,
-                        "csr key {k} out of range (num_keys = {num_keys})"
-                    );
-                    row[k as usize] += 1;
+            match stage_ptr {
+                None => {
+                    for s in start..end {
+                        if let Some((k, _)) = edge(s) {
+                            assert!(
+                                (k as usize) < num_keys,
+                                "csr key {k} out of range (num_keys = {num_keys})"
+                            );
+                            row[k as usize] += 1;
+                        }
+                    }
+                }
+                Some(sp) => {
+                    let region_len = NUM_BUCKETS * stage_entries;
+                    // Safety: per-block staging regions are disjoint.
+                    let region = unsafe {
+                        std::slice::from_raw_parts_mut(sp.0.add(b * region_len), region_len)
+                    };
+                    let mut fill = [0u32; NUM_BUCKETS];
+                    for s in start..end {
+                        if let Some((k, _)) = edge(s) {
+                            assert!(
+                                (k as usize) < num_keys,
+                                "csr key {k} out of range (num_keys = {num_keys})"
+                            );
+                            let bucket = (k >> bucket_shift) as usize;
+                            let f = fill[bucket] as usize;
+                            region[bucket * stage_entries + f] = k;
+                            if f + 1 == stage_entries {
+                                for &kk in &region[bucket * stage_entries..][..stage_entries] {
+                                    row[kk as usize] += 1;
+                                }
+                                fill[bucket] = 0;
+                            } else {
+                                fill[bucket] = f as u32 + 1;
+                            }
+                        }
+                    }
+                    for (bucket, &f) in fill.iter().enumerate() {
+                        for &kk in &region[bucket * stage_entries..][..f as usize] {
+                            row[kk as usize] += 1;
+                        }
+                    }
                 }
             }
         });
     }
+    drop(stage);
 
     // Stable offsets (key-major, then block-major); block 0's cursor for key
     // `k` is the group start, i.e. `offsets[k]` — the transpose-scan emits
@@ -266,7 +334,8 @@ fn build_csr_direct<F>(
 
     // Scatter: stream the slots again; the histogram rows double as write
     // cursors, and each (block, key) range is disjoint.  The value stores
-    // go through the scatter engine on the context — direct stores, or
+    // go through the scatter engine on the context — resolved against the
+    // items footprint when the selection is `Auto` — as direct stores or
     // write-combining tiles (the cursor bumps stay direct either way: a
     // block's row is private and cache-resident).
     items.clear();
@@ -275,7 +344,8 @@ fn build_csr_direct<F>(
     {
         let hist_ptr = SendPtr(hist.as_mut_ptr());
         let items_ptr = SendPtr(items.as_mut_ptr());
-        let tiles = (ctx.scatter_engine() == ScatterEngine::Combining)
+        let resolved = ctx.scatter_engine_for(total * std::mem::size_of::<u32>());
+        let tiles = (resolved == ScatterEngine::Combining)
             .then(|| ScatterTiles::new(ctx, total, num_blocks));
         for_each_block(ctx, num_blocks, |b| {
             let (hp, ip) = (hist_ptr, items_ptr);
@@ -608,6 +678,54 @@ mod tests {
     fn packed_engine_rejects_out_of_range_keys() {
         let ctx = Ctx::parallel();
         let _ = build_csr(&ctx, 10, 50_000, |s| Some((10, s as u32)));
+    }
+
+    #[test]
+    fn mocked_small_cache_topology_switches_regimes_and_matches() {
+        use sfcp_pram::Topology;
+        // 512 KB LLC / 4 KB L2: the direct-build cap shrinks to the 64K
+        // floor and the counting pass enters the write-combined regime well
+        // below it.
+        let topo = Topology::fallback()
+            .with_llc_bytes(1 << 19)
+            .with_l2_bytes(1 << 12);
+        let small_ctx = |engine| Ctx::parallel().with_topology(topo).with_sort_engine(engine);
+        assert_eq!(
+            direct_build_max_keys(&small_ctx(SortEngine::Packed)),
+            1 << 16
+        );
+        assert!(direct_build_max_keys(&Ctx::parallel()) >= 1 << 16);
+
+        // 70_000 keys: direct build on the real host, bucketed fallback
+        // under the mocked topology — identical output and charges either
+        // way (the regime switch must be charge-invisible).
+        let num_keys = 70_000;
+        let stream = random_stream(num_keys, 90_000, 17);
+        let expected = naive_csr(num_keys, &stream);
+        let mut stats = Vec::new();
+        for engine in engines() {
+            let ctx = small_ctx(engine);
+            let got = build_csr(&ctx, num_keys, stream.len(), |s| stream[s]);
+            assert_eq!(got, expected, "mocked-topology csr mismatch ({engine:?})");
+            stats.push(ctx.stats());
+        }
+        let real = Ctx::parallel();
+        let got = build_csr(&real, num_keys, stream.len(), |s| stream[s]);
+        assert_eq!(got, expected);
+        stats.push(real.stats());
+        assert!(
+            stats.windows(2).all(|w| w[0] == w[1]),
+            "regime switches must be charge-invisible: {stats:?}"
+        );
+
+        // 5_000 keys: still the direct regime under the mock, but the 20 KB
+        // row exceeds the 4 KB L2, so the counting pass runs write-combined.
+        let num_keys = 5_000;
+        let stream = random_stream(num_keys, 60_000, 18);
+        let expected = naive_csr(num_keys, &stream);
+        let ctx = small_ctx(SortEngine::Packed);
+        let wc = build_csr(&ctx, num_keys, stream.len(), |s| stream[s]);
+        assert_eq!(wc, expected, "write-combined counting pass diverged");
     }
 
     proptest! {

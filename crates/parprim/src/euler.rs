@@ -265,7 +265,7 @@ where
     let n = forest.len();
     assert_eq!(succ.len(), 2 * n, "tour successor slice must hold 2n arcs");
     let succ_ptr = SendPtr(succ.as_mut_ptr());
-    match ctx.scatter_engine() {
+    match ctx.scatter_engine_for(std::mem::size_of_val::<[u32]>(succ)) {
         ScatterEngine::Direct => {
             ctx.par_for_idx(n, |vi| {
                 let sp = succ_ptr;
@@ -294,6 +294,8 @@ where
                 sink.flush();
             });
         }
+        // `scatter_engine_for` always resolves `Auto`.
+        ScatterEngine::Auto => unreachable!("Auto resolves to an explicit engine"),
     }
     // One round of n was charged for the per-node dispatch; the pass
     // settles 2n arcs, one operation each.
@@ -311,7 +313,7 @@ where
 {
     let n = entry.len();
     let ptr = SendPtr(deltas.as_mut_ptr());
-    match ctx.scatter_engine() {
+    match ctx.scatter_engine_for(std::mem::size_of_val(deltas)) {
         ScatterEngine::Direct => {
             ctx.par_for_idx(n, |v| {
                 let p = ptr;
@@ -339,6 +341,8 @@ where
                 sink.flush();
             });
         }
+        // `scatter_engine_for` always resolves `Auto`.
+        ScatterEngine::Auto => unreachable!("Auto resolves to an explicit engine"),
     }
 }
 

@@ -66,16 +66,32 @@ pub(crate) fn sig_bits(x: u64) -> u32 {
     (64 - x.leading_zeros()).max(1)
 }
 
-/// The block decomposition shared by both engines: enough blocks to
+/// The block decomposition both engines **charge** for: enough blocks to
 /// parallelise, few enough that the histogram matrix (blocks × radix) stays
-/// cheap (≤ ~4M counters).
-fn block_plan(ctx: &Ctx, n: usize, radix: usize) -> (usize, usize) {
+/// cheap (≤ ~4M counters).  A pure function of `(mode, n, radix)` — never of
+/// the host — because its output enters tracked charges, which must be
+/// machine-independent (DESIGN.md, "Charge discipline").
+fn model_block_plan(ctx: &Ctx, n: usize, radix: usize) -> (usize, usize) {
     let max_blocks = ((1usize << 22) / radix).clamp(1, 256);
     let num_blocks = if ctx.is_parallel() {
         (n / 8192).clamp(1, max_blocks)
     } else {
         1
     };
+    (num_blocks, n.div_ceil(num_blocks))
+}
+
+/// The block decomposition the engines **execute**: the model plan, further
+/// clamped so the histogram matrix fits the probed cache budget
+/// ([`sfcp_pram::Topology::radix_counter_budget`]).  Physical only — every
+/// charge uses [`model_block_plan`], so shrinking the matrix on a
+/// small-cache host never changes tracked work/depth.  On hosts with ≥ 32 MB
+/// of LLC the budget exceeds the model's 256-block cap at every digit width
+/// used here, so the two plans coincide.
+fn block_plan(ctx: &Ctx, n: usize, radix: usize) -> (usize, usize) {
+    let (model_blocks, _) = model_block_plan(ctx, n, radix);
+    let budget_blocks = (ctx.topology().radix_counter_budget() / radix).max(1);
+    let num_blocks = model_blocks.min(budget_blocks);
     (num_blocks, n.div_ceil(num_blocks))
 }
 
@@ -418,14 +434,15 @@ pub(crate) fn counting_pass_items<T: RadixItem>(
 ) {
     let n = src.len();
     let radix = 1usize << digit_bits;
-    let (num_blocks, _) = block_plan(ctx, n, radix);
+    let (model_blocks, _) = model_block_plan(ctx, n, radix);
     counting_pass_items_uncharged(ctx, src, dst, shift, digit_bits);
     // Same charges as the permutation engine's pass: histogram round, the
     // sequential transpose-scan over the offset matrix, and the scatter
-    // round over the whole input.
-    ctx.charge_step(num_blocks as u64);
-    ctx.charge_step((radix * num_blocks) as u64);
-    ctx.charge_step(num_blocks as u64);
+    // round over the whole input.  Charged at the model plan so the physical
+    // (topology-clamped) block count stays charge-invisible.
+    ctx.charge_step(model_blocks as u64);
+    ctx.charge_step((radix * model_blocks) as u64);
+    ctx.charge_step(model_blocks as u64);
     ctx.charge_work(n as u64);
 }
 
@@ -597,17 +614,30 @@ fn counting_pass(
     let radix = 1usize << digit_bits;
     let digit = |idx: u32| ((keys[idx as usize] >> shift) as usize) & (radix - 1);
     let (num_blocks, block_size) = block_plan(ctx, n, radix);
+    let (model_blocks, _) = model_block_plan(ctx, n, radix);
 
-    // Per-block digit histograms.
-    let mut histograms: Vec<Vec<u32>> = ctx.par_map_idx(num_blocks, |b| {
-        let start = b * block_size;
-        let end = (start + block_size).min(n);
-        let mut h = vec![0u32; radix];
-        for &idx in &order[start..end] {
-            h[digit(idx)] += 1;
-        }
-        h
-    });
+    // Per-block digit histograms over the physical blocks; all charges below
+    // use the model plan, so the topology-clamped physical block count stays
+    // charge-invisible (matching `counting_pass_items`).
+    let mut histograms: Vec<Vec<u32>> = (0..num_blocks).map(|_| Vec::new()).collect();
+    {
+        let hist_ptr = SendPtr(histograms.as_mut_ptr());
+        for_each_block(ctx, num_blocks, |b| {
+            let start = b * block_size;
+            let end = (start + block_size).min(n);
+            let mut h = vec![0u32; radix];
+            for &idx in &order[start..end] {
+                h[digit(idx)] += 1;
+            }
+            let hp = hist_ptr;
+            // Safety: one writer per block slot (the pre-filled empty Vec is
+            // dropped by the assignment; an empty Vec owns no heap).
+            unsafe {
+                *hp.0.add(b) = h;
+            }
+        });
+    }
+    ctx.charge_step(model_blocks as u64);
 
     // Global stable offsets: for digit d, block b, items go after all smaller
     // digits and after the same digit in earlier blocks.
@@ -619,11 +649,11 @@ fn counting_pass(
             running += c;
         }
     }
-    ctx.charge_step((radix * num_blocks) as u64);
+    ctx.charge_step((radix * model_blocks) as u64);
 
     // Scatter.
     let out_ptr = SendPtr(out.as_mut_ptr());
-    ctx.par_for_idx(num_blocks, |b| {
+    for_each_block(ctx, num_blocks, |b| {
         let start = b * block_size;
         let end = (start + block_size).min(n);
         let mut offsets = histograms[b].clone();
@@ -638,6 +668,7 @@ fn counting_pass(
             offsets[d] += 1;
         }
     });
+    ctx.charge_step(model_blocks as u64);
     ctx.charge_work(n as u64);
 }
 

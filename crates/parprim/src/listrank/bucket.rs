@@ -32,9 +32,14 @@ use super::ruling::{
 use super::wyllie::list_rank_wyllie_into;
 use crate::scatter::{ScatterTiles, TileSink, TileValue};
 
-/// Walks advanced in lockstep per bucket.  Enough to cover the memory
-/// latency × bandwidth product of one core; past ~64 the lane state stops
-/// fitting comfortably in L1 and the refill bookkeeping starts to show.
+/// Upper bound on walks advanced in lockstep per bucket, and the
+/// compile-time size of the lane-state arrays.  The *runtime* lane count is
+/// probed from the host's L1d via [`sfcp_pram::Topology::wavefront_lanes`]
+/// (64 on the 48 KB-L1d reference host, i.e. exactly this bound): enough to
+/// cover the memory latency × bandwidth product of one core; past ~64 the
+/// lane state stops fitting comfortably in L1 and the refill bookkeeping
+/// starts to show.  Lane count is physical geometry only — charges never
+/// depend on it.
 const WAVE: usize = 64;
 
 /// Rulers handed to one wavefront task: coarse enough that the per-task
@@ -172,6 +177,7 @@ pub(crate) fn chain_walk_bucketed(
 ) {
     let m = ruler_ids.len();
     let num_tasks = m.div_ceil(WALKS_PER_TASK).max(1);
+    let wave = ctx.topology().wavefront_lanes().min(WAVE);
     let interior_ptr = SendPtr(interior.as_mut_ptr());
     let seg_ptr = SendPtr(seg_state.as_mut_ptr());
     let walk = |t: usize, mut rec: Recorder<u64>| {
@@ -183,7 +189,7 @@ pub(crate) fn chain_walk_bucketed(
         let mut lane_word = [0u32; WAVE];
         let mut lane_steps = [0u32; WAVE];
         let mut active = [false; WAVE];
-        let lanes = WAVE.min(hi - lo);
+        let lanes = wave.min(hi - lo);
         let mut fill = lo;
         let mut live = 0usize;
         for l in 0..lanes {
@@ -243,7 +249,7 @@ pub(crate) fn chain_walk_bucketed(
         }
         rec.finish();
     };
-    match ctx.scatter_engine() {
+    match ctx.scatter_engine_for(std::mem::size_of_val(&*interior)) {
         ScatterEngine::Direct => {
             crate::intsort::for_each_block(ctx, num_tasks, |t| {
                 let p = interior_ptr;
@@ -257,6 +263,7 @@ pub(crate) fn chain_walk_bucketed(
                 walk(t, Recorder::Combining(tiles.sink(t, p.0)));
             });
         }
+        ScatterEngine::Auto => unreachable!("Auto resolves to an explicit engine"),
     }
 }
 
@@ -275,6 +282,7 @@ pub(crate) fn cycle_walk_bucketed(
 ) {
     let m = ruler_ids.len();
     let num_tasks = m.div_ceil(WALKS_PER_TASK).max(1);
+    let wave = ctx.topology().wavefront_lanes().min(WAVE);
     let end_ptr = SendPtr(end_ruler.as_mut_ptr());
     let state_ptr = SendPtr(state.as_mut_ptr());
     let walk = |t: usize, mut rec: Recorder<u32>| {
@@ -286,7 +294,7 @@ pub(crate) fn cycle_walk_bucketed(
         let mut lane_cur = [0u32; WAVE];
         let mut lane_min = [0u32; WAVE];
         let mut active = [false; WAVE];
-        let lanes = WAVE.min(hi - lo);
+        let lanes = wave.min(hi - lo);
         let mut fill = lo;
         let mut live = 0usize;
         for l in 0..lanes {
@@ -346,7 +354,7 @@ pub(crate) fn cycle_walk_bucketed(
         }
         rec.finish();
     };
-    match ctx.scatter_engine() {
+    match ctx.scatter_engine_for(std::mem::size_of_val(&*end_ruler)) {
         ScatterEngine::Direct => {
             crate::intsort::for_each_block(ctx, num_tasks, |t| {
                 let p = end_ptr;
@@ -360,5 +368,6 @@ pub(crate) fn cycle_walk_bucketed(
                 walk(t, Recorder::Combining(tiles.sink(t, p.0)));
             });
         }
+        ScatterEngine::Auto => unreachable!("Auto resolves to an explicit engine"),
     }
 }

@@ -227,7 +227,7 @@ where
                 write(pay(&items[i]) as usize, group);
             }
         }
-        match ctx.scatter_engine() {
+        match ctx.scatter_engine_for(n * std::mem::size_of::<u32>()) {
             ScatterEngine::Direct => {
                 (0..num_blocks).into_par_iter().for_each(|b| {
                     let ptr = ranks_ptr;
@@ -259,6 +259,8 @@ where
                     sink.flush();
                 });
             }
+            // `scatter_engine_for` always resolves `Auto`.
+            ScatterEngine::Auto => unreachable!("Auto resolves to an explicit engine"),
         }
     }
     distinct

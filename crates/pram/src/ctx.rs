@@ -9,6 +9,7 @@
 //! measured work/depth of a run is identical whether it executed on one
 //! thread or sixteen; only the wall-clock time differs.
 
+use crate::topology::Topology;
 use crate::tracker::{Stats, Tracker};
 use crate::workspace::Workspace;
 use rayon::prelude::*;
@@ -25,9 +26,11 @@ pub enum Mode {
     Parallel,
 }
 
-/// Minimum number of items a rayon task should own before being split
-/// further.  Chosen so that the per-task overhead stays well below the cost
-/// of the loop body for the fine-grained loops used by the algorithms.
+/// Reference task grain (minimum items per rayon task) on hosts with
+/// 64-byte cache lines.  The live default is derived per-host by
+/// [`Topology::default_grain`] — 32 cache lines of 4-byte elements per task —
+/// which reproduces this value on mainstream hardware; the constant remains
+/// as the documented reference point.
 pub const DEFAULT_GRAIN: usize = 2048;
 
 /// Which integer-sort/rank engine `sfcp-parprim` routes through.
@@ -99,7 +102,6 @@ pub enum ScatterEngine {
     /// baseline.  Fastest whenever the destination is cache-resident (on
     /// hosts with a large last-level cache this covers surprisingly large
     /// problems).
-    #[default]
     Direct,
     /// Software write-combining: stores are staged into cache-resident
     /// per-bucket tiles (bucketed by the high bits of the destination
@@ -108,12 +110,27 @@ pub enum ScatterEngine {
     /// destination outgrows the last-level cache; charge-identical to
     /// [`ScatterEngine::Direct`].
     Combining,
+    /// Footprint-adaptive: each scatter pass resolves to [`Direct`] or
+    /// [`Combining`] by comparing its destination footprint in bytes against
+    /// the probed last-level cache, gated on more than one core being
+    /// active ([`Ctx::scatter_engine_for`]).  The resolution itself charges
+    /// nothing and the candidates charge identically, so `Auto` is
+    /// charge-identical to both explicit engines.
+    ///
+    /// [`Direct`]: ScatterEngine::Direct
+    /// [`Combining`]: ScatterEngine::Combining
+    #[default]
+    Auto,
 }
 
 impl ScatterEngine {
     /// Every engine variant — swept by the parity/determinism/leak suites,
     /// like [`RankEngine::ALL`].
-    pub const ALL: [ScatterEngine; 2] = [ScatterEngine::Direct, ScatterEngine::Combining];
+    pub const ALL: [ScatterEngine; 3] = [
+        ScatterEngine::Direct,
+        ScatterEngine::Combining,
+        ScatterEngine::Auto,
+    ];
 }
 
 /// Execution context shared by all algorithms: execution mode + cost tracker
@@ -126,6 +143,7 @@ pub struct Ctx {
     engine: SortEngine,
     rank_engine: RankEngine,
     scatter_engine: ScatterEngine,
+    topology: Topology,
     workspace: Workspace,
 }
 
@@ -139,13 +157,15 @@ impl Ctx {
     /// A context with the given mode and a fresh enabled [`Tracker`].
     #[must_use]
     pub fn new(mode: Mode) -> Self {
+        let topology = Topology::probe();
         Ctx {
             mode,
             tracker: Tracker::new(),
-            grain: DEFAULT_GRAIN,
+            grain: topology.default_grain(),
             engine: SortEngine::default(),
             rank_engine: RankEngine::default(),
             scatter_engine: ScatterEngine::default(),
+            topology,
             workspace: Workspace::new(),
         }
     }
@@ -166,13 +186,15 @@ impl Ctx {
     /// for pure wall-clock benchmarking.
     #[must_use]
     pub fn untracked(mode: Mode) -> Self {
+        let topology = Topology::probe();
         Ctx {
             mode,
             tracker: Tracker::disabled(),
-            grain: DEFAULT_GRAIN,
+            grain: topology.default_grain(),
             engine: SortEngine::default(),
             rank_engine: RankEngine::default(),
             scatter_engine: ScatterEngine::default(),
+            topology,
             workspace: Workspace::new(),
         }
     }
@@ -213,18 +235,65 @@ impl Ctx {
         self.rank_engine
     }
 
-    /// Select the scatter-write engine (default: [`ScatterEngine::Direct`]).
+    /// Select the scatter-write engine (default: [`ScatterEngine::Auto`]).
     #[must_use]
     pub fn with_scatter_engine(mut self, engine: ScatterEngine) -> Self {
         self.scatter_engine = engine;
         self
     }
 
-    /// The selected scatter-write engine.
+    /// The selected scatter-write engine (possibly [`ScatterEngine::Auto`];
+    /// scatter passes resolve it per destination via
+    /// [`Ctx::scatter_engine_for`]).
     #[inline]
     #[must_use]
     pub fn scatter_engine(&self) -> ScatterEngine {
         self.scatter_engine
+    }
+
+    /// Resolve the scatter engine for a pass whose destination occupies
+    /// `dest_bytes`: explicit selections pass through; [`ScatterEngine::Auto`]
+    /// picks [`ScatterEngine::Combining`] when the destination outgrows the
+    /// probed last-level cache **and** more than one core is active, and
+    /// [`ScatterEngine::Direct`] otherwise.  Never returns `Auto`, and
+    /// charges nothing — selection is charge-neutral because both candidates
+    /// charge identically (see DESIGN.md, "Footprint-adaptive selection").
+    ///
+    /// The core-count term is measured, not theoretical: combining's payoff
+    /// is keeping each destination cache line's writers on one core and
+    /// batching its ownership traffic, so with a single core the staging
+    /// pass is pure overhead — on the 1-core reference container the big-`n`
+    /// tier (`BENCH_parprim_bign.json`) has direct stores ahead of the
+    /// combining tiles even at 3.6× the probed LLC.
+    #[inline]
+    #[must_use]
+    pub fn scatter_engine_for(&self, dest_bytes: usize) -> ScatterEngine {
+        match self.scatter_engine {
+            ScatterEngine::Auto => {
+                if self.topology.cores() > 1 && dest_bytes > self.topology.llc_bytes() {
+                    ScatterEngine::Combining
+                } else {
+                    ScatterEngine::Direct
+                }
+            }
+            explicit => explicit,
+        }
+    }
+
+    /// Replace the probed host topology (tests: mock the LLC boundary so
+    /// footprint-adaptive selection flips without a 100 MB input).
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// The host topology snapshot this context consults for physical tuning
+    /// (never for charges).
+    #[inline]
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// The scratch-buffer workspace: checkout/return of reusable vectors so

@@ -55,6 +55,7 @@ pub mod ctx;
 pub mod error;
 pub mod faults;
 pub mod fxhash;
+pub mod topology;
 pub mod tracker;
 pub mod workspace;
 
@@ -62,6 +63,7 @@ pub use brent::{predicted_time, BrentModel};
 pub use crcw::{ArbitraryCell, CommonCell, CrcwTable};
 pub use ctx::{Ctx, Mode, RankEngine, ScatterEngine, SortEngine};
 pub use error::{check_index_width, Error, MAX_DOMAIN};
+pub use topology::Topology;
 pub use tracker::{Stats, Tracker};
 pub use workspace::{Rec, Scratch, Workspace, WorkspaceStats};
 

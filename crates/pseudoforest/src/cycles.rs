@@ -215,7 +215,7 @@ pub fn cycle_nodes_euler(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
             }
         }
         let succ_ptr = SendPtr(succ.as_mut_ptr());
-        match ctx.scatter_engine() {
+        match ctx.scatter_engine_for(num_arcs * std::mem::size_of::<u32>()) {
             ScatterEngine::Direct => {
                 let (start, incident) = (&start, &incident);
                 ctx.par_for_idx(n, |v| {
@@ -251,6 +251,7 @@ pub fn cycle_nodes_euler(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
                     sink.flush();
                 });
             }
+            ScatterEngine::Auto => unreachable!("Auto resolves to an explicit engine"),
         }
         ctx.charge_work(2 * n as u64);
     }

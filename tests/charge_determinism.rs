@@ -15,7 +15,7 @@
 
 use sfcp::{coarsest_partition, Algorithm, Instance};
 use sfcp_forest::cycles::CycleMethod;
-use sfcp_pram::{Ctx, Mode, RankEngine, ScatterEngine, SortEngine, Stats};
+use sfcp_pram::{Ctx, Mode, RankEngine, ScatterEngine, SortEngine, Stats, Topology};
 
 /// Run `f` under a virtual rayon pool of `threads` workers and return the
 /// charges it reports.
@@ -96,6 +96,47 @@ fn coarsest_parallel_engine_grid_is_thread_count_independent() {
                         ),
                     }
                 }
+            }
+        }
+    }
+}
+
+/// Footprint-adaptive selection must be charge-invisible: `Auto` reads the
+/// probed topology to pick a physical engine, but the pick — and the
+/// topology itself — may never reach a charged quantity.  Pins the
+/// decomposition charges bit-identical across `Auto` and both explicit
+/// engines at every size, *and* across mocked topologies that force `Auto`
+/// to resolve each way (a 1-byte LLC makes every destination "past the
+/// LLC" → `Combining` everywhere; a 2^40-byte LLC makes everything fit →
+/// `Direct` everywhere; the mocks also swing the physical radix-counter
+/// and CSR budgets, exercising the model-vs-physical block-plan split).
+#[test]
+fn auto_engine_selection_is_charge_invisible() {
+    for n in [3_000, 60_000] {
+        let g = sfcp_forest::generators::random_function(n, 41);
+        let run = |ctx: Ctx| {
+            let d = sfcp_forest::decompose(&ctx, &g, CycleMethod::Euler);
+            std::hint::black_box(d.num_cycles());
+            ctx.stats()
+        };
+        let baseline = run(Ctx::new(Mode::Parallel).with_scatter_engine(ScatterEngine::Direct));
+        for scatter in ScatterEngine::ALL {
+            let probed = run(Ctx::new(Mode::Parallel).with_scatter_engine(scatter));
+            assert_eq!(
+                baseline, probed,
+                "charges diverged under {scatter:?} on the probed topology (n={n})"
+            );
+            for (label, topo) in [
+                ("tiny-LLC", Topology::fallback().with_llc_bytes(1)),
+                ("huge-LLC", Topology::fallback().with_llc_bytes(1 << 40)),
+            ] {
+                let mocked = run(Ctx::new(Mode::Parallel)
+                    .with_scatter_engine(scatter)
+                    .with_topology(topo));
+                assert_eq!(
+                    baseline, mocked,
+                    "charges diverged under {scatter:?} on the {label} mock (n={n})"
+                );
             }
         }
     }
