@@ -135,6 +135,10 @@ impl Row {
 
 /// Row engine labels for the sort/rank-engine benches.
 const SORT_RANK_LABELS: [&str; 2] = ["packed", "permutation"];
+/// Row engine labels for the scatter-engine bench (`ScatterEngine` columns).
+/// Both label sets are validated against the committed JSON by sfcp-lint's
+/// `bench-engines` rule (`crates/xtask/src/rules/bench_engines.rs`).
+const SCATTER_LABELS: [&str; 2] = ["direct", "combining"];
 
 fn measure<F: FnMut(&Ctx) + Clone>(name: &'static str, n: usize, reps: usize, f: F) -> Row {
     let packed_ms = best_ms(DEFAULT_ENGINES, reps, f.clone());
@@ -308,7 +312,7 @@ fn measure_scatter(n: usize, reps: usize, idx: &[u32]) -> Row {
     Row {
         name: "scatter",
         n,
-        engines: ["direct", "combining"],
+        engines: SCATTER_LABELS,
         packed_ms: direct_ms,
         permutation_ms: combining_ms,
         work: cd.work,

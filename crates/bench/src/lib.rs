@@ -2,5 +2,7 @@
 //! formatting).  The actual experiments live in `benches/` (criterion) and in
 //! the `complexity_table` / `speedup_table` binaries under `src/bin/`.
 
+#![forbid(unsafe_code)]
+
 pub mod tables;
 pub mod workloads;

@@ -87,7 +87,7 @@ pub fn group_cycles_doubling(ctx: &Ctx, strings: &[Vec<u32>]) -> Vec<u32> {
                 let base = mi * padded;
                 let p = eq_ptr;
                 for (j, &c) in s.iter().enumerate() {
-                    // Safety: disjoint destination ranges per string.
+                    // SAFETY: disjoint destination ranges per string.
                     unsafe {
                         *p.0.add(base + j) = u64::from(c) + 1;
                     }
@@ -174,7 +174,14 @@ pub fn group_cycles_by_hash(ctx: &Ctx, strings: &[Vec<u32>]) -> Vec<u32> {
 
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: `SendPtr` only smuggles a raw base pointer into parallel tasks
+// whose writes target disjoint indices; every dereference site carries its
+// own SAFETY argument for that disjointness, and the pointee buffer is
+// borrowed for the whole parallel region, so it outlives every task.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr` across tasks only copies the pointer value —
+// no shared-reference method dereferences it, so aliased access to the
+// pointee can never originate from the `Sync` impl itself.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]
@@ -271,5 +278,17 @@ mod tests {
         ) {
             check_grouping(&strings);
         }
+    }
+
+    /// Miri target: the grouping paths (doubling ranks, sort, hash) and
+    /// their scatter writes.
+    #[test]
+    fn miri_group_cycles_small() {
+        check_grouping(&[
+            vec![1, 2, 1, 3],
+            vec![2, 1, 3, 1],
+            vec![7],
+            vec![1, 2, 1, 3],
+        ]);
     }
 }

@@ -34,6 +34,8 @@
 //! sfcp::verify::assert_valid(&instance, &q);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cycle_equivalence;
 pub mod doubling;
 pub mod error;

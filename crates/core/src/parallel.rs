@@ -211,7 +211,7 @@ fn label_cycle_nodes(
         let ids = &cycle_node_ids;
         ctx.par_for_idx(ids.len(), |i| {
             let p = ptr;
-            // Safety: distinct cycle nodes write distinct slots.
+            // SAFETY: distinct cycle nodes write distinct slots.
             unsafe {
                 *p.0.add(ids[i] as usize) = dense[i];
             }
@@ -364,7 +364,7 @@ fn label_tree_nodes_doubling(
         ctx.par_for_idx(n, |x| {
             if marked[x] && !dec.is_cycle[x] {
                 let p = ptr;
-                // Safety: each slot written by its own index only.
+                // SAFETY: each slot written by its own index only.
                 unsafe {
                     *p.0.add(x) = labels_snapshot[corr[x] as usize];
                 }
@@ -502,7 +502,7 @@ fn label_tree_nodes_doubling(
         let ids = &unmarked_ids;
         ctx.par_for_idx(u, |i| {
             let p = ptr;
-            // Safety: distinct unmarked nodes write distinct slots.
+            // SAFETY: distinct unmarked nodes write distinct slots.
             unsafe {
                 *p.0.add(ids[i] as usize) = base + dense_classes[i];
             }
@@ -513,7 +513,14 @@ fn label_tree_nodes_doubling(
 
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: `SendPtr` only smuggles a raw base pointer into parallel tasks
+// whose writes target disjoint indices; every dereference site carries its
+// own SAFETY argument for that disjointness, and the pointee buffer is
+// borrowed for the whole parallel region, so it outlives every task.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr` across tasks only copies the pointer value —
+// no shared-reference method dereferences it, so aliased access to the
+// pointee can never originate from the `Sync` impl itself.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]
@@ -676,5 +683,16 @@ mod tests {
             let q = coarsest_parallel(&ctx, &inst);
             prop_assert!(q.same_partition(&coarsest_naive(&inst)));
         }
+    }
+
+    /// Miri target: the end-to-end parallel coarsest-partition pipeline on
+    /// the paper example.
+    #[test]
+    fn miri_paper_example_parallel() {
+        let inst = Instance::paper_example();
+        let expected = Partition::new(sfcp_forest::generators::paper_example_expected_q());
+        let ctx = Ctx::parallel();
+        let q = coarsest_parallel(&ctx, &inst);
+        assert!(q.same_partition(&expected), "{:?}", q.labels());
     }
 }

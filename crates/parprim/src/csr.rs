@@ -266,7 +266,7 @@ fn build_csr_direct<F>(
             let hp = hist_ptr;
             let start = b * block_size;
             let end = (start + block_size).min(num_slots);
-            // Safety: rows of the histogram matrix are disjoint per block.
+            // SAFETY: rows of the histogram matrix are disjoint per block.
             let row = unsafe { std::slice::from_raw_parts_mut(hp.0.add(b * num_keys), num_keys) };
             row.fill(0);
             match stage_ptr {
@@ -283,7 +283,7 @@ fn build_csr_direct<F>(
                 }
                 Some(sp) => {
                     let region_len = NUM_BUCKETS * stage_entries;
-                    // Safety: per-block staging regions are disjoint.
+                    // SAFETY: per-block staging regions are disjoint.
                     let region = unsafe {
                         std::slice::from_raw_parts_mut(sp.0.add(b * region_len), region_len)
                     };
@@ -352,7 +352,7 @@ fn build_csr_direct<F>(
             let mut sink = tiles.as_ref().map(|t| t.sink(b, ip.0));
             let start = b * block_size;
             let end = (start + block_size).min(num_slots);
-            // Safety: disjoint histogram rows (see above).
+            // SAFETY: disjoint histogram rows (see above).
             let row = unsafe { std::slice::from_raw_parts_mut(hp.0.add(b * num_keys), num_keys) };
             for s in start..end {
                 if let Some((k, v)) = edge(s) {
@@ -367,7 +367,7 @@ fn build_csr_direct<F>(
                         "csr edge stream changed between the counting and scatter passes"
                     );
                     match sink.as_mut() {
-                        // Safety: in-bounds by the check above; offsets of
+                        // SAFETY: in-bounds by the check above; offsets of
                         // different (block, key) pairs are disjoint ranges,
                         // so each item slot is written once.
                         None => unsafe {
@@ -456,7 +456,7 @@ fn build_csr_bucketed<F>(
         for i in start..end {
             let w = words[i];
             let k = (w >> 32) as usize;
-            // Safety: each item slot is written by exactly one position.
+            // SAFETY: each item slot is written by exactly one position.
             unsafe {
                 *ip.0.add(i) = w as u32;
             }
@@ -466,7 +466,7 @@ fn build_csr_bucketed<F>(
                 (words[i - 1] >> 32) as usize
             };
             for j in prev.wrapping_add(1)..=k {
-                // Safety: gap ranges of different positions are disjoint, so
+                // SAFETY: gap ranges of different positions are disjoint, so
                 // each offsets slot is written exactly once.
                 unsafe {
                     *op.0.add(j) = i as u32;
@@ -488,7 +488,14 @@ fn build_csr_bucketed<F>(
 
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: `SendPtr` only smuggles a raw base pointer into parallel tasks
+// whose writes target disjoint indices; every dereference site carries its
+// own SAFETY argument for that disjointness, and the pointee buffer is
+// borrowed for the whole parallel region, so it outlives every task.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr` across tasks only copies the pointer value —
+// no shared-reference method dereferences it, so aliased access to the
+// pointee can never originate from the `Sync` impl itself.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]
@@ -752,5 +759,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Miri target: the direct-build scatter of grouped items into the
+    /// `items` array (disjoint per-key offset ranges).
+    #[test]
+    fn miri_csr_build_matches_naive_on_skewed_stream() {
+        let num_keys = 37;
+        let stream: Vec<Option<(u32, u32)>> = (0..800u32)
+            .map(|s| {
+                if s % 5 == 0 {
+                    None
+                } else {
+                    Some((s.wrapping_mul(2_654_435_761) % 37, s))
+                }
+            })
+            .collect();
+        let ctx = Ctx::parallel();
+        let got = build_csr(&ctx, num_keys, stream.len(), |s| stream[s]);
+        assert_eq!(got, naive_csr(num_keys, &stream));
     }
 }

@@ -270,7 +270,7 @@ where
             ctx.par_for_idx(n, |vi| {
                 let sp = succ_ptr;
                 settle_node(forest, vi as u32, &mut |slot, val, head| {
-                    // Safety: each arc slot has exactly one writer (see the
+                    // SAFETY: each arc slot has exactly one writer (see the
                     // covering argument on `arc_successors_into`).
                     unsafe {
                         *sp.0.add(slot as usize) = transform(slot, val, head);
@@ -318,7 +318,7 @@ where
             ctx.par_for_idx(n, |v| {
                 let p = ptr;
                 let (plus, minus) = f(v);
-                // Safety: entry/exit positions are all distinct.
+                // SAFETY: entry/exit positions are all distinct.
                 unsafe {
                     *p.0.add(entry[v] as usize) = plus;
                     *p.0.add(exit[v] as usize) = minus;
@@ -550,7 +550,7 @@ impl EulerTour {
                 let len = dist[down(r) as usize] + 1;
                 let base = tree_offset[r as usize] + len - 1;
                 let (ep, xp) = (entry_ptr, exit_ptr);
-                // Safety: each v writes its own slot in both arrays.
+                // SAFETY: each v writes its own slot in both arrays.
                 unsafe {
                     *ep.0.add(v) = base - dist[down(v as u32) as usize];
                     *xp.0.add(v) = base - dist[up(v as u32) as usize];
@@ -733,7 +733,14 @@ impl EulerTour {
 
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: `SendPtr` only smuggles a raw base pointer into parallel tasks
+// whose writes target disjoint indices; every dereference site carries its
+// own SAFETY argument for that disjointness, and the pointee buffer is
+// borrowed for the whole parallel region, so it outlives every task.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr` across tasks only copies the pointer value —
+// no shared-reference method dereferences it, so aliased access to the
+// pointee can never originate from the `Sync` impl itself.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]
@@ -972,5 +979,26 @@ mod tests {
                 prop_assert_eq!(sizes[v as usize], count);
             }
         }
+    }
+
+    /// Miri target: the arc-layout scatters plus the fused Euler ranking at
+    /// a size whose `2n` arc list exceeds the tiny-list Wyllie fallback, so
+    /// the ruling-set/bucket walks run their raw-pointer paths.
+    #[test]
+    fn miri_euler_levels_cross_tiny_list_threshold() {
+        let n = 700usize;
+        let parent: Vec<u32> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    0
+                } else {
+                    ((i as u64).wrapping_mul(2_654_435_761) % i as u64) as u32
+                }
+            })
+            .collect();
+        let ctx = Ctx::parallel();
+        let forest = RootedForest::from_parents_checked(&ctx, parent.clone()).unwrap();
+        let tour = EulerTour::build(&ctx, &forest);
+        assert_eq!(tour.levels(&ctx), reference_levels(&parent));
     }
 }

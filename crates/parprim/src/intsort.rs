@@ -174,7 +174,7 @@ pub(crate) fn transpose_scan_offsets(
                 let (d0, d1) = (t * SCAN_TILE, ((t + 1) * SCAN_TILE).min(radix));
                 let sp = sums;
                 let total: u32 = hist_ref[d0..d1].iter().sum();
-                // Safety: one writer per tile.
+                // SAFETY: one writer per tile.
                 unsafe {
                     *sp.0.add(t) = total;
                 }
@@ -195,7 +195,7 @@ pub(crate) fn transpose_scan_offsets(
                 let hp = hist_ptr;
                 let mut acc = tile_sum[t];
                 for d in d0..d1 {
-                    // Safety: tiles own disjoint digit ranges.
+                    // SAFETY: tiles own disjoint digit ranges.
                     unsafe {
                         let cell = hp.0.add(d);
                         let c = *cell;
@@ -227,7 +227,7 @@ pub(crate) fn transpose_scan_offsets(
             for b in 0..num_blocks {
                 let row = &hist_ref[b * radix..];
                 for d in d0..d1 {
-                    // Safety: tiles own disjoint digit ranges.
+                    // SAFETY: tiles own disjoint digit ranges.
                     unsafe {
                         *bp.0.add(d) += row[d];
                     }
@@ -254,7 +254,7 @@ pub(crate) fn transpose_scan_offsets(
                 let (d0, d1) = (t * SCAN_TILE, ((t + 1) * SCAN_TILE).min(radix));
                 let sp = sums;
                 let total: u32 = base_ref[d0..d1].iter().sum();
-                // Safety: one writer per tile.
+                // SAFETY: one writer per tile.
                 unsafe {
                     *sp.0.add(t) = total;
                 }
@@ -274,7 +274,7 @@ pub(crate) fn transpose_scan_offsets(
                 let bp = base_ptr;
                 let mut acc = tile_sum[t];
                 for d in d0..d1 {
-                    // Safety: tiles own disjoint digit ranges.
+                    // SAFETY: tiles own disjoint digit ranges.
                     unsafe {
                         let cell = bp.0.add(d);
                         let c = *cell;
@@ -299,7 +299,7 @@ pub(crate) fn transpose_scan_offsets(
             let (hp, bp) = (hist_ptr, base_ptr);
             for b in 0..num_blocks {
                 for d in d0..d1 {
-                    // Safety: tiles own disjoint digit ranges of every row.
+                    // SAFETY: tiles own disjoint digit ranges of every row.
                     unsafe {
                         let cell = hp.0.add(b * radix + d);
                         let run = bp.0.add(d);
@@ -473,7 +473,7 @@ pub(crate) fn counting_pass_items_uncharged<T: RadixItem>(
             let hp = hist_ptr;
             let start = b * block_size;
             let end = (start + block_size).min(n);
-            // Safety: rows of the histogram matrix are disjoint per block.
+            // SAFETY: rows of the histogram matrix are disjoint per block.
             let row = unsafe { std::slice::from_raw_parts_mut(hp.0.add(b * radix), radix) };
             row.fill(0);
             for r in &src[start..end] {
@@ -498,11 +498,11 @@ pub(crate) fn counting_pass_items_uncharged<T: RadixItem>(
             let dp = dst_ptr;
             let start = b * block_size;
             let end = (start + block_size).min(n);
-            // Safety: disjoint histogram rows (see above).
+            // SAFETY: disjoint histogram rows (see above).
             let row = unsafe { std::slice::from_raw_parts_mut(hp.0.add(b * radix), radix) };
             for r in &src[start..end] {
                 let d = r.digit_at(shift, mask);
-                // Safety: offsets of different (block, digit) pairs are
+                // SAFETY: offsets of different (block, digit) pairs are
                 // disjoint ranges, so each output slot is written once.
                 unsafe {
                     *dp.0.add(row[d] as usize) = *r;
@@ -559,7 +559,7 @@ where
             let end = (start + grain).min(n);
             let p = ptr;
             for i in start..end {
-                // Safety: disjoint chunks; each slot written once.
+                // SAFETY: disjoint chunks; each slot written once.
                 unsafe {
                     p.0.add(i).write(make(i));
                 }
@@ -630,7 +630,7 @@ fn counting_pass(
                 h[digit(idx)] += 1;
             }
             let hp = hist_ptr;
-            // Safety: one writer per block slot (the pre-filled empty Vec is
+            // SAFETY: one writer per block slot (the pre-filled empty Vec is
             // dropped by the assignment; an empty Vec owns no heap).
             unsafe {
                 *hp.0.add(b) = h;
@@ -660,7 +660,7 @@ fn counting_pass(
         let ptr = out_ptr;
         for &idx in &order[start..end] {
             let d = digit(idx);
-            // Safety: the offsets of different (block, digit) pairs are
+            // SAFETY: the offsets of different (block, digit) pairs are
             // disjoint ranges, so each output slot is written exactly once.
             unsafe {
                 *ptr.0.add(offsets[d] as usize) = idx;
@@ -677,11 +677,16 @@ fn counting_pass(
 fn stable_reorder_sort(ctx: &Ctx, keys: &[u64], order: &[u32]) -> Vec<u32> {
     let n = order.len();
     if n <= 1 {
+        // lint:allow(alloc-hot-path): trivial-input early return of the
+        // permutation baseline, which materialises its order by design.
         return order.to_vec();
     }
     let max_key = order.iter().map(|&i| keys[i as usize]).max().unwrap();
     let significant_bits = 64 - max_key.leading_zeros();
     let (digit_bits, passes) = plan_digits(significant_bits);
+    // lint:allow(alloc-hot-path): the permutation baseline engine
+    // materialises the order by design; the packed engine is the
+    // zero-allocation path.
     let mut current = order.to_vec();
     let mut scratch = vec![0u32; n];
     for pass in 0..passes {
@@ -896,7 +901,14 @@ impl<T> Clone for SendPtr<T> {
     }
 }
 impl<T> Copy for SendPtr<T> {}
+// SAFETY: `SendPtr` only smuggles a raw base pointer into parallel tasks
+// whose writes target disjoint indices; every dereference site carries its
+// own SAFETY argument for that disjointness, and the pointee buffer is
+// borrowed for the whole parallel region, so it outlives every task.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr` across tasks only copies the pointer value —
+// no shared-reference method dereferences it, so aliased access to the
+// pointee can never originate from the `Sync` impl itself.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]
@@ -1158,6 +1170,19 @@ mod tests {
             let mut expected = pairs.clone();
             expected.sort();
             prop_assert_eq!(sorted, expected);
+        }
+    }
+
+    /// Miri target: the counting-pass / packed-scatter raw-pointer writes,
+    /// at a size that crosses the block plan on both engines.
+    #[test]
+    fn miri_radix_sort_scatter_paths_both_engines() {
+        let keys: Vec<u64> = (0..3000u64)
+            .map(|i| i.wrapping_mul(2_654_435_761) % 977)
+            .collect();
+        for engine in both_engines() {
+            let ctx = Ctx::parallel().with_sort_engine(engine);
+            check_is_stable_sort(&keys, &radix_sort_u64(&ctx, &keys));
         }
     }
 }

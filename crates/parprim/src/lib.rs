@@ -25,6 +25,7 @@
 // Every public item of this crate is part of the documented substitution
 // surface; the CI rustdoc gate (`RUSTDOCFLAGS="-D warnings" cargo doc`)
 // turns a missing or broken doc into a build failure.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 

@@ -61,7 +61,7 @@ impl<T: TileValue> Recorder<'_, T> {
     #[inline]
     fn write(&mut self, idx: usize, val: T) {
         match self {
-            // Safety: disjoint indices, in range by the caller's walk
+            // SAFETY: disjoint indices, in range by the caller's walk
             // invariants (the index was just bounds-checked as a gather).
             Recorder::Direct(p) => unsafe { *p.add(idx) = val },
             Recorder::Combining(sink) => sink.push(idx, val),
@@ -229,7 +229,7 @@ pub(crate) fn chain_walk_bucketed(
                     }
                 };
                 if let Some((len, end)) = finished {
-                    // Safety: one writer per ruler j.
+                    // SAFETY: one writer per ruler j.
                     unsafe {
                         *sp.0.add(lane_j[l] as usize) = (u64::from(len) << 32) | u64::from(end);
                     }
@@ -333,7 +333,7 @@ pub(crate) fn cycle_walk_bucketed(
                 if let Some((min, next_ruler)) = finished {
                     // The start ruler's own slot, plus the contracted state.
                     rec.write(lane_start[l] as usize, lane_j[l]);
-                    // Safety: one writer per ruler j.
+                    // SAFETY: one writer per ruler j.
                     unsafe {
                         *sp.0.add(lane_j[l] as usize) =
                             (u64::from(min) << 32) | u64::from(next_ruler);

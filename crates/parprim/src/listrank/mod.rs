@@ -402,4 +402,21 @@ mod tests {
             prop_assert_eq!(list_rank(&ctx, &next), expected);
         }
     }
+
+    /// Miri target: the ruling-set and cache-bucket engine internals (the
+    /// segment walks and expansion scatters), above the tiny-list Wyllie
+    /// fallback threshold.
+    #[test]
+    fn miri_ruling_and_bucket_engines_above_tiny_threshold() {
+        let n = 1300usize;
+        let mut next: Vec<u32> = (1..=n as u32).collect();
+        next[n - 1] = (n - 1) as u32;
+        for engine in [RankEngine::RulingSet, RankEngine::CacheBucket] {
+            let ctx = Ctx::parallel().with_rank_engine(engine);
+            let ranks = list_rank(&ctx, &next);
+            for (i, &r) in ranks.iter().enumerate() {
+                assert_eq!(r as usize, n - 1 - i);
+            }
+        }
+    }
 }

@@ -277,14 +277,14 @@ fn ruling_set_rank_core(ctx: &Ctx, flagged_next: &[u32], out: &mut Vec<u32>) {
             let (dp, ep, np, lp) = (dist_ptr, end_ptr, next_ptr, len_ptr);
             let mut cur = start;
             for steps_from_start in 0..len {
-                // Safety: disjoint segments → each node written at most once.
+                // SAFETY: disjoint segments → each node written at most once.
                 unsafe {
                     *dp.0.add(cur) = len - steps_from_start;
                     *ep.0.add(cur) = end;
                 }
                 cur = (flagged_next[cur] & FLAGGED_LOW) as usize;
             }
-            // Safety: one writer per ruler j.
+            // SAFETY: one writer per ruler j.
             unsafe {
                 *np.0.add(j) = end;
                 *lp.0.add(j) = len;
@@ -455,7 +455,7 @@ pub(crate) fn cycle_min_contraction_flagged_core(
             let mut cur = (flagged[start] & FLAGGED_LOW) as usize;
             let (ep, sp) = (end_ptr, state_ptr);
             while cur != start && flagged[cur] >> 31 == 0 {
-                // Safety: each element is interior to exactly one segment.
+                // SAFETY: each element is interior to exactly one segment.
                 unsafe {
                     *ep.0.add(cur) = j as u32;
                 }
@@ -468,7 +468,7 @@ pub(crate) fn cycle_min_contraction_flagged_core(
             } else {
                 ruler_index[cur]
             };
-            // Safety: one writer per ruler.
+            // SAFETY: one writer per ruler.
             unsafe {
                 *ep.0.add(start) = j as u32;
                 *sp.0.add(j) = (u64::from(min) << 32) | u64::from(next_ruler);
@@ -549,5 +549,12 @@ pub(crate) fn cycle_min_contraction_flagged_core(
 
 #[derive(Clone, Copy)]
 pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+// SAFETY: `SendPtr` only smuggles a raw base pointer into parallel tasks
+// whose writes target disjoint indices; every dereference site carries its
+// own SAFETY argument for that disjointness, and the pointee buffer is
+// borrowed for the whole parallel region, so it outlives every task.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr` across tasks only copies the pointer value —
+// no shared-reference method dereferences it, so aliased access to the
+// pointee can never originate from the `Sync` impl itself.
 unsafe impl<T> Sync for SendPtr<T> {}

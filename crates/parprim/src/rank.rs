@@ -123,7 +123,7 @@ fn dense_ranks_unfused(ctx: &Ctx, keys: &[u64], ranks: &mut Vec<u32>) -> usize {
     let ranks_ptr = SendPtr(ranks.as_mut_ptr());
     ctx.par_for_idx(n, |i| {
         let ptr = ranks_ptr;
-        // Safety: order is a permutation, so each slot written exactly once.
+        // SAFETY: order is a permutation, so each slot written exactly once.
         unsafe {
             *ptr.0.add(order[i] as usize) = group[i] as u32;
         }
@@ -183,7 +183,7 @@ where
             for i in start.max(1)..end {
                 count += u32::from(key(&items[i]) != key(&items[i - 1]));
             }
-            // Safety: one write per block index.
+            // SAFETY: one write per block index.
             unsafe {
                 *cp.0.add(b) = count;
             }
@@ -231,7 +231,7 @@ where
             ScatterEngine::Direct => {
                 (0..num_blocks).into_par_iter().for_each(|b| {
                     let ptr = ranks_ptr;
-                    // Safety: payloads form a permutation — one write per
+                    // SAFETY: payloads form a permutation — one write per
                     // slot.
                     sweep_block(items, n, base, key, pay, b, &mut |idx, group| unsafe {
                         *ptr.0.add(idx) = group;
@@ -378,7 +378,14 @@ pub fn dense_ranks(ctx: &Ctx, keys: &[u64]) -> (Vec<u32>, usize) {
 
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: `SendPtr` only smuggles a raw base pointer into parallel tasks
+// whose writes target disjoint indices; every dereference site carries its
+// own SAFETY argument for that disjointness, and the pointee buffer is
+// borrowed for the whole parallel region, so it outlives every task.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr` across tasks only copies the pointer value —
+// no shared-reference method dereferences it, so aliased access to the
+// pointee can never originate from the `Sync` impl itself.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]
@@ -602,6 +609,22 @@ mod tests {
                 for j in (i + 1)..keys.len() {
                     prop_assert_eq!(keys[i] == keys[j], ranks[i] == ranks[j]);
                 }
+            }
+        }
+    }
+
+    /// Miri target: the rank-scatter pointer writes, on a key set whose
+    /// dense ranks are known in closed form (`gcd(31, 53) = 1`, so every
+    /// residue occurs and rank == key value).
+    #[test]
+    fn miri_dense_ranks_by_sort_both_engines() {
+        let keys: Vec<u64> = (0..1500u64).map(|i| (i * 31) % 53).collect();
+        for engine in [SortEngine::Packed, SortEngine::Permutation] {
+            let ctx = Ctx::parallel().with_sort_engine(engine);
+            let (ranks, distinct) = dense_ranks_by_sort(&ctx, &keys);
+            assert_eq!(distinct, 53);
+            for (r, k) in ranks.iter().zip(&keys) {
+                assert_eq!(u64::from(*r), *k);
             }
         }
     }

@@ -122,7 +122,7 @@ pub fn scan_generic_into<T, F>(
     // Pass 1: per-block totals.  The two passes touch every element once each.
     ctx.charge_work(2 * n as u64);
     let num_blocks = n.div_ceil(SCAN_BLOCK);
-    let block_totals: Vec<T> = ctx.par_map_idx(num_blocks, |b| {
+    let mut block_offsets: Vec<T> = ctx.par_map_idx(num_blocks, |b| {
         let start = b * SCAN_BLOCK;
         let end = (start + SCAN_BLOCK).min(n);
         let mut acc = identity;
@@ -132,18 +132,19 @@ pub fn scan_generic_into<T, F>(
         acc
     });
 
-    // Scan the block totals (small, done sequentially).
-    let mut block_offsets = Vec::with_capacity(num_blocks);
+    // Exclusive-scan the block totals in place (small, done sequentially):
+    // the generic element type has no workspace pool, so pass 1's buffer is
+    // the only per-block scratch this function allocates.
     let mut acc = identity;
-    for &t in &block_totals {
-        block_offsets.push(acc);
-        acc = op(acc, t);
+    for slot in &mut block_offsets {
+        let total = std::mem::replace(slot, acc);
+        acc = op(acc, total);
     }
     ctx.charge_work(num_blocks as u64);
 
     // Pass 2: per-block sweep with the block offset.
     out.reserve(n);
-    // Safety: fully overwritten below before reading.
+    // SAFETY: fully overwritten below before reading.
     #[allow(clippy::uninit_vec)]
     unsafe {
         out.set_len(n)
@@ -155,7 +156,7 @@ pub fn scan_generic_into<T, F>(
         let mut acc = block_offsets[b];
         let ptr = out_ptr;
         for i in start..end {
-            // Safety: each index is written by exactly one block.
+            // SAFETY: each index is written by exactly one block.
             unsafe {
                 if inclusive {
                     acc = op(acc, values[i]);
@@ -173,7 +174,14 @@ pub fn scan_generic_into<T, F>(
 /// use in this crate writes disjoint index ranges from different tasks.
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: `SendPtr` only smuggles a raw base pointer into parallel tasks
+// whose writes target disjoint indices; every dereference site carries its
+// own SAFETY argument for that disjointness, and the pointee buffer is
+// borrowed for the whole parallel region, so it outlives every task.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr` across tasks only copies the pointer value —
+// no shared-reference method dereferences it, so aliased access to the
+// pointee can never originate from the `Sync` impl itself.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 /// Segmented inclusive scan: `flags[i] == true` marks the start of a new
@@ -354,5 +362,14 @@ mod tests {
                 prop_assert_eq!(ex[i], v[..i].iter().sum::<u64>());
             }
         }
+    }
+
+    /// Miri target: the pass-2 `set_len` + disjoint per-block pointer writes
+    /// of the parallel scan (needs `n > SCAN_BLOCK`).
+    #[test]
+    fn miri_parallel_scan_crosses_block_boundary() {
+        let v: Vec<u64> = (0..(SCAN_BLOCK + 64) as u64).map(|i| i % 7).collect();
+        let ctx = Ctx::parallel();
+        assert_eq!(inclusive_scan(&ctx, &v), reference_inclusive(&v));
     }
 }

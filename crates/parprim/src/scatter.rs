@@ -119,9 +119,13 @@ pub struct ScatterTiles<'c> {
     tile_entries: usize,
 }
 
-// Sinks write disjoint per-task regions of the staging buffer; the struct
-// itself is only read after construction.
+// SAFETY: shared references to `ScatterTiles` are read-only after
+// construction, and the staging pointer they expose is only dereferenced
+// through `sink`, whose per-task regions are disjoint by the task plan.
 unsafe impl Sync for ScatterTiles<'_> {}
+// SAFETY: moving the struct across threads moves only the raw base pointer
+// and plan scalars; the staging checkout it points into is borrowed for the
+// whole scatter pass, so the pointee outlives every task.
 unsafe impl Send for ScatterTiles<'_> {}
 
 impl<'c> ScatterTiles<'c> {
@@ -159,7 +163,7 @@ impl<'c> ScatterTiles<'c> {
     #[must_use]
     pub fn sink<T: TileValue>(&self, task: usize, dest: *mut T) -> TileSink<'_, T> {
         assert!(task < self.num_tasks, "scatter task {task} out of plan");
-        // Safety: disjoint per-task regions of the staging checkout, whose
+        // SAFETY: disjoint per-task regions of the staging checkout, whose
         // base pointer was taken from an exclusive borrow in `new`.
         let region = unsafe { self.entries_ptr.add(task * NUM_BUCKETS * self.tile_entries) };
         TileSink {
@@ -194,7 +198,7 @@ impl<T: TileValue> TileSink<'_, T> {
         let bucket = idx >> self.shift;
         debug_assert!(bucket < NUM_BUCKETS);
         let fill = self.fill[bucket] as usize;
-        // Safety: bucket-local fill < tile_entries, region is task-private.
+        // SAFETY: bucket-local fill < tile_entries, region is task-private.
         unsafe {
             *self.entries.add(bucket * self.tile_entries + fill) = (idx as u64, val.to_word());
         }
@@ -220,7 +224,7 @@ impl<T: TileValue> TileSink<'_, T> {
     #[inline]
     fn flush_bucket(&mut self, bucket: usize, fill: usize) {
         for e in 0..fill {
-            // Safety: entries were staged by `push` from in-range indices;
+            // SAFETY: entries were staged by `push` from in-range indices;
             // the caller guarantees index disjointness across writers.
             unsafe {
                 let (idx, word) = *self.entries.add(bucket * self.tile_entries + e);
@@ -230,8 +234,9 @@ impl<T: TileValue> TileSink<'_, T> {
     }
 }
 
-// The raw pointers are confined to one task's disjoint staging region and
-// the shared (index-disjoint) destination.
+// SAFETY: a `TileSink` is owned by exactly one task; its raw pointers are
+// confined to that task's private staging region and to destination slots
+// whose indices the caller guarantees disjoint across writers.
 unsafe impl<T: TileValue> Send for TileSink<'_, T> {}
 
 /// Deterministic task plan of a combining scatter pass: fixed-size slot
@@ -270,7 +275,7 @@ where
                 if let Some((idx, val)) = item(s) {
                     assert!(idx < len, "scatter index {idx} out of range ({len})");
                     let p = ptr;
-                    // Safety: in range (checked) and index-disjoint (caller
+                    // SAFETY: in range (checked) and index-disjoint (caller
                     // contract).
                     unsafe {
                         *p.0.add(idx) = val;
@@ -305,7 +310,14 @@ where
 
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: `SendPtr` only smuggles a raw base pointer into parallel tasks
+// whose writes target disjoint indices; every dereference site carries its
+// own SAFETY argument for that disjointness, and the pointee buffer is
+// borrowed for the whole parallel region, so it outlives every task.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr` across tasks only copies the pointer value —
+// no shared-reference method dereferences it, so aliased access to the
+// pointee can never originate from the `Sync` impl itself.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]

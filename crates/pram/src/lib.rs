@@ -46,6 +46,7 @@
 // Every public item of this crate is part of the documented substitution
 // surface; the CI rustdoc gate (`RUSTDOCFLAGS="-D warnings" cargo doc`)
 // turns a missing or broken doc into a build failure.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 

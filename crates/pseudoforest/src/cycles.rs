@@ -90,7 +90,7 @@ pub fn cycle_nodes_jump(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
     let ptr = SendPtr(on_cycle.as_mut_ptr());
     ctx.par_for_idx(n, |x| {
         let p = ptr;
-        // Safety: all writers write the same value to the cell.
+        // SAFETY: all writers write the same value to the cell.
         unsafe {
             *p.0.add(power[x] as usize) = true;
         }
@@ -220,14 +220,14 @@ pub fn cycle_nodes_euler(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
                 let (start, incident) = (&start, &incident);
                 ctx.par_for_idx(n, |v| {
                     let p = succ_ptr;
-                    // Safety: each incoming arc is written exactly once (it
-                    // has a unique endpoint position).
                     emit_vertex(
                         start,
                         incident,
                         num_arcs,
                         flagging,
                         v,
+                        // SAFETY: each incoming arc is written exactly once
+                        // (it has a unique endpoint position).
                         &mut |slot, val| unsafe {
                             *p.0.add(slot) = val;
                         },
@@ -280,7 +280,14 @@ pub fn cycle_nodes_euler(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
 
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: `SendPtr` only smuggles a raw base pointer into parallel tasks
+// whose writes target disjoint indices; every dereference site carries its
+// own SAFETY argument for that disjointness, and the pointee buffer is
+// borrowed for the whole parallel region, so it outlives every task.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr` across tasks only copies the pointer value —
+// no shared-reference method dereferences it, so aliased access to the
+// pointee can never originate from the `Sync` impl itself.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]
@@ -404,5 +411,16 @@ mod tests {
             let marks = check_agreement(&g);
             prop_assert!(marks.iter().all(|&m| m));
         }
+    }
+
+    /// Miri target: the incoming-arc emission scatter and the jump/Euler
+    /// labeling paths.
+    #[test]
+    fn miri_jump_and_euler_agree_with_seq() {
+        let ctx = Ctx::parallel();
+        let g = generators::paper_example_function();
+        let want = cycle_nodes_seq(&ctx, &g);
+        assert_eq!(cycle_nodes_jump(&ctx, &g), want);
+        assert_eq!(cycle_nodes_euler(&ctx, &g), want);
     }
 }

@@ -19,6 +19,8 @@
 //!   cycles as node sequences with leaders and in-cycle positions, the rooted
 //!   forest of tree nodes (each tree rooted at a cycle node), and node levels.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cycles;
 pub mod generators;
 pub mod graph;

@@ -232,7 +232,7 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
         let (leaders, dist_to_end) = (&leaders, &dist_to_end);
         ctx.par_for_idx(num_cycles, |c| {
             let p = off_ptr;
-            // Safety: one write per cycle, at slot c + 1.
+            // SAFETY: one write per cycle, at slot c + 1.
             unsafe {
                 *p.0.add(c + 1) = dist_to_end[leaders[c] as usize] + 1;
             }
@@ -263,7 +263,7 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
             let len = dist_to_end[leader] + 1;
             let pos = len - 1 - dist_to_end[j];
             let (pp, op) = (pos_ptr, of_ptr);
-            // Safety: one write per cycle node.
+            // SAFETY: one write per cycle node.
             unsafe {
                 *pp.0.add(x) = pos;
                 *op.0.add(x) = c;
@@ -283,7 +283,7 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
             let c = cycle_of[x as usize] as usize;
             let pos = cycle_pos[x as usize] as usize;
             let p = node_ptr;
-            // Safety: see above.
+            // SAFETY: see above.
             unsafe {
                 *p.0.add(cycle_offsets[c] as usize + pos) = x;
             }
@@ -359,7 +359,14 @@ impl Decomposition {
 
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: `SendPtr` only smuggles a raw base pointer into parallel tasks
+// whose writes target disjoint indices; every dereference site carries its
+// own SAFETY argument for that disjointness, and the pointee buffer is
+// borrowed for the whole parallel region, so it outlives every task.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr` across tasks only copies the pointer value —
+// no shared-reference method dereferences it, so aliased access to the
+// pointee can never originate from the `Sync` impl itself.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]
@@ -482,5 +489,19 @@ mod tests {
             let d = decompose(&ctx, &g, CycleMethod::Euler);
             check_invariants(&g, &d);
         }
+    }
+
+    /// Miri target: the full decomposition pipeline (cycle labeling, chain
+    /// layout, level scatter) under both parallel cycle methods.
+    #[test]
+    fn miri_decompose_methods_agree() {
+        let ctx = Ctx::parallel();
+        let g = generators::random_function(300, 5);
+        let a = decompose(&ctx, &g, CycleMethod::Sequential);
+        let b = decompose(&ctx, &g, CycleMethod::Jump);
+        let c = decompose(&ctx, &g, CycleMethod::Euler);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        check_invariants(&g, &c);
     }
 }

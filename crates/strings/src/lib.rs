@@ -39,6 +39,8 @@
 //! assert_eq!(msp, 13);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod canonical;
 pub mod msp;
 pub mod period;

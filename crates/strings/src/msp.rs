@@ -274,7 +274,7 @@ pub fn efficient_msp(ctx: &Ctx, s: &[u32]) -> usize {
                     } else {
                         m
                     };
-                    // Safety: each pair slot belongs to exactly one run/group.
+                    // SAFETY: each pair slot belongs to exactly one run/group.
                     unsafe {
                         *pp.0.add(base + g) = (a, b);
                         *op.0.add(base + g) = origin_ref[first];
@@ -338,7 +338,14 @@ pub fn doubling_msp(ctx: &Ctx, s: &[u32]) -> usize {
 
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: `SendPtr` only smuggles a raw base pointer into parallel tasks
+// whose writes target disjoint indices; every dereference site carries its
+// own SAFETY argument for that disjointness, and the pointee buffer is
+// borrowed for the whole parallel region, so it outlives every task.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr` across tasks only copies the pointer value —
+// no shared-reference method dereferences it, so aliased access to the
+// pointee can never originate from the `Sync` impl itself.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]
@@ -505,5 +512,15 @@ mod tests {
                 prop_assert_eq!(minimal_starting_point(&ctx, &s, m), expected);
             }
         }
+    }
+
+    /// Miri target: the rank/scatter passes inside all three MSP methods.
+    #[test]
+    fn miri_msp_methods_agree() {
+        let s: Vec<u32> = (0..96u32).map(|i| i.wrapping_mul(13) % 5).collect();
+        let ctx = Ctx::parallel();
+        let want = simple_msp(&ctx, &s);
+        assert_eq!(efficient_msp(&ctx, &s), want);
+        assert_eq!(doubling_msp(&ctx, &s), want);
     }
 }

@@ -151,7 +151,7 @@ pub fn sort_strings_contraction(ctx: &Ctx, strings: &[Vec<u32>]) -> Vec<u32> {
                 for g in 0..s.len().div_ceil(2) {
                     let a = s[2 * g];
                     let b = if 2 * g + 1 < s.len() { s[2 * g + 1] } else { 0 };
-                    // Safety: every (string, group) pair owns one distinct slot.
+                    // SAFETY: every (string, group) pair owns one distinct slot.
                     unsafe {
                         *p.0.add(base + g) = (a, b);
                     }
@@ -216,7 +216,14 @@ fn sort_keyed(ctx: &Ctx, keyed: &mut [(Vec<u64>, u32)]) {
 
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: `SendPtr` only smuggles a raw base pointer into parallel tasks
+// whose writes target disjoint indices; every dereference site carries its
+// own SAFETY argument for that disjointness, and the pointee buffer is
+// borrowed for the whole parallel region, so it outlives every task.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr` across tasks only copies the pointer value —
+// no shared-reference method dereferences it, so aliased access to the
+// pointee can never originate from the `Sync` impl itself.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]
@@ -377,5 +384,11 @@ mod tests {
         ) {
             check(&strings);
         }
+    }
+
+    /// Miri target: the contraction sort's scatter/rank machinery.
+    #[test]
+    fn miri_sort_strings_small() {
+        check(&[vec![3, 1], vec![2, 2, 2], vec![1], vec![3, 1], vec![]]);
     }
 }

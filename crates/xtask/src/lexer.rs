@@ -1,0 +1,363 @@
+//! A comment- and string-aware line scanner for Rust source.
+//!
+//! The lint rules all work on *views* of a source file: a **code view** with
+//! every comment and every string/char-literal body blanked out, and a
+//! **comment view** holding the comment text of each line.  Substring
+//! searches against the code view can then never be fooled by a rule token
+//! (`unsafe`, `topology()`, `vec![`) appearing inside a doc comment or a
+//! string literal — the precision/recall contract of the whole linter rests
+//! on this module.
+//!
+//! The scanner is a hand-rolled state machine rather than a real parser (the
+//! build environment has no registry, so `syn` is not an option — the same
+//! vendored-shim precedent as `vendor/`).  It understands:
+//!
+//! * `//` line comments and nested `/* /* */ */` block comments,
+//! * string literals with escapes, byte strings, and raw (byte) strings
+//!   `r"…"`, `r#"…"#`, `br##"…"##` with any number of hashes,
+//! * char and byte-char literals (`'a'`, `'\''`, `b'\xff'`) — and it keeps
+//!   lifetimes (`'a`, `'static`) in the code view instead of eating to the
+//!   next apostrophe,
+//! * raw identifiers (`r#match` is an identifier, not a raw string).
+
+/// One source line, split into its code part and its comment part.
+#[derive(Debug, Default, Clone)]
+pub struct LineView {
+    /// The raw line text, untouched.
+    pub raw: String,
+    /// Code with comments and literal bodies removed (string delimiters are
+    /// kept so `""` still reads as an expression boundary).
+    pub code: String,
+    /// Concatenated text of every comment on the line (markers stripped).
+    pub comment: String,
+}
+
+impl LineView {
+    /// True when the line carries no code at all (blank or comment-only).
+    #[must_use]
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+
+    /// True when the code part is exactly an attribute (`#[…]` / `#![…]`),
+    /// possibly spilling over to the next line.
+    #[must_use]
+    pub fn is_attr_only(&self) -> bool {
+        let t = self.code.trim();
+        t.starts_with("#[") || t.starts_with("#![")
+    }
+}
+
+#[derive(PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Split `src` into per-line code/comment views.
+#[must_use]
+pub fn scan_source(src: &str) -> Vec<LineView> {
+    let b: Vec<char> = src.chars().collect();
+    let mut lines: Vec<LineView> = Vec::new();
+    let mut raw = String::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(LineView {
+                raw: std::mem::take(&mut raw),
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+            i += 1;
+            continue;
+        }
+        raw.push(c);
+        match state {
+            State::Code => {
+                if c == '/' && b.get(i + 1) == Some(&'/') {
+                    raw.push('/');
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && b.get(i + 1) == Some(&'*') {
+                    raw.push('*');
+                    state = State::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                let prev_is_ident = i > 0 && is_ident(b[i - 1]);
+                if (c == 'r' || c == 'b') && !prev_is_ident {
+                    // Raw/byte string openers: r"", r#""#, b"", br#""#.
+                    let mut j = i + 1;
+                    if c == 'b' && b.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let raw_form = c == 'r' || j > i + 1; // r…, br…
+                    if b.get(j) == Some(&'"') && (raw_form || hashes == 0) {
+                        // `b#"` is not a literal; `b"` (hashes == 0) is.
+                        let plain_byte_str = c == 'b' && b.get(i + 1) == Some(&'"');
+                        for (k, &opener_ch) in b.iter().enumerate().take(j + 1).skip(i) {
+                            code.push(opener_ch);
+                            if k > i {
+                                raw.push(opener_ch);
+                            }
+                        }
+                        state = if plain_byte_str {
+                            State::Str
+                        } else {
+                            State::RawStr(hashes)
+                        };
+                        i = j + 1;
+                        continue;
+                    }
+                    if c == 'b' && b.get(i + 1) == Some(&'\'') {
+                        // Byte char literal b'…'.
+                        code.push('b');
+                        raw.push('\'');
+                        code.push('\'');
+                        state = State::CharLit;
+                        i += 2;
+                        continue;
+                    }
+                    code.push(c);
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Lifetime or char literal?  `'a'` / `'\n'` are chars;
+                    // `'a`, `'static` (no closing quote right after the
+                    // identifier) are lifetimes.
+                    let next = b.get(i + 1).copied();
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(n) if is_ident(n) => b.get(i + 2) == Some(&'\''),
+                        Some('\'') => false, // '' is invalid; treat as code
+                        Some(_) => true,     // '(' , '{' , etc.
+                        None => false,
+                    };
+                    code.push('\'');
+                    if is_char {
+                        state = State::CharLit;
+                    }
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && b.get(i + 1) == Some(&'*') {
+                    raw.push('*');
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && b.get(i + 1) == Some(&'/') {
+                    raw.push('/');
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    if let Some(&n) = b.get(i + 1) {
+                        if n != '\n' {
+                            raw.push(n);
+                            i += 1;
+                        }
+                    }
+                    i += 1;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && b.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                            raw.push('#');
+                        }
+                        state = State::Code;
+                        i = j;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    if let Some(&n) = b.get(i + 1) {
+                        raw.push(n);
+                    }
+                    i += 2;
+                } else if c == '\'' {
+                    code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !raw.is_empty() || !code.is_empty() || !comment.is_empty() {
+        lines.push(LineView { raw, code, comment });
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        scan_source(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_from_code() {
+        let v = scan_source("let x = 1; // unsafe topology()\nlet y = 2;");
+        assert!(!v[0].code.contains("unsafe"));
+        assert!(v[0].comment.contains("unsafe topology()"));
+        assert!(v[1].code.contains("let y"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let v = codes("a /* one /* two */ still comment */ b\nc");
+        assert!(v[0].contains('a') && v[0].contains('b'));
+        assert!(!v[0].contains("still"));
+        assert_eq!(v[1], "c");
+    }
+
+    #[test]
+    fn multiline_block_comment_blanks_every_line() {
+        let v = scan_source("x /* start\nunsafe { }\nend */ y");
+        assert!(!v[1].code.contains("unsafe"));
+        assert!(v[1].comment.contains("unsafe"));
+        assert!(v[2].code.contains('y'));
+    }
+
+    #[test]
+    fn string_bodies_are_blanked_but_delimiters_kept() {
+        let v = codes(r#"let s = "vec![unsafe // not a comment]";"#);
+        assert!(!v[0].contains("vec!["));
+        assert!(!v[0].contains("//"));
+        assert!(v[0].contains("\"\""));
+        assert!(v[0].ends_with(';'));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let v = codes(r#"let s = "a\"unsafe\"b"; let t = 1;"#);
+        assert!(!v[0].contains("unsafe"));
+        assert!(v[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_span_lines() {
+        let src = "let s = r#\"line one // no comment\nunsafe line two\n\"# ; done";
+        let v = scan_source(src);
+        assert!(!v[0].code.contains("no comment"));
+        assert!(!v[1].code.contains("unsafe"));
+        assert!(v[2].code.contains("done"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_literals() {
+        let v = codes("let a = b\"unsafe\"; let b2 = br#\"vec![\"#; x");
+        assert!(!v[0].contains("unsafe"));
+        assert!(!v[0].contains("vec!["));
+        assert!(v[0].contains('x'));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let v = codes("let q = '\"'; let c = '\\''; let u = 'u'; after");
+        // None of the quotes/backslashes inside the char literals leak into
+        // the code view as string openers: were the `'"'` body kept, the
+        // rest of the line would be swallowed as a string literal.
+        assert!(v[0].contains("after"));
+        assert!(!v[0].contains('"'));
+        assert!(!v[0].contains('\\'));
+    }
+
+    #[test]
+    fn lifetimes_are_kept_as_code() {
+        let v = codes("fn f<'a>(x: &'a str) -> &'static str { x }");
+        assert!(v[0].contains("'a"));
+        assert!(v[0].contains("'static"));
+        assert!(v[0].contains("{ x }"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let v = codes("let r#type = 1; let x = r#type + 1;");
+        assert!(v[0].contains("r#type"));
+        assert!(v[0].contains("+ 1;"));
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_ignored() {
+        let v = scan_source("let s = \"// SAFETY: fake\"; real_code();");
+        assert!(v[0].comment.is_empty());
+        assert!(v[0].code.contains("real_code()"));
+    }
+
+    #[test]
+    fn attr_and_blank_detection() {
+        let v = scan_source("#[cfg(test)]\n\n// only comment\nlet x = 1;");
+        assert!(v[0].is_attr_only());
+        assert!(v[1].is_code_blank());
+        assert!(v[2].is_code_blank());
+        assert!(!v[3].is_code_blank());
+    }
+}

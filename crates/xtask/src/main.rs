@@ -1,0 +1,71 @@
+//! `cargo run -p xtask -- lint [--root <path>]` — run sfcp-lint and exit
+//! non-zero on any finding (the CI gate).  Exit codes: 0 clean, 1 findings,
+//! 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut cmd: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                if i + 1 >= args.len() {
+                    eprintln!("xtask: --root needs a path");
+                    return ExitCode::from(2);
+                }
+                root = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("xtask: unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            sub => {
+                if cmd.is_some() {
+                    eprintln!("xtask: unexpected argument {sub}");
+                    return ExitCode::from(2);
+                }
+                cmd = Some(sub.to_string());
+                i += 1;
+            }
+        }
+    }
+    match cmd.as_deref() {
+        Some("lint") => {}
+        other => {
+            eprintln!(
+                "usage: cargo run -p xtask -- lint [--root <path>]{}",
+                other.map_or(String::new(), |o| format!(" (got `{o}`)"))
+            );
+            return ExitCode::from(2);
+        }
+    }
+    let root = root.unwrap_or_else(xtask::default_root);
+    match xtask::run_lint(&root) {
+        Ok((findings, scanned)) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                println!("sfcp-lint: {scanned} files scanned, clean");
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "sfcp-lint: {} finding(s) across {scanned} files",
+                    findings.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("xtask: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

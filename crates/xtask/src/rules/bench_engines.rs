@@ -1,0 +1,117 @@
+//! `bench-engines` — schema check over the committed `BENCH_parprim*.json`
+//! engine labels.
+//!
+//! PR 7 fixed a mislabeled scatter row whose `engines` header claimed the
+//! sort-engine pair; this rule makes that class unrepresentable at commit
+//! time.  For every row of every `BENCH_parprim*.json` in the repo root:
+//!
+//! * an `"engines": [a, b]` field must be one of the known engine-set
+//!   names (kept in lockstep with `SORT_RANK_LABELS` / `SCATTER_LABELS` in
+//!   `crates/bench/src/bin/bench_json.rs`);
+//! * `scatter` rows must carry the scatter pair and non-scatter rows the
+//!   sort/rank pair — the exact confusion the mislabel was;
+//! * a big-n `"engine": x` field must name a single known `ScatterEngine`.
+//!
+//! The files are line-structured (one row object per line, written by
+//! `bench_json`), so a comment/string-blind line scan is exact here.
+
+use crate::scan::Finding;
+
+/// Rule identifier.
+pub const RULE: &str = "bench-engines";
+
+/// Known engine-set labels (mirrors `bench_json.rs`; the self-test in
+/// `crates/xtask/tests` cross-checks the committed files).
+const KNOWN_PAIRS: &[[&str; 2]] = &[["packed", "permutation"], ["direct", "combining"]];
+/// Known single-engine labels of the big-n tier (`ScatterEngine` variants).
+const KNOWN_SINGLES: &[&str] = &["direct", "combining", "auto"];
+
+fn extract_quoted(list: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = list;
+    while let Some(open) = rest.find('"') {
+        let Some(close) = rest[open + 1..].find('"') else {
+            break;
+        };
+        out.push(rest[open + 1..open + 1 + close].to_string());
+        rest = &rest[open + 2 + close..];
+    }
+    out
+}
+
+fn field_value<'a>(line: &'a str, field: &str) -> Option<&'a str> {
+    let pos = line.find(field)? + field.len();
+    Some(line[pos..].trim_start())
+}
+
+/// Check one committed bench JSON file.
+#[must_use]
+pub fn check(rel_path: &str, contents: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in contents.lines().enumerate() {
+        let line_no = idx + 1;
+        let name = field_value(line, "\"name\":")
+            .map(|v| extract_quoted(v).into_iter().next().unwrap_or_default());
+
+        if let Some(rest) = field_value(line, "\"engines\":") {
+            let Some(close) = rest.find(']') else {
+                out.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: RULE,
+                    message: "unterminated engines list".to_string(),
+                });
+                continue;
+            };
+            let labels = extract_quoted(&rest[..close]);
+            let known = KNOWN_PAIRS
+                .iter()
+                .any(|p| labels.len() == 2 && p[0] == labels[0] && p[1] == labels[1]);
+            if !known {
+                out.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: RULE,
+                    message: format!(
+                        "engines {labels:?} is not a known engine-set \
+                         (expected one of {KNOWN_PAIRS:?})"
+                    ),
+                });
+                continue;
+            }
+            // Scatter rows measure ScatterEngine columns; everything else
+            // measures the sort/rank pair.  (Header lines carry no name.)
+            if let Some(name) = name {
+                let want_scatter = name == "scatter";
+                let is_scatter_pair = labels[0] == "direct";
+                if want_scatter != is_scatter_pair {
+                    out.push(Finding {
+                        file: rel_path.to_string(),
+                        line: line_no,
+                        rule: RULE,
+                        message: format!(
+                            "row `{name}` labelled {labels:?} — scatter rows \
+                             measure [\"direct\", \"combining\"], other rows \
+                             [\"packed\", \"permutation\"] (the PR 7 mislabel \
+                             class)"
+                        ),
+                    });
+                }
+            }
+        } else if let Some(rest) = field_value(line, "\"engine\":") {
+            let label = extract_quoted(rest).into_iter().next().unwrap_or_default();
+            if !KNOWN_SINGLES.contains(&label.as_str()) {
+                out.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: RULE,
+                    message: format!(
+                        "engine {label:?} is not a known ScatterEngine label \
+                         (expected one of {KNOWN_SINGLES:?})"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

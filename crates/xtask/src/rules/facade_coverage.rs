@@ -1,0 +1,143 @@
+//! `facade-coverage` — panic-safe `try_` twins for public entry points.
+//!
+//! PR 6's failure model (DESIGN.md §9) wraps every entry point in a typed
+//! `try_` facade so a service embedding the library never has to
+//! `catch_unwind` itself.  This rule keeps that surface closed over the
+//! `pram` and `core` crates:
+//!
+//! * every `pub fn` whose doc comment declares a `# Panics` section (the
+//!   rustdoc contract for a panicking API) and is not itself a `try_`
+//!   facade must have a `try_<name>` twin defined in the same crate;
+//! * symmetrically, every `try_<name>` must shadow a real `<name>` — a
+//!   facade whose panicking twin was renamed away is dead API.
+//!
+//! The scan is crate-wide, so the twin may live in any module of the crate
+//! (e.g. `coarsest_partition` in `lib.rs`, dispatching facade in the same
+//! file, panicking engines in submodules).
+
+use crate::scan::{FileScan, Finding};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule identifier.
+pub const RULE: &str = "facade-coverage";
+
+/// Crates under the facade contract, identified by path prefix.
+pub const FACADE_CRATES: &[&str] = &["crates/pram/src/", "crates/core/src/"];
+
+fn crate_of(rel_path: &str) -> Option<&'static str> {
+    FACADE_CRATES
+        .iter()
+        .find(|p| rel_path.starts_with(**p))
+        .copied()
+}
+
+fn fn_name_after(code: &str, kw_pos: usize) -> Option<String> {
+    let rest = code[kw_pos + 3..].trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Per-crate accumulated state, fed file by file.
+#[derive(Default)]
+pub struct FacadeState {
+    /// crate prefix -> all defined fn names.
+    defined: BTreeMap<&'static str, BTreeSet<String>>,
+    /// crate prefix -> (name, file, line) of pub fns documented `# Panics`.
+    panicking: BTreeMap<&'static str, Vec<(String, String, usize)>>,
+    /// crate prefix -> (name, file, line) of try_-prefixed fns.
+    facades: BTreeMap<&'static str, Vec<(String, String, usize)>>,
+}
+
+impl FacadeState {
+    /// Record one file's definitions.
+    pub fn ingest(&mut self, scan: &FileScan) {
+        let Some(krate) = crate_of(&scan.rel_path) else {
+            return;
+        };
+        let mut doc_has_panics = false;
+        for (idx, line) in scan.lines.iter().enumerate() {
+            let raw_trim = line.raw.trim_start();
+            if raw_trim.starts_with("///") || raw_trim.starts_with("//!") {
+                if line.comment.contains("# Panics") {
+                    doc_has_panics = true;
+                }
+                continue;
+            }
+            if line.is_code_blank() || line.is_attr_only() {
+                continue; // attributes/blank lines between docs and the item
+            }
+            let code = &line.code;
+            if let Some(kw) = code.find("fn ") {
+                let word_ok = kw == 0
+                    || !code[..kw]
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                if word_ok {
+                    if let Some(name) = fn_name_after(code, kw) {
+                        self.defined.entry(krate).or_default().insert(name.clone());
+                        let is_pub = code.trim_start().starts_with("pub ");
+                        let record = (name.clone(), scan.rel_path.clone(), idx + 1);
+                        if let Some(base) = name.strip_prefix("try_") {
+                            if !base.is_empty() && !scan.in_test[idx] {
+                                self.facades.entry(krate).or_default().push(record);
+                            }
+                        } else if is_pub
+                            && doc_has_panics
+                            && !scan.in_test[idx]
+                            && !code.contains("-> Result<")
+                            && !scan.allowed(RULE, idx + 1)
+                        {
+                            self.panicking.entry(krate).or_default().push(record);
+                        }
+                    }
+                }
+            }
+            doc_has_panics = false;
+        }
+    }
+
+    /// Emit the findings once every file has been ingested.
+    #[must_use]
+    pub fn finish(self) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (krate, fns) in &self.panicking {
+            let defined = self.defined.get(krate).cloned().unwrap_or_default();
+            for (name, file, line) in fns {
+                if !defined.contains(&format!("try_{name}")) {
+                    out.push(Finding {
+                        file: file.clone(),
+                        line: *line,
+                        rule: RULE,
+                        message: format!(
+                            "public panicking entry point `{name}` (documented \
+                             `# Panics`) has no `try_{name}` facade in this \
+                             crate — add the typed-error twin (DESIGN.md §9)"
+                        ),
+                    });
+                }
+            }
+        }
+        for (krate, fns) in &self.facades {
+            let defined = self.defined.get(krate).cloned().unwrap_or_default();
+            for (name, file, line) in fns {
+                let base = name.trim_start_matches("try_");
+                if !defined.contains(base) {
+                    out.push(Finding {
+                        file: file.clone(),
+                        line: *line,
+                        rule: RULE,
+                        message: format!(
+                            "facade `{name}` has no `{base}` twin — the \
+                             panicking entry point it wraps is gone"
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}

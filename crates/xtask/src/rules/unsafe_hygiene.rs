@@ -1,0 +1,142 @@
+//! `unsafe-safety` / `unsafe-attr` — unsafe hygiene.
+//!
+//! * `unsafe-safety`: every `unsafe` occurrence (block, fn, impl) must carry
+//!   an adjacent `// SAFETY:` comment stating the invariant that makes it
+//!   sound — on the same line, or in the contiguous comment/attribute block
+//!   immediately above.  The repo's unsafe surface is almost entirely
+//!   disjoint-index raw-pointer scatters behind `SendPtr`; the comment is
+//!   where the disjointness argument lives, and the Miri CI job is where it
+//!   is executed.
+//! * `unsafe-attr`: every first-party crate root must declare
+//!   `#![deny(unsafe_op_in_unsafe_fn)]` (or the stronger
+//!   `#![forbid(unsafe_code)]` where the crate is unsafe-free), so an
+//!   `unsafe fn` body never gets an implicit unsafe scope.
+
+use crate::scan::{FileScan, Finding};
+
+/// Rule identifier for the SAFETY-comment check.
+pub const RULE_SAFETY: &str = "unsafe-safety";
+/// Rule identifier for the crate-root attribute check.
+pub const RULE_ATTR: &str = "unsafe-attr";
+
+fn has_word(code: &str, word: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = abs + word.len();
+        let after_ok = !code[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        start = after;
+    }
+    None
+}
+
+/// `unsafe-safety`: every `unsafe` token needs an adjacent `SAFETY:` comment.
+pub fn check_safety(scan: &FileScan) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in scan.lines.iter().enumerate() {
+        if scan.in_test[idx] || has_word(&line.code, "unsafe").is_none() {
+            continue;
+        }
+        let line_no = idx + 1;
+        if scan.allowed(RULE_SAFETY, line_no) {
+            continue;
+        }
+        // Same-line trailing comment?
+        let mut covered = line.comment.contains("SAFETY:");
+        // Otherwise scan upward through the contiguous block of comment-only,
+        // attribute-only, and continuation lines directly above.
+        let mut i = idx;
+        while !covered && i > 0 {
+            i -= 1;
+            let above = &scan.lines[i];
+            if above.comment.contains("SAFETY:") {
+                covered = true;
+                break;
+            }
+            if !(above.is_code_blank() || above.is_attr_only()) {
+                break;
+            }
+            if above.is_code_blank() && above.comment.is_empty() {
+                break; // a truly blank line ends the adjacent block
+            }
+        }
+        if !covered {
+            out.push(Finding {
+                file: scan.rel_path.clone(),
+                line: line_no,
+                rule: RULE_SAFETY,
+                message: "`unsafe` without an adjacent `// SAFETY:` comment — \
+                          state the invariant that makes this sound (not a \
+                          restatement of the code)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Crate roots and the attribute discipline each must declare.
+/// `forbid(unsafe_code)` is required where the crate is unsafe-free (the
+/// stronger gate also satisfies `deny(unsafe_op_in_unsafe_fn)` trivially).
+pub const CRATE_ROOTS: &[(&str, bool)] = &[
+    // (crate root, must forbid unsafe_code entirely)
+    ("crates/pram/src/lib.rs", true),
+    ("crates/bench/src/lib.rs", true),
+    ("crates/xtask/src/lib.rs", true),
+    ("src/lib.rs", true),
+    ("crates/parprim/src/lib.rs", false),
+    ("crates/pseudoforest/src/lib.rs", false),
+    ("crates/strings/src/lib.rs", false),
+    ("crates/core/src/lib.rs", false),
+];
+
+/// `unsafe-attr`: check one crate root's inner attributes.
+pub fn check_attr(scan: &FileScan) -> Vec<Finding> {
+    // `src/lib.rs` (the umbrella crate) is a suffix of every crate root, so
+    // resolve by exact path match against the repo-relative entries.
+    let Some(&(_, must_forbid)) = CRATE_ROOTS.iter().find(|(root, _)| scan.rel_path == *root)
+    else {
+        return Vec::new();
+    };
+    let forbids = scan
+        .lines
+        .iter()
+        .any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+    let denies = scan
+        .lines
+        .iter()
+        .any(|l| l.code.contains("#![deny(unsafe_op_in_unsafe_fn)]"));
+    let mut out = Vec::new();
+    if must_forbid && !forbids {
+        out.push(Finding {
+            file: scan.rel_path.clone(),
+            line: 1,
+            rule: RULE_ATTR,
+            message: "crate is unsafe-free: declare #![forbid(unsafe_code)] \
+                      at the crate root"
+                .to_string(),
+        });
+    } else if !must_forbid && !denies && !forbids {
+        out.push(Finding {
+            file: scan.rel_path.clone(),
+            line: 1,
+            rule: RULE_ATTR,
+            message: "crate root must declare \
+                      #![deny(unsafe_op_in_unsafe_fn)] (or \
+                      #![forbid(unsafe_code)] once unsafe-free)"
+                .to_string(),
+        });
+    }
+    out
+}

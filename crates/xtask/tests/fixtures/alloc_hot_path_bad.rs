@@ -1,0 +1,9 @@
+// Fixture: allocation inside an `_into` entry point plus an accidental copy.
+pub fn rank_into(ctx: &Ctx, out: &mut [u32]) {
+    let scratch = Vec::with_capacity(out.len());
+    drive(ctx, out, scratch);
+}
+
+pub fn helper(order: &[u32]) -> Vec<u32> {
+    order.to_vec()
+}

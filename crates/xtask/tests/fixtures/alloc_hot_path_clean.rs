@@ -1,0 +1,27 @@
+// Fixture: `_into` draws scratch from the workspace; the wrapper allocates
+// only the returned result; the deliberate baseline copy is justified.
+pub fn rank_into(ctx: &Ctx, ws: &Workspace, out: &mut [u32]) {
+    let mut scratch = ws.take_u32(out.len());
+    drive(ctx, out, scratch.as_mut());
+}
+
+pub fn rank(ctx: &Ctx, ws: &Workspace, n: usize) -> Vec<u32> {
+    let mut out = vec![0u32; n];
+    rank_into(ctx, ws, &mut out);
+    out
+}
+
+pub fn baseline(order: &[u32]) -> Vec<u32> {
+    // lint:allow(alloc-hot-path): the baseline engine materialises the
+    // order by design.
+    order.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn copies_in_tests_are_fine() {
+        let v = [1u32].to_vec();
+        assert_eq!(v.len(), 1);
+    }
+}

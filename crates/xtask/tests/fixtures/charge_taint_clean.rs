@@ -1,0 +1,19 @@
+// Fixture: clean — probe reads only in the allowlisted plan function and
+// in test code.
+pub fn block_plan(ctx: &Ctx) -> BlockPlan {
+    let llc = ctx.topology().llc_bytes;
+    BlockPlan::clamp(llc)
+}
+
+pub fn rank_pass_into(_ctx: &Ctx, out: &mut [u32]) {
+    drive(out);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn probe_in_tests_is_fine() {
+        let t = Topology::probe();
+        assert!(t.llc_bytes > 0);
+    }
+}

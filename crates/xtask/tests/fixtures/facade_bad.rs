@@ -1,0 +1,16 @@
+//! Fixture: a documented-panicking pub fn with no `try_` twin, and a
+//! facade whose panicking twin is gone.
+
+/// Decompose the permutation.
+///
+/// # Panics
+///
+/// Panics when `perm` is not a permutation.
+pub fn decompose(perm: &[u32]) -> Partition {
+    inner(perm)
+}
+
+/// Facade for a function that no longer exists.
+pub fn try_vanished(perm: &[u32]) -> Result<Partition, Error> {
+    Ok(inner(perm))
+}

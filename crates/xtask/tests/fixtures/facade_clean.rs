@@ -1,0 +1,26 @@
+//! Fixture: the panicking entry point and its typed-error twin, both
+//! present in the same crate.
+
+/// Decompose the permutation.
+///
+/// # Panics
+///
+/// Panics when `perm` is not a permutation.
+pub fn decompose(perm: &[u32]) -> Partition {
+    inner(perm)
+}
+
+/// Typed-error facade over [`decompose`].
+pub fn try_decompose(perm: &[u32]) -> Result<Partition, Error> {
+    check(perm)?;
+    Ok(inner(perm))
+}
+
+/// Already returns `Result`, so no twin is required.
+///
+/// # Panics
+///
+/// Panics on allocator exhaustion only.
+pub fn fallible(perm: &[u32]) -> Result<Partition, Error> {
+    Ok(inner(perm))
+}

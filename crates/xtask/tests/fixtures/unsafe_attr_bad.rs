@@ -1,0 +1,5 @@
+//! Fixture: a crate root missing the unsafe-discipline attribute.
+
+#![warn(missing_docs)]
+
+pub mod engine;

@@ -1,0 +1,6 @@
+//! Fixture: a crate root declaring the required unsafe discipline.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+pub mod engine;

@@ -1,0 +1,10 @@
+// Fixture: unsafe without an adjacent SAFETY comment.
+pub fn write_disjoint(ptr: SendPtr<u32>, i: usize, v: u32) {
+    unsafe {
+        *ptr.0.add(i) = v;
+    }
+}
+
+// A descriptive comment that is not a SAFETY invariant.
+// Writes one slot.
+unsafe impl<T> Send for SendPtr<T> {}

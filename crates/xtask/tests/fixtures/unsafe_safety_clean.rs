@@ -1,0 +1,15 @@
+// Fixture: every unsafe carries an adjacent SAFETY invariant.
+pub fn write_disjoint(ptr: SendPtr<u32>, i: usize, v: u32) {
+    // SAFETY: each task writes a distinct index, so no slot aliases.
+    unsafe {
+        *ptr.0.add(i) = v;
+    }
+}
+
+// SAFETY: only the pointer value crosses threads; all dereferences are
+// index-disjoint per task.
+unsafe impl<T> Send for SendPtr<T> {}
+
+pub fn trailing(p: *mut u8) {
+    unsafe { *p = 0 }; // SAFETY: caller guarantees exclusive access.
+}

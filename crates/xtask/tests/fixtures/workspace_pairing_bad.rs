@@ -1,0 +1,6 @@
+// Fixture: a checkout that is neither bound nor handed off, and a forget.
+pub fn leaky(ws: &Workspace, n: usize) {
+    ws.take_u32(n);
+    let buf = ws.take_u64(n);
+    std::mem::forget(buf);
+}

@@ -1,0 +1,13 @@
+// Fixture: every checkout is bound, returned, or handed to an `_into` sink.
+pub fn disciplined(ws: &Workspace, n: usize) -> Scratch<u32> {
+    let mut buf = ws.take_u32(n);
+    fill_into(ws.take_u64(n).as_mut(), &mut buf);
+    drop(ws.take_u8(n));
+    return buf;
+}
+
+pub fn multi_line(ws: &Workspace, n: usize) {
+    let pair = ws
+        .take_pairs(n);
+    use_it(&pair);
+}

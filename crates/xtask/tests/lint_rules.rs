@@ -1,0 +1,189 @@
+//! Fixture-based rule tests: for every sfcp-lint rule, one deliberately
+//! violating fixture (under `tests/fixtures/`, a directory the repo walk
+//! skips) and one clean fixture.  The fixtures are scanned under fake
+//! repo-relative paths so the file-gated rules (hot-path modules, crate
+//! roots, facade crates) fire exactly as they would in the tree.
+
+use xtask::rules::{
+    alloc_hot_path, bench_engines, charge_taint, facade_coverage::FacadeState, unsafe_hygiene,
+    workspace_pairing,
+};
+use xtask::scan::FileScan;
+
+fn scan(rel_path: &str, src: &str) -> FileScan {
+    FileScan::new(rel_path, src, false)
+}
+
+#[test]
+fn charge_taint_flags_probe_reads_in_engine_code() {
+    let s = scan(
+        "crates/parprim/src/rank.rs",
+        include_str!("fixtures/charge_taint_bad.rs"),
+    );
+    let findings = charge_taint::check(&s);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == charge_taint::RULE));
+    assert!(findings[0].message.contains("rank_pass_into"));
+}
+
+#[test]
+fn charge_taint_allows_plan_functions_and_tests() {
+    let s = scan(
+        "crates/parprim/src/intsort.rs",
+        include_str!("fixtures/charge_taint_clean.rs"),
+    );
+    assert_eq!(charge_taint::check(&s), vec![]);
+}
+
+#[test]
+fn unsafe_safety_flags_missing_invariants() {
+    let s = scan(
+        "crates/parprim/src/example.rs",
+        include_str!("fixtures/unsafe_safety_bad.rs"),
+    );
+    let findings = unsafe_hygiene::check_safety(&s);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings
+        .iter()
+        .all(|f| f.rule == unsafe_hygiene::RULE_SAFETY));
+}
+
+#[test]
+fn unsafe_safety_accepts_adjacent_and_trailing_comments() {
+    let s = scan(
+        "crates/parprim/src/example.rs",
+        include_str!("fixtures/unsafe_safety_clean.rs"),
+    );
+    assert_eq!(unsafe_hygiene::check_safety(&s), vec![]);
+}
+
+#[test]
+fn unsafe_attr_requires_crate_root_discipline() {
+    let bad = scan(
+        "crates/parprim/src/lib.rs",
+        include_str!("fixtures/unsafe_attr_bad.rs"),
+    );
+    let findings = unsafe_hygiene::check_attr(&bad);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, unsafe_hygiene::RULE_ATTR);
+
+    // The same source is also insufficient for a must-forbid crate root.
+    let bad_forbid = scan(
+        "crates/pram/src/lib.rs",
+        include_str!("fixtures/unsafe_attr_clean.rs"),
+    );
+    let findings = unsafe_hygiene::check_attr(&bad_forbid);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("forbid(unsafe_code)"));
+}
+
+#[test]
+fn unsafe_attr_accepts_declared_discipline_and_ignores_non_roots() {
+    let clean = scan(
+        "crates/parprim/src/lib.rs",
+        include_str!("fixtures/unsafe_attr_clean.rs"),
+    );
+    assert_eq!(unsafe_hygiene::check_attr(&clean), vec![]);
+
+    // A module file that merely *ends* in lib.rs-like paths is not a root.
+    let non_root = scan(
+        "crates/parprim/src/engine.rs",
+        include_str!("fixtures/unsafe_attr_bad.rs"),
+    );
+    assert_eq!(unsafe_hygiene::check_attr(&non_root), vec![]);
+}
+
+#[test]
+fn workspace_pairing_flags_dropped_checkouts_and_forget() {
+    let s = scan(
+        "crates/parprim/src/example.rs",
+        include_str!("fixtures/workspace_pairing_bad.rs"),
+    );
+    let findings = workspace_pairing::check(&s);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().any(|f| f.message.contains("take_u32")));
+    assert!(findings.iter().any(|f| f.message.contains("mem::forget")));
+}
+
+#[test]
+fn workspace_pairing_accepts_bindings_and_handoffs() {
+    let s = scan(
+        "crates/parprim/src/example.rs",
+        include_str!("fixtures/workspace_pairing_clean.rs"),
+    );
+    assert_eq!(workspace_pairing::check(&s), vec![]);
+}
+
+#[test]
+fn alloc_hot_path_flags_into_allocations_and_copies() {
+    let s = scan(
+        "crates/parprim/src/rank.rs",
+        include_str!("fixtures/alloc_hot_path_bad.rs"),
+    );
+    let findings = alloc_hot_path::check(&s);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().any(|f| f.message.contains("rank_into")));
+    assert!(findings.iter().any(|f| f.message.contains(".to_vec()")));
+}
+
+#[test]
+fn alloc_hot_path_accepts_workspace_scratch_and_justified_copies() {
+    let s = scan(
+        "crates/parprim/src/rank.rs",
+        include_str!("fixtures/alloc_hot_path_clean.rs"),
+    );
+    assert_eq!(alloc_hot_path::check(&s), vec![]);
+}
+
+#[test]
+fn alloc_hot_path_ignores_non_hot_modules() {
+    let s = scan(
+        "crates/bench/src/tables.rs",
+        include_str!("fixtures/alloc_hot_path_bad.rs"),
+    );
+    assert_eq!(alloc_hot_path::check(&s), vec![]);
+}
+
+#[test]
+fn facade_coverage_flags_missing_and_orphaned_twins() {
+    let mut state = FacadeState::default();
+    state.ingest(&scan(
+        "crates/pram/src/api.rs",
+        include_str!("fixtures/facade_bad.rs"),
+    ));
+    let findings = state.finish();
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().any(|f| f.message.contains("try_decompose")));
+    assert!(findings.iter().any(|f| f.message.contains("`vanished`")));
+}
+
+#[test]
+fn facade_coverage_accepts_paired_twins_across_result_types() {
+    let mut state = FacadeState::default();
+    state.ingest(&scan(
+        "crates/pram/src/api.rs",
+        include_str!("fixtures/facade_clean.rs"),
+    ));
+    assert_eq!(state.finish(), vec![]);
+}
+
+#[test]
+fn bench_engines_flags_mislabeled_rows() {
+    let findings = bench_engines::check(
+        "BENCH_parprim.json",
+        include_str!("fixtures/bench_engines_bad.json"),
+    );
+    // scatter row with the sort pair, unknown pair, unknown big-n single.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(findings.iter().any(|f| f.message.contains("mislabel")));
+    assert!(findings.iter().any(|f| f.message.contains("\"turbo\"")));
+}
+
+#[test]
+fn bench_engines_accepts_known_labels() {
+    let findings = bench_engines::check(
+        "BENCH_parprim.json",
+        include_str!("fixtures/bench_engines_clean.json"),
+    );
+    assert_eq!(findings, vec![]);
+}

@@ -1,0 +1,27 @@
+//! The self-test: the repo must lint clean with its own lint.  Any rule
+//! regression (or any new violation in the tree) fails here before CI's
+//! `cargo run -p xtask -- lint` gate even runs.
+
+#[test]
+fn repo_lints_clean() {
+    let root = xtask::default_root();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "default_root() must land on the workspace root, got {}",
+        root.display()
+    );
+    let (findings, scanned) = xtask::run_lint(&root).expect("lint walk");
+    assert!(
+        findings.is_empty(),
+        "sfcp-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The walk must actually have covered the tree (guards against a
+    // silently-empty scan reporting "clean").
+    assert!(scanned > 50, "only {scanned} files scanned");
+}

@@ -99,6 +99,8 @@
 //! assert!(!err.is_retryable());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use sfcp;
 pub use sfcp_forest;
 pub use sfcp_parprim;
