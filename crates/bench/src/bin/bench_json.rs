@@ -39,6 +39,13 @@
 //! row per `ScatterEngine` including the footprint-adaptive `Auto`, written
 //! to `BENCH_parprim_bign.json` — see [`run_bign`].
 //!
+//! Schema 2: every row also embeds a `"trace"` object — the span/decision
+//! summary of one instrumented run under the default engines (per-phase
+//! wall/self time, charges, workspace checkouts, and the resolved engine
+//! of every scatter dispatch).  `--trace <path>` additionally exports a
+//! Chrome/Perfetto `trace.json` of one warm traced decompose at the
+//! largest measured size.
+//!
 //! `--smoke` runs only n = 1e5 and additionally compares the fresh
 //! `decompose`, `decompose_warm`, `decompose_checked`, `csr_build`,
 //! `list_rank`, `euler_build`,
@@ -83,13 +90,17 @@ fn best_ms<F: FnMut(&Ctx)>(engines: EngineSet, reps: usize, mut f: F) -> f64 {
     best
 }
 
-/// Tracked work/depth of `f` under `engines`.
-fn charges<F: FnMut(&Ctx)>(engines: EngineSet, mut f: F) -> Stats {
+/// Tracked work/depth of `f` under `engines`, plus the span/decision
+/// summary of the same (traced) run.  Tracing is charge-neutral by
+/// construction — `tests/charge_determinism.rs` pins that the charges here
+/// are bit-identical to an untraced run — so one tracked pass yields both.
+fn charges<F: FnMut(&Ctx)>(engines: EngineSet, mut f: F) -> (Stats, String) {
     let ctx = Ctx::parallel()
         .with_sort_engine(engines.sort)
-        .with_rank_engine(engines.rank);
+        .with_rank_engine(engines.rank)
+        .with_tracing();
     f(&ctx);
-    ctx.stats()
+    (ctx.stats(), ctx.trace().snapshot().summary().to_json())
 }
 
 struct Row {
@@ -109,6 +120,13 @@ struct Row {
     permutation_ms: f64,
     work: u64,
     rounds: u64,
+    /// Span/decision summary of one tracked+traced run under the default
+    /// engines ([`sfcp_pram::TraceSummary::to_json`]): per-phase wall/self
+    /// time, charges and checkouts, plus per-site engine decisions.  Wall
+    /// times in here come from that single instrumented pass, not the
+    /// best-of-k timing columns — they describe *shape* (where a row's time
+    /// goes), not the trajectory numbers.  Schema 2 field.
+    trace: String,
 }
 
 impl Row {
@@ -118,7 +136,8 @@ impl Row {
                 "    {{\"name\": \"{}\", \"n\": {}, ",
                 "\"engines\": [\"{}\", \"{}\"], ",
                 "\"packed_ms\": {:.3}, \"permutation_ms\": {:.3}, ",
-                "\"speedup\": {:.3}, \"work\": {}, \"rounds\": {}}}"
+                "\"speedup\": {:.3}, \"work\": {}, \"rounds\": {}, ",
+                "\"trace\": {}}}"
             ),
             self.name,
             self.n,
@@ -129,6 +148,7 @@ impl Row {
             self.permutation_ms / self.packed_ms,
             self.work,
             self.rounds,
+            self.trace,
         )
     }
 }
@@ -143,8 +163,8 @@ const SCATTER_LABELS: [&str; 2] = ["direct", "combining"];
 fn measure<F: FnMut(&Ctx) + Clone>(name: &'static str, n: usize, reps: usize, f: F) -> Row {
     let packed_ms = best_ms(DEFAULT_ENGINES, reps, f.clone());
     let permutation_ms = best_ms(BASELINE_ENGINES, reps, f.clone());
-    let cp = charges(DEFAULT_ENGINES, f.clone());
-    let cb = charges(BASELINE_ENGINES, f);
+    let (cp, trace) = charges(DEFAULT_ENGINES, f.clone());
+    let (cb, _) = charges(BASELINE_ENGINES, f);
     assert_eq!(cp, cb, "{name}: engines must charge identical work/depth");
     println!(
         "{name:>22} n={n:>8}: packed {packed_ms:9.3} ms  permutation {permutation_ms:9.3} ms  ({:.2}x)",
@@ -158,6 +178,7 @@ fn measure<F: FnMut(&Ctx) + Clone>(name: &'static str, n: usize, reps: usize, f:
         permutation_ms,
         work: cp.work,
         rounds: cp.rounds,
+        trace,
     }
 }
 
@@ -232,19 +253,19 @@ where
     };
     let (packed_a, packed_b, paired_ratio) = pair_best(DEFAULT_ENGINES, f.clone(), g.clone());
     let (perm_a, perm_b, _) = pair_best(BASELINE_ENGINES, f.clone(), g.clone());
-    let ca = charges(DEFAULT_ENGINES, f.clone());
+    let (ca, trace_a) = charges(DEFAULT_ENGINES, f.clone());
     assert_eq!(
         ca,
-        charges(BASELINE_ENGINES, f),
+        charges(BASELINE_ENGINES, f).0,
         "{name_a}: engines must charge identical work/depth"
     );
-    let cb = charges(DEFAULT_ENGINES, g.clone());
+    let (cb, trace_b) = charges(DEFAULT_ENGINES, g.clone());
     assert_eq!(
         cb,
-        charges(BASELINE_ENGINES, g),
+        charges(BASELINE_ENGINES, g).0,
         "{name_b}: engines must charge identical work/depth"
     );
-    let row = |name, packed_ms: f64, permutation_ms: f64, c: Stats| {
+    let row = |name, packed_ms: f64, permutation_ms: f64, c: Stats, trace: String| {
         println!(
             "{name:>22} n={n:>8}: packed {packed_ms:9.3} ms  permutation {permutation_ms:9.3} ms  ({:.2}x)",
             permutation_ms / packed_ms
@@ -257,11 +278,12 @@ where
             permutation_ms,
             work: c.work,
             rounds: c.rounds,
+            trace,
         }
     };
     (
-        row(name_a, packed_a, perm_a, ca),
-        row(name_b, packed_b, perm_b, cb),
+        row(name_a, packed_a, perm_a, ca, trace_a),
+        row(name_b, packed_b, perm_b, cb, trace_b),
         paired_ratio,
     )
 }
@@ -292,17 +314,17 @@ fn measure_scatter(n: usize, reps: usize, idx: &[u32]) -> Row {
         best
     };
     let stats = |engine: ScatterEngine| {
-        let ctx = Ctx::parallel().with_scatter_engine(engine);
+        let ctx = Ctx::parallel().with_scatter_engine(engine).with_tracing();
         let mut dest = vec![0u32; n];
         sfcp_parprim::scatter::scatter_into(&ctx, &mut dest, n, |s| {
             Some((idx[s] as usize, s as u32))
         });
-        ctx.stats()
+        (ctx.stats(), ctx.trace().snapshot().summary().to_json())
     };
     let direct_ms = run(ScatterEngine::Direct);
     let combining_ms = run(ScatterEngine::Combining);
-    let cd = stats(ScatterEngine::Direct);
-    let cc = stats(ScatterEngine::Combining);
+    let (cd, trace) = stats(ScatterEngine::Direct);
+    let (cc, _) = stats(ScatterEngine::Combining);
     assert_eq!(cd, cc, "scatter: engines must charge identical work/depth");
     println!(
         "{:>22} n={n:>8}: direct {direct_ms:9.3} ms  combining {combining_ms:9.3} ms  ({:.2}x)",
@@ -317,6 +339,7 @@ fn measure_scatter(n: usize, reps: usize, idx: &[u32]) -> Row {
         permutation_ms: combining_ms,
         work: cd.work,
         rounds: cd.rounds,
+        trace,
     }
 }
 
@@ -641,11 +664,16 @@ fn main() {
     let mut smoke = false;
     let mut bign = false;
     let mut bign_n: usize = 100_000_000;
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
             "--bign" => bign = true,
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).expect("--trace needs a path").clone());
+            }
             "--bign-n" => {
                 i += 1;
                 bign_n = args
@@ -664,6 +692,10 @@ fn main() {
     }
     if bign {
         assert!(!smoke, "--bign and --smoke are separate tiers");
+        assert!(
+            trace_path.is_none(),
+            "--trace is a main-tier flag (the bign tier has no traced pass)"
+        );
         let out = out_path.unwrap_or_else(|| "BENCH_parprim_bign.json".to_string());
         run_bign(&out, bign_n);
         return;
@@ -825,6 +857,11 @@ fn main() {
 
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"sfcp_parprim_sort_rank_engine\",\n");
+    // Schema 2: every result row carries a "trace" span/decision summary
+    // (see `Row::trace`).  Bumped from the unversioned (implicitly 1)
+    // schema; `bench-engines` lint enforces the field's presence at this
+    // version.
+    json.push_str("  \"schema\": 2,\n");
     json.push_str(&format!(
         "  \"threads\": {},\n",
         std::thread::available_parallelism().map_or(0, usize::from)
@@ -838,6 +875,26 @@ fn main() {
     json.push_str("\n  ]\n}\n");
     std::fs::write(&out_path, &json).expect("failed to write benchmark json");
     println!("wrote {out_path}");
+
+    // `--trace <path>`: one warm traced decompose at the largest measured
+    // size under the default engines, exported as a Chrome/Perfetto trace
+    // (load it at ui.perfetto.dev or chrome://tracing).  Runs outside the
+    // timed windows above, so it cannot perturb the trajectory numbers.
+    if let Some(path) = &trace_path {
+        let n = *sizes.last().expect("at least one size");
+        let g = sfcp_forest::generators::random_function(n, 0xDECADE);
+        let ctx = Ctx::untracked(Mode::Parallel)
+            .with_sort_engine(DEFAULT_ENGINES.sort)
+            .with_rank_engine(DEFAULT_ENGINES.rank);
+        let d = sfcp_forest::decompose(&ctx, &g, sfcp_forest::cycles::CycleMethod::Euler);
+        std::hint::black_box(d.num_cycles()); // warm the pools, untraced
+        ctx.trace().enable();
+        let d = sfcp_forest::decompose(&ctx, &g, sfcp_forest::cycles::CycleMethod::Euler);
+        std::hint::black_box(d.num_cycles());
+        std::fs::write(path, ctx.trace().snapshot().to_chrome_json())
+            .expect("failed to write trace json");
+        println!("wrote {path} (chrome://tracing / ui.perfetto.dev)");
+    }
 
     // The acceptance gate for the packed engine: end-to-end coarsest_parallel
     // at the largest size must not be slower than the permutation baseline.

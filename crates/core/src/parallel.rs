@@ -126,6 +126,8 @@ pub fn try_coarsest_parallel_with(
 /// Compute the coarsest stable refinement with an explicit configuration.
 #[must_use]
 pub fn coarsest_parallel_with(ctx: &Ctx, instance: &Instance, config: ParallelConfig) -> Partition {
+    let mut span_all = ctx.span("coarsest_parallel");
+    span_all.attr("n", instance.len() as u64);
     let n = instance.len();
     if n == 0 {
         return Partition::new(Vec::new());
@@ -136,10 +138,13 @@ pub fn coarsest_parallel_with(ctx: &Ctx, instance: &Instance, config: ParallelCo
     let dec = decompose(ctx, instance.graph(), config.cycle_method);
 
     // ---- Step 2: cycle node labelling --------------------------------------
+    let span_phase = ctx.span("label_cycle_nodes");
     let (mut labels, mut next_label) = label_cycle_nodes(ctx, instance, &dec, config);
+    drop(span_phase);
 
     // ---- Step 3: tree node labelling ---------------------------------------
     if dec.levels.iter().any(|&l| l > 0) {
+        let _span_phase = ctx.span("label_tree_nodes");
         label_tree_nodes(ctx, instance, &dec, config, &mut labels, &mut next_label);
     }
 
@@ -470,10 +475,12 @@ fn label_tree_nodes_doubling(
 
     let mut next_lab = ws.take_u32(0);
     let mut next_jump = ws.take_u32(total);
-    for _ in 0..rounds {
+    for round in 0..rounds {
         if distinct == total {
             break;
         }
+        let mut span_round = ctx.span("doubling_round");
+        span_round.attr("round", round as u64);
         {
             let lab = &lab;
             let jump = &jump;

@@ -53,6 +53,7 @@ where
     P: Fn(usize) -> T + Sync + Send,
 {
     sfcp_pram::faults::on_engine_pass();
+    let _span = ctx.span("compact");
     out.clear();
     if n == 0 {
         return;

@@ -137,6 +137,9 @@ pub fn build_csr_into<F>(
     F: Fn(usize) -> Option<(u32, u32)> + Sync + Send,
 {
     sfcp_pram::faults::on_engine_pass();
+    let mut span = ctx.span("build_csr");
+    span.attr("num_keys", num_keys as u64);
+    span.attr("num_slots", num_slots as u64);
     assert!(
         num_keys < u32::MAX as usize,
         "num_keys {num_keys} too large for the u32 key space"
@@ -344,7 +347,7 @@ fn build_csr_direct<F>(
     {
         let hist_ptr = SendPtr(hist.as_mut_ptr());
         let items_ptr = SendPtr(items.as_mut_ptr());
-        let resolved = ctx.scatter_engine_for(total * std::mem::size_of::<u32>());
+        let resolved = ctx.resolve_scatter("csr_direct_items", total * std::mem::size_of::<u32>());
         let tiles = (resolved == ScatterEngine::Combining)
             .then(|| ScatterTiles::new(ctx, total, num_blocks));
         for_each_block(ctx, num_blocks, |b| {

@@ -262,10 +262,11 @@ where
     T: Fn(u32, u32, bool) -> u32 + Sync + Send,
 {
     sfcp_pram::faults::on_engine_pass();
+    let _span = ctx.span("arc_successors");
     let n = forest.len();
     assert_eq!(succ.len(), 2 * n, "tour successor slice must hold 2n arcs");
     let succ_ptr = SendPtr(succ.as_mut_ptr());
-    match ctx.scatter_engine_for(std::mem::size_of_val::<[u32]>(succ)) {
+    match ctx.resolve_scatter("arc_successors", std::mem::size_of_val::<[u32]>(succ)) {
         ScatterEngine::Direct => {
             ctx.par_for_idx(n, |vi| {
                 let sp = succ_ptr;
@@ -313,7 +314,7 @@ where
 {
     let n = entry.len();
     let ptr = SendPtr(deltas.as_mut_ptr());
-    match ctx.scatter_engine_for(std::mem::size_of_val(deltas)) {
+    match ctx.resolve_scatter("euler_deltas", std::mem::size_of_val(deltas)) {
         ScatterEngine::Direct => {
             ctx.par_for_idx(n, |v| {
                 let p = ptr;
@@ -371,6 +372,7 @@ impl EulerTour {
     #[must_use]
     pub fn build(ctx: &Ctx, forest: &RootedForest) -> Self {
         sfcp_pram::faults::on_engine_pass();
+        let _span = ctx.span("euler_build");
         let n = forest.len();
         if n == 0 {
             return EulerTour {
@@ -504,6 +506,7 @@ impl EulerTour {
         root_of: &[u32],
     ) -> Self {
         sfcp_pram::faults::on_engine_pass();
+        let _span = ctx.span("euler_from_ranks");
         let n = forest.len();
         if n == 0 {
             return EulerTour {
@@ -614,6 +617,7 @@ impl EulerTour {
     /// whole pass is allocation-free once the pools are warm.
     pub fn ancestor_sums_into(&self, ctx: &Ctx, values: &[u64], out: &mut Vec<u64>) {
         sfcp_pram::faults::on_engine_pass();
+        let _span = ctx.span("ancestor_sums");
         let n = self.len();
         assert_eq!(values.len(), n);
         out.clear();
@@ -652,6 +656,7 @@ impl EulerTour {
     /// Debug-asserts every flag is 0 or 1.
     pub fn ancestor_counts_into(&self, ctx: &Ctx, flags: &[u64], out: &mut Vec<u64>) {
         sfcp_pram::faults::on_engine_pass();
+        let _span = ctx.span("ancestor_counts");
         let n = self.len();
         assert_eq!(flags.len(), n);
         debug_assert!(flags.iter().all(|&v| v <= 1), "flags must be 0/1");
@@ -700,6 +705,7 @@ impl EulerTour {
     /// without being executed (DESIGN.md, "Charge discipline").
     pub fn levels_into(&self, ctx: &Ctx, out: &mut Vec<u32>) {
         sfcp_pram::faults::on_engine_pass();
+        let _span = ctx.span("levels");
         let n = self.len();
         out.clear();
         if n == 0 {

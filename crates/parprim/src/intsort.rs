@@ -376,11 +376,14 @@ pub fn radix_sort_recs_prebounded(
     significant_bits: u32,
 ) {
     sfcp_pram::faults::on_engine_pass();
+    let mut span = ctx.span("radix_sort_recs");
+    span.attr("n", recs.len() as u64);
     let n = recs.len();
     if n <= 1 {
         return;
     }
     let (digit_bits, passes) = plan_digits(significant_bits);
+    span.attr("passes", passes as u64);
     scratch.resize(n, Rec::default());
     for pass in 0..passes {
         counting_pass_items(ctx, recs, scratch, pass * digit_bits, digit_bits);
@@ -433,6 +436,8 @@ pub(crate) fn counting_pass_items<T: RadixItem>(
     digit_bits: u32,
 ) {
     let n = src.len();
+    let mut span = ctx.span("radix_pass");
+    span.attr("shift", u64::from(shift));
     let radix = 1usize << digit_bits;
     let (model_blocks, _) = model_block_plan(ctx, n, radix);
     counting_pass_items_uncharged(ctx, src, dst, shift, digit_bits);
@@ -714,6 +719,8 @@ fn stable_reorder_sort(ctx: &Ctx, keys: &[u64], order: &[u32]) -> Vec<u32> {
 #[must_use]
 pub fn radix_sort_u64(ctx: &Ctx, keys: &[u64]) -> Vec<u32> {
     sfcp_pram::faults::on_engine_pass();
+    let mut span = ctx.span("radix_sort_u64");
+    span.attr("n", keys.len() as u64);
     match ctx.sort_engine() {
         SortEngine::Permutation => radix_sort_u64_permutation(ctx, keys),
         SortEngine::Packed => {
@@ -753,6 +760,8 @@ pub fn radix_sort_u64(ctx: &Ctx, keys: &[u64]) -> Vec<u32> {
 #[must_use]
 pub fn radix_sort_pairs(ctx: &Ctx, pairs: &[(u64, u64)]) -> Vec<u32> {
     sfcp_pram::faults::on_engine_pass();
+    let mut span = ctx.span("radix_sort_pairs");
+    span.attr("n", pairs.len() as u64);
     let n = pairs.len();
     if n <= 1 {
         return (0..n as u32).collect();
@@ -844,6 +853,7 @@ where
     F: Fn(usize) -> usize + Sync + Send,
 {
     sfcp_pram::faults::on_engine_pass();
+    let _span = ctx.span("counting_sort");
     if n == 0 {
         return Vec::new();
     }

@@ -54,6 +54,7 @@ pub fn find_roots(ctx: &Ctx, parent: &[u32]) -> Vec<u32> {
 pub fn find_roots_into(ctx: &Ctx, parent: &[u32], out: &mut Vec<u32>) {
     FIND_ROOTS_CALLS.fetch_add(1, Ordering::Relaxed);
     sfcp_pram::faults::on_engine_pass();
+    let _span = ctx.span("find_roots");
     let n = parent.len();
     out.clear();
     if n == 0 {
@@ -125,6 +126,7 @@ fn charge_skipped_rounds(ctx: &Ctx, skipped: u64, ops_per_round: u64) {
 #[must_use]
 pub fn distance_to_root(ctx: &Ctx, parent: &[u32]) -> Vec<u32> {
     sfcp_pram::faults::on_engine_pass();
+    let _span = ctx.span("distance_to_root");
     let n = parent.len();
     if n == 0 {
         return Vec::new();
@@ -197,6 +199,7 @@ pub fn try_permutation_cycle_min_into(
     out: &mut Vec<u32>,
 ) -> Result<(), Error> {
     sfcp_pram::faults::on_engine_pass();
+    let _span = ctx.span("cycle_min");
     let n = succ.len();
     out.clear();
     if n == 0 {
@@ -259,6 +262,7 @@ pub fn try_permutation_cycle_min_into(
 /// passes from the hot path.
 pub fn permutation_cycle_min_flagged_into(ctx: &Ctx, flagged: &[u32], out: &mut Vec<u32>) {
     sfcp_pram::faults::on_engine_pass();
+    let _span = ctx.span("cycle_min_flagged");
     let n = flagged.len();
     out.clear();
     if n == 0 {

@@ -249,7 +249,7 @@ pub(crate) fn chain_walk_bucketed(
         }
         rec.finish();
     };
-    match ctx.scatter_engine_for(std::mem::size_of_val(&*interior)) {
+    match ctx.resolve_scatter("rank_chain_walk", std::mem::size_of_val(&*interior)) {
         ScatterEngine::Direct => {
             crate::intsort::for_each_block(ctx, num_tasks, |t| {
                 let p = interior_ptr;
@@ -354,7 +354,7 @@ pub(crate) fn cycle_walk_bucketed(
         }
         rec.finish();
     };
-    match ctx.scatter_engine_for(std::mem::size_of_val(&*end_ruler)) {
+    match ctx.resolve_scatter("rank_cycle_walk", std::mem::size_of_val(&*end_ruler)) {
         ScatterEngine::Direct => {
             crate::intsort::for_each_block(ctx, num_tasks, |t| {
                 let p = end_ptr;

@@ -73,6 +73,8 @@ pub fn list_rank(ctx: &Ctx, next: &[u32]) -> Vec<u32> {
 /// nothing once the caller's buffer and the workspace pools are warm.
 pub fn list_rank_into(ctx: &Ctx, next: &[u32], out: &mut Vec<u32>) {
     sfcp_pram::faults::on_engine_pass();
+    let mut span = ctx.span("list_rank");
+    span.attr("n", next.len() as u64);
     match ctx.rank_engine() {
         RankEngine::PointerJump => list_rank_wyllie_into(ctx, next, out),
         RankEngine::RulingSet => list_rank_ruling_set_into(ctx, next, out),
@@ -108,6 +110,8 @@ pub fn list_rank_into(ctx: &Ctx, next: &[u32], out: &mut Vec<u32>) {
 /// stripped into a scratch copy and Wyllie runs as usual.
 pub fn list_rank_flagged_into(ctx: &Ctx, flagged: &[u32], out: &mut Vec<u32>) {
     sfcp_pram::faults::on_engine_pass();
+    let mut span = ctx.span("list_rank_flagged");
+    span.attr("n", flagged.len() as u64);
     let n = flagged.len();
     out.clear();
     if n == 0 {

@@ -53,6 +53,7 @@ pub fn dense_ranks_by_sort(ctx: &Ctx, keys: &[u64]) -> (Vec<u32>, usize) {
 /// returns the number of distinct keys.
 pub fn dense_ranks_by_sort_into(ctx: &Ctx, keys: &[u64], ranks: &mut Vec<u32>) -> usize {
     sfcp_pram::faults::on_engine_pass();
+    let _span = ctx.span("dense_ranks_by_sort");
     let n = keys.len();
     if n == 0 {
         ranks.clear();
@@ -227,7 +228,7 @@ where
                 write(pay(&items[i]) as usize, group);
             }
         }
-        match ctx.scatter_engine_for(n * std::mem::size_of::<u32>()) {
+        match ctx.resolve_scatter("dense_rank_scatter", n * std::mem::size_of::<u32>()) {
             ScatterEngine::Direct => {
                 (0..num_blocks).into_par_iter().for_each(|b| {
                     let ptr = ranks_ptr;
@@ -281,6 +282,7 @@ pub fn dense_ranks_of_pairs(ctx: &Ctx, pairs: &[(u64, u64)]) -> (Vec<u32>, usize
 /// returns the number of distinct pairs.
 pub fn dense_ranks_of_pairs_into(ctx: &Ctx, pairs: &[(u64, u64)], ranks: &mut Vec<u32>) -> usize {
     sfcp_pram::faults::on_engine_pass();
+    let _span = ctx.span("dense_ranks_of_pairs");
     let n = pairs.len();
     if n == 0 {
         ranks.clear();
@@ -364,6 +366,7 @@ pub fn dense_ranks_of_pairs_into(ctx: &Ctx, pairs: &[(u64, u64)], ranks: &mut Ve
 #[must_use]
 pub fn dense_ranks(ctx: &Ctx, keys: &[u64]) -> (Vec<u32>, usize) {
     sfcp_pram::faults::on_engine_pass();
+    let _span = ctx.span("dense_ranks");
     let n = keys.len();
     ctx.charge_step(n as u64);
     let mut map: FxHashMap<u64, u32> = FxHashMap::default();

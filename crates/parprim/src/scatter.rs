@@ -267,8 +267,10 @@ where
     F: Fn(usize) -> Option<(usize, T)> + Sync + Send,
 {
     sfcp_pram::faults::on_engine_pass();
+    let mut span = ctx.span("scatter");
+    span.attr("num_slots", num_slots as u64);
     let len = dest.len();
-    match ctx.scatter_engine_for(std::mem::size_of_val::<[T]>(dest)) {
+    match ctx.resolve_scatter("scatter_into", std::mem::size_of_val::<[T]>(dest)) {
         ScatterEngine::Direct => {
             let ptr = SendPtr(dest.as_mut_ptr());
             ctx.par_for_idx(num_slots, |s| {

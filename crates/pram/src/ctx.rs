@@ -10,6 +10,7 @@
 //! thread or sixteen; only the wall-clock time differs.
 
 use crate::topology::Topology;
+use crate::trace::{Span, Trace};
 use crate::tracker::{Stats, Tracker};
 use crate::workspace::Workspace;
 use rayon::prelude::*;
@@ -145,6 +146,7 @@ pub struct Ctx {
     scatter_engine: ScatterEngine,
     topology: Topology,
     workspace: Workspace,
+    trace: Trace,
 }
 
 impl Default for Ctx {
@@ -167,6 +169,7 @@ impl Ctx {
             scatter_engine: ScatterEngine::default(),
             topology,
             workspace: Workspace::new(),
+            trace: Trace::new(),
         }
     }
 
@@ -196,7 +199,17 @@ impl Ctx {
             scatter_engine: ScatterEngine::default(),
             topology,
             workspace: Workspace::new(),
+            trace: Trace::new(),
         }
+    }
+
+    /// Enable span/decision tracing on this context (builder form of
+    /// [`Trace::enable`]; see [`crate::trace`] for the span model and the
+    /// disabled-cost contract).
+    #[must_use]
+    pub fn with_tracing(self) -> Self {
+        self.trace.enable();
+        self
     }
 
     /// Replace the task grain size (minimum items per rayon task).
@@ -280,6 +293,48 @@ impl Ctx {
         }
     }
 
+    /// Resolve the scatter engine for the dispatch site `site`, recording an
+    /// engine-decision record (site, destination footprint, probed LLC and
+    /// core count, resolved engine) when tracing is enabled.  The traced and
+    /// untraced paths resolve identically via [`Ctx::scatter_engine_for`] and
+    /// both charge nothing, so the record is an observation, never an input.
+    ///
+    /// All scatter dispatch sites in the workspace route through this (the
+    /// `trace-span` lint keeps engine passes instrumented); plain
+    /// [`Ctx::scatter_engine_for`] remains for tests and predictions.
+    #[inline]
+    #[must_use]
+    pub fn resolve_scatter(&self, site: &'static str, dest_bytes: usize) -> ScatterEngine {
+        let resolved = self.scatter_engine_for(dest_bytes);
+        if self.trace.is_enabled() {
+            self.record_scatter_decision(site, dest_bytes, resolved);
+        }
+        resolved
+    }
+
+    /// Slow path of [`Ctx::resolve_scatter`]: write the decision record.
+    #[cold]
+    fn record_scatter_decision(
+        &self,
+        site: &'static str,
+        dest_bytes: usize,
+        resolved: ScatterEngine,
+    ) {
+        let name = match resolved {
+            ScatterEngine::Direct => "Direct",
+            ScatterEngine::Combining => "Combining",
+            // `scatter_engine_for` never returns `Auto`.
+            ScatterEngine::Auto => "Auto",
+        };
+        self.trace.decision(
+            site,
+            dest_bytes as u64,
+            self.topology.llc_bytes() as u64,
+            self.topology.cores() as u64,
+            name,
+        );
+    }
+
     /// Replace the probed host topology (tests: mock the LLC boundary so
     /// footprint-adaptive selection flips without a 100 MB input).
     #[must_use]
@@ -332,14 +387,39 @@ impl Ctx {
         &self.tracker
     }
 
+    /// The span/decision trace recorder (disabled by default; enable with
+    /// [`Ctx::with_tracing`] or [`Trace::enable`]).
+    #[inline]
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Open an instrumentation span named `name`, closed (and recorded) when
+    /// the returned guard drops.  While tracing is disabled this is a single
+    /// relaxed atomic load returning a no-op guard — the zero-cost contract
+    /// engine passes rely on (see [`crate::trace`]).  Charges nothing in any
+    /// state.
+    #[inline]
+    #[must_use]
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        if !self.trace.is_enabled() {
+            return Span::disabled();
+        }
+        self.trace.open(name, &self.tracker, &self.workspace)
+    }
+
     /// Accumulated costs so far.
     #[must_use]
     pub fn stats(&self) -> Stats {
         self.tracker.stats()
     }
 
-    /// Reset the cost counters.
+    /// Reset the cost counters.  Spans still open at this point are
+    /// invalidated — their snapshots predate the reset, so letting them close
+    /// normally would record nonsense deltas ([`Trace::invalidate_open`]).
     pub fn reset_stats(&self) {
+        self.trace.invalidate_open();
         self.tracker.reset();
     }
 
@@ -351,7 +431,12 @@ impl Ctx {
     /// bit-identical charges to a run on a freshly warmed context.  The
     /// `try_` wrappers across the workspace call this before returning an
     /// `Err` (see DESIGN.md, "Failure model and recovery").
+    /// Open trace spans are invalidated first: a span that was open across
+    /// the failed invocation snapshotted counters that this recovery resets,
+    /// so its close discards instead of recording negative-looking deltas
+    /// (the fault-injection suite exercises exactly this).
     pub fn recover(&self) {
+        self.trace.invalidate_open();
         self.workspace.recover();
         self.tracker.reset();
     }

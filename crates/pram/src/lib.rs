@@ -25,6 +25,12 @@
 //!   ([`Workspace::recover`] / [`Ctx::recover`]) so a context survives a
 //!   failed invocation with warm pools, and a deterministic fault-injection
 //!   layer ([`faults`]) that is zero-cost when disabled;
+//! * an observability layer ([`trace`]): RAII spans ([`Ctx::span`]) opened
+//!   at every engine pass and pipeline phase, recording wall time, charge
+//!   deltas, and workspace churn into a per-context ring, plus
+//!   engine-decision records at every `Auto`-scatter resolution
+//!   ([`Ctx::resolve_scatter`]) — also zero-cost when disabled, and
+//!   charge-neutral in every state;
 //! * [`brent::predicted_time`], Brent's scheduling principle
 //!   (`time ≈ work / p + depth`), used by the benchmark harness to convert
 //!   (work, depth) pairs into the per-processor running times that the
@@ -57,6 +63,7 @@ pub mod error;
 pub mod faults;
 pub mod fxhash;
 pub mod topology;
+pub mod trace;
 pub mod tracker;
 pub mod workspace;
 
@@ -65,6 +72,7 @@ pub use crcw::{ArbitraryCell, CommonCell, CrcwTable};
 pub use ctx::{Ctx, Mode, RankEngine, ScatterEngine, SortEngine};
 pub use error::{check_index_width, Error, MAX_DOMAIN};
 pub use topology::Topology;
+pub use trace::{Span, Trace, TraceSnapshot, TraceSummary};
 pub use tracker::{Stats, Tracker};
 pub use workspace::{Rec, Scratch, Workspace, WorkspaceStats};
 

@@ -101,6 +101,7 @@ pub fn cycle_nodes_jump(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
 /// The paper's Euler-tour buddy-edge method (Section 5).
 #[must_use]
 pub fn cycle_nodes_euler(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
+    let _span = ctx.span("cycle_nodes_euler");
     let n = g.len();
     if n == 0 {
         return Vec::new();
@@ -215,7 +216,7 @@ pub fn cycle_nodes_euler(ctx: &Ctx, g: &FunctionalGraph) -> Vec<bool> {
             }
         }
         let succ_ptr = SendPtr(succ.as_mut_ptr());
-        match ctx.scatter_engine_for(num_arcs * std::mem::size_of::<u32>()) {
+        match ctx.resolve_scatter("cycle_succ_scatter", num_arcs * std::mem::size_of::<u32>()) {
             ScatterEngine::Direct => {
                 let (start, incident) = (&start, &incident);
                 ctx.par_for_idx(n, |v| {

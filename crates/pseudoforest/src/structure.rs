@@ -104,13 +104,18 @@ pub fn try_decompose(
 
 #[must_use]
 pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decomposition {
+    let mut span_all = ctx.span("decompose");
+    span_all.attr("n", g.len() as u64);
     let n = g.len();
     let f = g.table();
+    let span_phase = ctx.span("cycle_nodes");
     let is_cycle = cycle_nodes(ctx, g, method);
+    drop(span_phase);
     let ws = ctx.workspace();
 
     // ---- Cycle structure ----------------------------------------------
     // Compact the cycle nodes and rank them around their cycles.
+    let span_phase = ctx.span("cycle_structure");
     let mut cycle_ids = ws.take_u32(0);
     sfcp_parprim::compact::compact_indices_into(ctx, n, |x| is_cycle[x], &mut cycle_ids);
     let m = cycle_ids.len();
@@ -154,6 +159,7 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
         cycle_number_of_leader[lj as usize] = c as u32;
     }
     ctx.charge_step(num_cycles as u64);
+    drop(span_phase);
 
     // ---- Fused Euler ranking domain ---------------------------------------
     // The pipeline needs two rankings: the 2n Euler-tour arcs (positions
@@ -168,6 +174,7 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
     // (the `has_pred` fold; see DESIGN.md "Bucketed scatters").
     let num_arcs = 2 * n;
     let domain = num_arcs + m;
+    let span_phase = ctx.span("fused_successors");
     let mut fused_succ = ws.take_u32(domain);
     {
         // Break each cycle just before its leader: the chain element j
@@ -197,6 +204,8 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
     // construction (tree nodes point along f towards a cycle-node root), so
     // release builds take the unchecked fast path; debug builds run the
     // checked constructor, which charges identically by design.
+    drop(span_phase);
+    let span_phase = ctx.span("tree_structure");
     let parents: Vec<u32> = ctx.par_map_idx(n, |x| if is_cycle[x] { x as u32 } else { f[x] });
     let forest = if cfg!(debug_assertions) {
         RootedForest::from_parents_checked(ctx, parents)
@@ -205,6 +214,7 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
         RootedForest::from_parents(ctx, parents)
     };
     EulerTour::arc_successors_flagged_into(ctx, &forest, &mut fused_succ[..num_arcs], domain);
+    drop(span_phase);
 
     // The root array, computed ONCE per decomposition (pointer jumping) and
     // threaded through the tour finish, the cycle_of propagation below, and
@@ -221,6 +231,7 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
     let dist_to_end = &fused_ranks[num_arcs..];
 
     // Cycle length = dist(leader) + 1; position = length - 1 - dist.
+    let span_phase = ctx.span("cycle_csr");
     let mut cycle_pos = vec![u32::MAX; n];
     let mut cycle_of = vec![u32::MAX; n];
 
@@ -289,14 +300,17 @@ pub fn decompose(ctx: &Ctx, g: &FunctionalGraph, method: CycleMethod) -> Decompo
             }
         });
     }
+    drop(span_phase);
 
     let levels = tour.levels(ctx);
 
     // Propagate the cycle id to tree nodes through the threaded root array.
+    let span_phase = ctx.span("propagate_cycle_of");
     let cycle_of = {
         let (cycle_of, roots) = (&cycle_of, &roots);
         ctx.par_map_idx(n, |x| cycle_of[roots[x] as usize])
     };
+    drop(span_phase);
 
     Decomposition {
         is_cycle,

@@ -12,6 +12,7 @@
 //! | `workspace-pairing` | workspace checkouts are bound or handed off; no `mem::forget` |
 //! | `alloc-hot-path` | no allocation in `_into` hot paths; no accidental O(n) copies |
 //! | `facade-coverage` | panicking `pram`/`core` entry points have `try_` twins |
+//! | `trace-span` | every engine pass (`on_engine_pass`) opens a trace span |
 //! | `bench-engines` | committed bench rows carry known engine-set labels |
 //! | `lint-allow` | every inline suppression carries a justification |
 //!
@@ -98,6 +99,7 @@ pub fn run_lint(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
         findings.extend(rules::unsafe_hygiene::check_attr(&scan));
         findings.extend(rules::workspace_pairing::check(&scan));
         findings.extend(rules::alloc_hot_path::check(&scan));
+        findings.extend(rules::trace_span::check(&scan));
         facades.ingest(&scan);
     }
     findings.extend(facades.finish());

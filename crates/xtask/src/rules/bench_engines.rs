@@ -10,7 +10,11 @@
 //!   `crates/bench/src/bin/bench_json.rs`);
 //! * `scatter` rows must carry the scatter pair and non-scatter rows the
 //!   sort/rank pair — the exact confusion the mislabel was;
-//! * a big-n `"engine": x` field must name a single known `ScatterEngine`.
+//! * a big-n `"engine": x` field must name a single known `ScatterEngine`;
+//! * in a schema-2 file (header line `"schema": 2`), every result row must
+//!   embed the `"trace"` span/decision summary with both its `"spans"` and
+//!   `"decisions"` lists — the observability field the schema bump added.
+//!   (Pre-bump files carry no `"schema"` header and are exempt.)
 //!
 //! The files are line-structured (one row object per line, written by
 //! `bench_json`), so a comment/string-blind line scan is exact here.
@@ -48,10 +52,42 @@ fn field_value<'a>(line: &'a str, field: &str) -> Option<&'a str> {
 #[must_use]
 pub fn check(rel_path: &str, contents: &str) -> Vec<Finding> {
     let mut out = Vec::new();
+    // Bumped when the header's `"schema": N` line is seen; rows before it
+    // (there are none in well-formed output) default to the unversioned
+    // pre-trace schema.
+    let mut schema: u64 = 1;
     for (idx, line) in contents.lines().enumerate() {
         let line_no = idx + 1;
+        if let Some(rest) = field_value(line, "\"schema\":") {
+            schema = rest
+                .split([',', '}'])
+                .next()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(1);
+        }
         let name = field_value(line, "\"name\":")
             .map(|v| extract_quoted(v).into_iter().next().unwrap_or_default());
+
+        // Schema 2 rows must carry the span/decision summary.  Only rows
+        // (lines with a name) are checked; header lines are exempt.
+        if schema >= 2 && name.is_some() {
+            let trace = field_value(line, "\"trace\":");
+            let complete =
+                trace.is_some_and(|t| t.contains("\"spans\":[") && t.contains("\"decisions\":["));
+            if !complete {
+                out.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: RULE,
+                    message: format!(
+                        "schema-2 row `{}` is missing the \"trace\" summary \
+                         (with \"spans\" and \"decisions\" lists) — regenerate \
+                         with bench_json, or drop the \"schema\": 2 header",
+                        name.clone().unwrap_or_default()
+                    ),
+                });
+            }
+        }
 
         if let Some(rest) = field_value(line, "\"engines\":") {
             let Some(close) = rest.find(']') else {

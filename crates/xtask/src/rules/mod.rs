@@ -5,5 +5,6 @@ pub mod alloc_hot_path;
 pub mod bench_engines;
 pub mod charge_taint;
 pub mod facade_coverage;
+pub mod trace_span;
 pub mod unsafe_hygiene;
 pub mod workspace_pairing;

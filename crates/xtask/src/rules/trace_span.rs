@@ -1,0 +1,71 @@
+//! `trace-span` — every engine pass opens a trace span.
+//!
+//! The observability contract (DESIGN.md §12) is that a traced run covers
+//! *every* engine pass: each function that announces a pass via
+//! `sfcp_pram::faults::on_engine_pass()` must also open a span with
+//! `ctx.span("…")` in the same function, so the phase tree, the Perfetto
+//! export, and the bench span summaries never silently lose a pass.  The
+//! span guard is a single relaxed atomic load when tracing is disabled
+//! (the same zero-cost pattern as the fault hook itself), so there is no
+//! performance reason to omit it.
+//!
+//! The rule fires on any non-test first-party function that calls
+//! `on_engine_pass()` without a `.span(` call; new passes therefore ship
+//! instrumented or carry a justified `lint:allow(trace-span)`.
+
+use crate::scan::{FileScan, Finding};
+
+/// Rule identifier.
+pub const RULE: &str = "trace-span";
+
+/// Files exempt from the rule: the fault-injection layer defines (and
+/// self-tests) the hook itself and has no `Ctx` to span on.
+const EXEMPT_FILES: &[&str] = &["crates/pram/src/faults.rs"];
+
+/// Run the rule over one scanned file.
+pub fn check(scan: &FileScan) -> Vec<Finding> {
+    if EXEMPT_FILES.iter().any(|f| scan.rel_path.ends_with(f)) {
+        return Vec::new();
+    }
+    // First occurrence of the pass hook per enclosing function, and the set
+    // of functions that open a span.  Name-level grouping per file is exact
+    // here: the engine modules never split one pass across same-named fns.
+    let mut pass_at: Vec<(&str, usize)> = Vec::new();
+    let mut spanned: Vec<&str> = Vec::new();
+    for (idx, line) in scan.lines.iter().enumerate() {
+        if scan.in_test[idx] {
+            continue;
+        }
+        let code = &line.code;
+        let func = scan.fn_at(idx);
+        if code.contains("on_engine_pass()") && !pass_at.iter().any(|&(f, _)| f == func) {
+            pass_at.push((func, idx + 1));
+        }
+        if code.contains(".span(") && !spanned.contains(&func) {
+            spanned.push(func);
+        }
+    }
+    let mut out = Vec::new();
+    for (func, line_no) in pass_at {
+        if spanned.contains(&func) || scan.allowed(RULE, line_no) {
+            continue;
+        }
+        out.push(Finding {
+            file: scan.rel_path.clone(),
+            line: line_no,
+            rule: RULE,
+            message: format!(
+                "`{}` announces an engine pass without opening a trace span — \
+                 add `let _span = ctx.span(\"…\");` so the phase tree covers \
+                 the pass (disabled cost is one relaxed load), or justify \
+                 with lint:allow({RULE})",
+                if func.is_empty() {
+                    "<item scope>"
+                } else {
+                    func
+                }
+            ),
+        });
+    }
+    out
+}

@@ -1,0 +1,11 @@
+// Fixture: engine passes announced without opening a trace span.
+pub fn rank_pass_into(ctx: &Ctx, out: &mut [u32]) {
+    sfcp_pram::faults::on_engine_pass();
+    ctx.tracker().charge(out.len() as u64, 1);
+    drive(out);
+}
+
+pub fn scatter_pass_into(ctx: &Ctx, out: &mut [u32]) {
+    sfcp_pram::faults::on_engine_pass();
+    drive(out);
+}

@@ -1,0 +1,29 @@
+// Fixture: clean — every announced pass opens a span, a justified
+// suppression is honoured, and test code is exempt.
+pub fn rank_pass_into(ctx: &Ctx, out: &mut [u32]) {
+    sfcp_pram::faults::on_engine_pass();
+    let _span = ctx.span("rank_pass");
+    ctx.tracker().charge(out.len() as u64, 1);
+    drive(out);
+}
+
+pub fn scatter_pass_into(ctx: &Ctx, out: &mut [u32]) {
+    let mut span = ctx.span("scatter_pass");
+    span.attr("n", out.len() as u64);
+    sfcp_pram::faults::on_engine_pass();
+    drive(out);
+}
+
+pub fn micro_pass(out: &mut [u32]) {
+    // lint:allow(trace-span): micro-pass measured inside the caller's span
+    sfcp_pram::faults::on_engine_pass();
+    drive(out);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pass_in_tests_is_fine() {
+        sfcp_pram::faults::on_engine_pass();
+    }
+}

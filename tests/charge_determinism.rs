@@ -142,6 +142,44 @@ fn auto_engine_selection_is_charge_invisible() {
     }
 }
 
+/// Tracing must be charge-invisible: the span guards and engine-decision
+/// records read the tracker and the clock but never feed them, so a traced
+/// decompose must charge bit-identically to an untraced one — across the
+/// full `ScatterEngine` × `RankEngine` × `SortEngine` grid (the spans sit
+/// inside every engine pass, so each engine's pass structure is exercised).
+/// This is the contract that lets `bench_json` harvest its per-row span
+/// summaries from the same tracked pass that labels the charge columns.
+#[test]
+fn tracing_is_charge_invisible_across_engine_grid() {
+    let g = sfcp_forest::generators::random_function(20_000, 17);
+    for scatter in ScatterEngine::ALL {
+        for rank in rank_engines() {
+            for sort in [SortEngine::Packed, SortEngine::Permutation] {
+                let run = |traced: bool| {
+                    let mut ctx = Ctx::new(Mode::Parallel)
+                        .with_rank_engine(rank)
+                        .with_sort_engine(sort)
+                        .with_scatter_engine(scatter);
+                    if traced {
+                        ctx = ctx.with_tracing();
+                    }
+                    let d = sfcp_forest::decompose(&ctx, &g, CycleMethod::Euler);
+                    std::hint::black_box(d.num_cycles());
+                    (ctx.stats(), ctx.trace().snapshot().spans.len())
+                };
+                let (untraced, no_spans) = run(false);
+                let (traced, spans) = run(true);
+                assert_eq!(
+                    untraced, traced,
+                    "tracing changed charges ({scatter:?}, {rank:?}, {sort:?})"
+                );
+                assert_eq!(no_spans, 0, "untraced run must record nothing");
+                assert!(spans > 0, "traced run must record the phase spans");
+            }
+        }
+    }
+}
+
 #[test]
 fn decompose_charges_are_thread_count_independent() {
     let g = sfcp_forest::generators::random_function(50_000, 23);

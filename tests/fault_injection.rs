@@ -174,6 +174,65 @@ fn injected_faults_surface_through_the_solver_facade() {
     faults::reset();
 }
 
+/// Recovery must leave the trace recorder coherent (DESIGN.md §12): a span
+/// held open across `Ctx::recover` is orphaned — its baseline counters
+/// predate the tracker/workspace reset, so closing it normally would record
+/// garbage deltas.  `recover` (and `reset_stats`) invalidate the open
+/// stack, the orphaned guard discards at drop, and a post-recovery traced
+/// run records a fresh tree whose root charge matches the tracker exactly.
+#[test]
+fn recovery_discards_orphaned_spans() {
+    let _g = lock();
+    faults::reset();
+    let g = generators::random_function(10_000, 5);
+    let ctx = Ctx::parallel().with_tracing();
+    let _ = decompose(&ctx, &g, CycleMethod::Euler);
+
+    // Direct orphan: recover while a span is open.
+    ctx.trace().clear();
+    {
+        let _orphan = ctx.span("orphan");
+        ctx.recover();
+    }
+    let snap = ctx.trace().snapshot();
+    assert!(
+        snap.spans_named("orphan").is_empty(),
+        "an orphaned span must be discarded, not recorded: {snap:?}"
+    );
+    assert_eq!(snap.open_discarded, 1);
+
+    // Injected mid-pipeline fault: the unwind closes the in-flight guards
+    // (they measured real pre-fault execution) and `try_decompose`'s
+    // recovery invalidates whatever the unwind left open.  The next traced
+    // run must then record a coherent tree — exactly one root whose charge
+    // delta equals the tracker's run total (an un-discarded stale parent
+    // would nest the new tree and skew every delta).
+    let err = with_quiet_panics(|| {
+        faults::arm(FaultSite::EnginePass, 3, FaultKind::Panic);
+        let err = try_decompose(&ctx, &g, CycleMethod::Euler)
+            .expect_err("an armed fault must fail the run");
+        faults::reset();
+        err
+    });
+    assert!(matches!(err, Error::Injected(_)), "got {err}");
+    ctx.trace().clear();
+    ctx.reset_stats();
+    let d = decompose(&ctx, &g, CycleMethod::Euler);
+    std::hint::black_box(d.num_cycles());
+    let snap = ctx.trace().snapshot();
+    let roots = snap.spans_named("decompose");
+    assert_eq!(roots.len(), 1, "one pipeline root: {snap:?}");
+    assert_eq!(roots[0].parent, None, "recovery left a stale open span");
+    assert_eq!(roots[0].depth, 0);
+    assert_eq!(
+        roots[0].charge,
+        ctx.stats(),
+        "the root span's charge delta must equal the tracker's run total"
+    );
+    assert_eq!(snap.open_discarded, 0);
+    faults::reset();
+}
+
 #[test]
 fn disabled_layer_never_perturbs_results_or_charges() {
     let _g = lock();
