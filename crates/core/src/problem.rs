@@ -53,6 +53,25 @@ impl Instance {
         })
     }
 
+    /// Content digest of the instance: FxHash over `n`, `A_f`, and `A_B`.
+    ///
+    /// Two instances with equal digests are (with fingerprint confidence)
+    /// the same problem; the serving layer keys its snapshot cache on this
+    /// value combined with the engine selection.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = sfcp_pram::fxhash::FxHasher::default();
+        h.write_u64(self.len() as u64);
+        for &v in self.f() {
+            h.write_u32(v);
+        }
+        for &v in &self.blocks {
+            h.write_u32(v);
+        }
+        h.finish()
+    }
+
     /// Build from an existing functional graph.
     #[must_use]
     pub fn from_graph(graph: FunctionalGraph, blocks: Vec<u32>) -> Self {
@@ -220,6 +239,13 @@ impl Partition {
     #[must_use]
     pub fn labels(&self) -> &[u32] {
         &self.labels
+    }
+
+    /// Consume the partition and return the label array (the serving
+    /// layer's snapshot encoder takes ownership instead of copying).
+    #[must_use]
+    pub fn into_labels(self) -> Vec<u32> {
+        self.labels
     }
 
     /// Number of distinct blocks.

@@ -264,6 +264,25 @@ impl Ctx {
         self.scatter_engine
     }
 
+    /// Mutating twin of [`Ctx::with_sort_engine`] for long-running owners
+    /// (e.g. a service worker that re-targets its persistent context per
+    /// request without rebuilding it — pools and probed topology stay warm).
+    pub fn set_sort_engine(&mut self, engine: SortEngine) {
+        self.engine = engine;
+    }
+
+    /// Mutating twin of [`Ctx::with_rank_engine`]; see
+    /// [`Ctx::set_sort_engine`].
+    pub fn set_rank_engine(&mut self, engine: RankEngine) {
+        self.rank_engine = engine;
+    }
+
+    /// Mutating twin of [`Ctx::with_scatter_engine`]; see
+    /// [`Ctx::set_sort_engine`].
+    pub fn set_scatter_engine(&mut self, engine: ScatterEngine) {
+        self.scatter_engine = engine;
+    }
+
     /// Resolve the scatter engine for a pass whose destination occupies
     /// `dest_bytes`: explicit selections pass through; [`ScatterEngine::Auto`]
     /// picks [`ScatterEngine::Combining`] when the destination outgrows the

@@ -1,0 +1,169 @@
+//! A minimal blocking client for the wire protocol (also what the
+//! benchmark and the CI smoke driver use).
+
+use crate::error::ErrorReply;
+use crate::proto::{
+    read_frame, write_frame, BatchResponse, ComputeRequest, FrameError, Reply, Request,
+    RequestBody, Response, DEFAULT_MAX_FRAME_BYTES,
+};
+use std::fmt;
+use std::net::{SocketAddr, TcpStream};
+
+/// Client-side failures (transport and protocol; server-side errors arrive
+/// as typed [`ErrorReply`]s inside responses instead).
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(std::io::Error),
+    /// The framing layer failed (e.g. the server answered an oversized
+    /// frame).
+    Frame(FrameError),
+    /// The response payload did not parse.
+    Protocol(String),
+    /// The server closed the connection mid-conversation.
+    Disconnected,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O error: {e}"),
+            ClientError::Frame(e) => write!(f, "client framing error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A blocking connection to a running server.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    max_frame_bytes: u32,
+}
+
+impl Client {
+    /// Connect to a server address (see
+    /// [`ServerHandle::addr`](crate::ServerHandle::addr)).
+    ///
+    /// # Errors
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_id: 1,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Send raw bytes as one frame and read one response frame back
+    /// (adversarial tests drive the decoder through this).
+    ///
+    /// # Errors
+    /// Transport/framing failures; [`ClientError::Disconnected`] when the
+    /// server closes instead of answering.
+    pub fn call_raw(&mut self, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        write_frame(&mut self.stream, payload)?;
+        match read_frame(&mut self.stream, self.max_frame_bytes)? {
+            Some(response) => Ok(response),
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// Send one compute request and wait for its reply; a server-side
+    /// typed error becomes the `Err` arm of the inner result.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport/protocol failures (the outer layer).
+    pub fn request(
+        &mut self,
+        req: &ComputeRequest,
+    ) -> Result<Result<Reply, ErrorReply>, ClientError> {
+        let id = self.fresh_id();
+        let frame = Request {
+            id,
+            body: RequestBody::Compute(req.clone()),
+        }
+        .encode();
+        let response = self.round_trip(id, &frame)?;
+        Ok(response.outcome)
+    }
+
+    /// Send an explicit batch frame; per-member responses come back in
+    /// request order.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport/protocol failures.
+    pub fn batch(&mut self, reqs: &[ComputeRequest]) -> Result<Vec<Response>, ClientError> {
+        let id = self.fresh_id();
+        let subs: Vec<(u64, ComputeRequest)> =
+            reqs.iter().map(|r| (self.fresh_id(), r.clone())).collect();
+        let frame = Request {
+            id,
+            body: RequestBody::Batch(subs),
+        }
+        .encode();
+        write_frame(&mut self.stream, &frame)?;
+        let payload =
+            read_frame(&mut self.stream, self.max_frame_bytes)?.ok_or(ClientError::Disconnected)?;
+        let batch = BatchResponse::decode(&payload).map_err(ClientError::Protocol)?;
+        if batch.id != id {
+            return Err(ClientError::Protocol(format!(
+                "batch response id {} != request id {id}",
+                batch.id
+            )));
+        }
+        Ok(batch.responses)
+    }
+
+    /// Probe the answering worker's workspace/cache state.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport/protocol failures.
+    pub fn probe(&mut self) -> Result<Result<Reply, ErrorReply>, ClientError> {
+        let id = self.fresh_id();
+        let frame = Request {
+            id,
+            body: RequestBody::Probe,
+        }
+        .encode();
+        let response = self.round_trip(id, &frame)?;
+        Ok(response.outcome)
+    }
+
+    fn round_trip(&mut self, id: u64, frame: &[u8]) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, frame)?;
+        let payload =
+            read_frame(&mut self.stream, self.max_frame_bytes)?.ok_or(ClientError::Disconnected)?;
+        let response = Response::decode(&payload).map_err(ClientError::Protocol)?;
+        if response.id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} != request id {id}",
+                response.id
+            )));
+        }
+        Ok(response)
+    }
+}

@@ -14,6 +14,12 @@
 //! The scan is crate-wide, so the twin may live in any module of the crate
 //! (e.g. `coarsest_partition` in `lib.rs`, dispatching facade in the same
 //! file, panicking engines in submodules).
+//!
+//! The serving layer (`crates/service`) sits under the same rule with a
+//! crate-specific twist: its request handlers follow a `handle_<kind>`
+//! naming contract, and every `pub fn handle_*` must return a typed
+//! `Result` — a handler can never silently become panicking API, because
+//! the worker's dispatch maps handler errors onto wire-level `ErrorReply`s.
 
 use crate::scan::{FileScan, Finding};
 use std::collections::{BTreeMap, BTreeSet};
@@ -22,13 +28,37 @@ use std::collections::{BTreeMap, BTreeSet};
 pub const RULE: &str = "facade-coverage";
 
 /// Crates under the facade contract, identified by path prefix.
-pub const FACADE_CRATES: &[&str] = &["crates/pram/src/", "crates/core/src/"];
+pub const FACADE_CRATES: &[&str] = &[
+    "crates/pram/src/",
+    "crates/core/src/",
+    "crates/service/src/",
+];
+
+/// The crate whose `pub fn handle_*` request handlers must return `Result`.
+pub const HANDLER_CRATE: &str = "crates/service/src/";
 
 fn crate_of(rel_path: &str) -> Option<&'static str> {
     FACADE_CRATES
         .iter()
         .find(|p| rel_path.starts_with(**p))
         .copied()
+}
+
+/// Whether the fn signature starting at `idx` returns a `Result`, scanning
+/// across wrapped lines until the body opens (or the declaration ends).
+fn signature_returns_result(scan: &FileScan, idx: usize) -> bool {
+    let mut sig = String::new();
+    for line in scan.lines.iter().skip(idx) {
+        sig.push_str(&line.code);
+        sig.push(' ');
+        if line.code.contains('{') || line.code.contains(';') {
+            break;
+        }
+    }
+    match sig.find("->") {
+        Some(arrow) => sig[arrow..].contains("Result<"),
+        None => false,
+    }
 }
 
 fn fn_name_after(code: &str, kw_pos: usize) -> Option<String> {
@@ -49,6 +79,8 @@ pub struct FacadeState {
     panicking: BTreeMap<&'static str, Vec<(String, String, usize)>>,
     /// crate prefix -> (name, file, line) of try_-prefixed fns.
     facades: BTreeMap<&'static str, Vec<(String, String, usize)>>,
+    /// Service handlers violating the `handle_* -> Result` contract.
+    handler_findings: Vec<Finding>,
 }
 
 impl FacadeState {
@@ -93,6 +125,24 @@ impl FacadeState {
                         {
                             self.panicking.entry(krate).or_default().push(record);
                         }
+                        if krate == HANDLER_CRATE
+                            && is_pub
+                            && name.starts_with("handle_")
+                            && !scan.in_test[idx]
+                            && !scan.allowed(RULE, idx + 1)
+                            && !signature_returns_result(scan, idx)
+                        {
+                            self.handler_findings.push(Finding {
+                                file: scan.rel_path.clone(),
+                                line: idx + 1,
+                                rule: RULE,
+                                message: format!(
+                                    "service request handler `{name}` must return a \
+                                     typed `Result` — handlers feed the wire-level \
+                                     error mapping and may never panic through"
+                                ),
+                            });
+                        }
                     }
                 }
             }
@@ -103,7 +153,7 @@ impl FacadeState {
     /// Emit the findings once every file has been ingested.
     #[must_use]
     pub fn finish(self) -> Vec<Finding> {
-        let mut out = Vec::new();
+        let mut out = self.handler_findings;
         for (krate, fns) in &self.panicking {
             let defined = self.defined.get(krate).cloned().unwrap_or_default();
             for (name, file, line) in fns {

@@ -93,6 +93,7 @@ pub const CRATE_ROOTS: &[(&str, bool)] = &[
     // (crate root, must forbid unsafe_code entirely)
     ("crates/pram/src/lib.rs", true),
     ("crates/bench/src/lib.rs", true),
+    ("crates/service/src/lib.rs", true),
     ("crates/xtask/src/lib.rs", true),
     ("src/lib.rs", true),
     ("crates/parprim/src/lib.rs", false),

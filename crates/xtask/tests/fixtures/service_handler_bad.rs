@@ -1,0 +1,20 @@
+//! Fixture: service request handlers that violate the `handle_* -> Result`
+//! contract — one inline signature, one wrapped across lines.
+
+/// A handler that forgot its typed-error return.
+pub fn handle_partition(req: &ComputeRequest) -> Reply {
+    solve(req)
+}
+
+/// A wrapped signature whose return type is still not a `Result`.
+pub fn handle_decompose(
+    req: &ComputeRequest,
+    policy: &BatchPolicy,
+) -> Reply {
+    solve_with(req, policy)
+}
+
+/// No return type at all.
+pub fn handle_reset() {
+    clear();
+}

@@ -1,0 +1,33 @@
+//! Fixture: well-formed service handlers (typed `Result` returns, including
+//! a wrapped signature), plus names the handler rule must not touch.
+
+/// An inline conforming handler.
+pub fn handle_partition(req: &ComputeRequest) -> Result<Reply, ErrorReply> {
+    solve(req)
+}
+
+/// A conforming handler whose signature wraps across lines.
+pub fn handle_decompose(
+    req: &ComputeRequest,
+    policy: &BatchPolicy,
+) -> Result<Reply, ErrorReply> {
+    solve_with(req, policy)
+}
+
+/// Private helpers are not wire handlers.
+fn handle_internal(req: &ComputeRequest) -> Reply {
+    solve(req)
+}
+
+/// Non-handler pub fns are out of scope.
+pub fn encode(req: &ComputeRequest) -> Vec<u8> {
+    req.to_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test-only helpers are exempt.
+    pub fn handle_fake(req: &ComputeRequest) -> Reply {
+        solve(req)
+    }
+}

@@ -226,3 +226,57 @@ fn bench_engines_accepts_known_labels() {
     );
     assert_eq!(findings, vec![]);
 }
+
+#[test]
+fn facade_coverage_flags_handlers_without_result_returns() {
+    let mut state = FacadeState::default();
+    state.ingest(&scan(
+        "crates/service/src/worker.rs",
+        include_str!("fixtures/service_handler_bad.rs"),
+    ));
+    let findings = state.finish();
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`handle_partition`")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`handle_decompose`")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`handle_reset`")));
+}
+
+#[test]
+fn facade_coverage_accepts_conforming_handlers() {
+    let mut state = FacadeState::default();
+    state.ingest(&scan(
+        "crates/service/src/worker.rs",
+        include_str!("fixtures/service_handler_clean.rs"),
+    ));
+    assert_eq!(state.finish(), vec![]);
+}
+
+#[test]
+fn handler_rule_is_scoped_to_the_service_crate() {
+    // The same non-conforming handlers in another facade crate are not the
+    // service wire surface; only the `# Panics`-twin rule applies there.
+    let mut state = FacadeState::default();
+    state.ingest(&scan(
+        "crates/core/src/worker.rs",
+        include_str!("fixtures/service_handler_bad.rs"),
+    ));
+    assert_eq!(state.finish(), vec![]);
+}
+
+#[test]
+fn unsafe_attr_covers_the_service_crate_root() {
+    // The service crate is declared unsafe-free: a root without
+    // `forbid(unsafe_code)` must be flagged.
+    let findings = unsafe_hygiene::check_attr(&scan(
+        "crates/service/src/lib.rs",
+        include_str!("fixtures/unsafe_attr_bad.rs"),
+    ));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("forbid(unsafe_code)"));
+}

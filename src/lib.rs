@@ -8,7 +8,8 @@
 //! * [`sfcp_forest`] — functional graph (pseudo-forest) substrate,
 //! * [`sfcp_strings`] — circular string canonization and string sorting,
 //! * [`sfcp_parprim`] — parallel primitives (scan, sort, list ranking, Euler tour),
-//! * [`sfcp_pram`] — the PRAM work/depth cost model.
+//! * [`sfcp_pram`] — the PRAM work/depth cost model,
+//! * [`sfcp_service`] — the batched, warm, snapshot-cached serving layer.
 //!
 //! ## Quickstart
 //!
@@ -105,4 +106,5 @@ pub use sfcp;
 pub use sfcp_forest;
 pub use sfcp_parprim;
 pub use sfcp_pram;
+pub use sfcp_service;
 pub use sfcp_strings;

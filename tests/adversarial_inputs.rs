@@ -159,3 +159,155 @@ fn index_width_boundary_is_pinned() {
     ));
     assert_eq!(sfcp_pram::MAX_DOMAIN, 1 << 31);
 }
+
+// ---------------------------------------------------------------------------
+// Serving-layer protocol decoder: malformed frames, oversized length
+// prefixes, and garbage JSON must come back as typed error responses — never
+// a hung connection, a panic, or a dead server.
+// ---------------------------------------------------------------------------
+
+mod protocol {
+    use sfcp_service::{
+        Client, ClientError, ComputeRequest, ErrorCode, Response, Server, ServerConfig,
+    };
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn server() -> sfcp_service::ServerHandle {
+        Server::start(ServerConfig::default()).expect("bind")
+    }
+
+    /// Decode a raw response frame and demand a typed error of `code`.
+    fn expect_error(payload: &[u8], code: ErrorCode) {
+        let response = Response::decode(payload).expect("response parses");
+        let err = response.outcome.expect_err("a typed error response");
+        assert_eq!(err.code, code, "{err}");
+    }
+
+    /// Garbage JSON inside a well-delimited frame: typed `BadRequest`, and
+    /// the connection keeps serving.
+    #[test]
+    fn garbage_json_is_typed_and_connection_survives() {
+        let handle = server();
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        for garbage in [
+            &b"{not json at all"[..],
+            b"",
+            b"[1,2,3]",
+            b"\"a bare string\"",
+            b"{\"id\":1,\"kind\":\"no_such_kind\",\"f\":[0]}",
+            b"{\"id\":2,\"kind\":\"partition\"}",
+            b"{\"id\":3,\"kind\":\"partition\",\"f\":[0],\"blocks\":[true]}",
+            b"{\"id\":4,\"kind\":\"partition\",\"f\":[0],\"blocks\":[0],\"engines\":{\"rank\":\"bogus\"}}",
+            b"\xff\xfe invalid utf8 \xff",
+        ] {
+            let payload = client.call_raw(garbage).expect("error response expected");
+            expect_error(&payload, ErrorCode::BadRequest);
+        }
+        // Decodes fine but is rejected by the worker's workload validation:
+        // still a typed error, one layer later.
+        let payload = client
+            .call_raw(b"{\"id\":5,\"kind\":\"partition\",\"workload\":{\"n\":0,\"seed\":1}}")
+            .expect("error response expected");
+        expect_error(&payload, ErrorCode::InvalidInput);
+        // The same connection still computes.
+        let reply = client
+            .request(&ComputeRequest::partition(vec![1, 0], vec![0, 1]))
+            .expect("transport")
+            .expect("solve");
+        assert!(reply.work > 0);
+        handle.shutdown();
+    }
+
+    /// A batch nested inside a batch is rejected, not recursed into.
+    #[test]
+    fn nested_batches_are_rejected() {
+        let handle = server();
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let nested =
+            br#"{"id":1,"kind":"batch","requests":[{"id":2,"kind":"batch","requests":[]}]}"#;
+        let payload = client.call_raw(nested).expect("error response expected");
+        expect_error(&payload, ErrorCode::BadRequest);
+        handle.shutdown();
+    }
+
+    /// Deeply nested JSON trips the parser's depth limit as a typed error —
+    /// not a stack overflow.
+    #[test]
+    fn pathological_nesting_is_bounded() {
+        let handle = server();
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let mut deep = vec![b'['; 100_000];
+        deep.extend(vec![b']'; 100_000]);
+        let payload = client.call_raw(&deep).expect("error response expected");
+        expect_error(&payload, ErrorCode::BadRequest);
+        handle.shutdown();
+    }
+
+    /// An oversized length prefix gets one typed error response and then a
+    /// deliberate close (the stream position is unrecoverable) — and the
+    /// server keeps accepting fresh connections.
+    #[test]
+    fn oversized_length_prefix_reports_then_closes() {
+        let handle = server();
+        let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+        raw.write_all(&u32::MAX.to_le_bytes())
+            .expect("write prefix");
+        raw.flush().expect("flush");
+
+        let mut len_buf = [0u8; 4];
+        raw.read_exact(&mut len_buf).expect("error frame header");
+        let len = u32::from_le_bytes(len_buf) as usize;
+        assert!(len < 1 << 16, "sane error frame");
+        let mut payload = vec![0u8; len];
+        raw.read_exact(&mut payload).expect("error frame body");
+        expect_error(&payload, ErrorCode::BadRequest);
+
+        // Then EOF: the server closed its half.
+        assert_eq!(raw.read(&mut len_buf).expect("clean close"), 0);
+
+        // A fresh connection is served normally.
+        let mut client = Client::connect(handle.addr()).expect("reconnect");
+        assert!(client.probe().expect("transport").is_ok());
+        handle.shutdown();
+    }
+
+    /// A frame truncated mid-payload (client hangs up early) must not wedge
+    /// the server.
+    #[test]
+    fn truncated_frames_do_not_wedge_the_server() {
+        let handle = server();
+        {
+            let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+            raw.write_all(&100u32.to_le_bytes()).expect("write prefix");
+            raw.write_all(b"{\"id\":1").expect("partial payload");
+            // Drop: EOF inside the frame body.
+        }
+        let mut client = Client::connect(handle.addr()).expect("reconnect");
+        assert!(client.probe().expect("transport").is_ok());
+        handle.shutdown();
+    }
+
+    /// The client side refuses oversized response prefixes too (a malicious
+    /// or confused server cannot make it allocate unboundedly).
+    #[test]
+    fn client_rejects_oversized_response_prefixes() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let fake = std::thread::spawn(move || {
+            let (mut peer, _) = listener.accept().expect("accept");
+            let mut sink = [0u8; 256];
+            let _ = peer.read(&mut sink);
+            peer.write_all(&u32::MAX.to_le_bytes())
+                .expect("evil prefix");
+            peer.flush().expect("flush");
+            // Hold the socket open until the client gives up.
+            let _ = peer.read(&mut sink);
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        let err = client.call_raw(b"{}").expect_err("oversized response");
+        assert!(matches!(err, ClientError::Frame(_)), "got {err}");
+        drop(client);
+        fake.join().expect("fake server");
+    }
+}

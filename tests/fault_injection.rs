@@ -254,3 +254,101 @@ fn disabled_layer_never_perturbs_results_or_charges() {
     assert_eq!(a, b);
     assert_eq!(quiet_stats, counted.stats());
 }
+
+/// The service-path sweep: a fault armed at **every** checkout/engine-pass
+/// site of a batched request must surface over the wire as a typed
+/// retryable error on every cohort member, leave the serving worker's
+/// workspace reconciled (`outstanding == 0`, observed via a probe on the
+/// same warm context), and the next identical request must reproduce the
+/// baseline answer and charges bit-identically.
+#[test]
+fn service_path_sweep_recovers_warm_workers() {
+    use sfcp_repro::sfcp_service::{
+        Client, ComputeRequest, ErrorCode, ReplyPayload, Server, ServerConfig,
+    };
+
+    let _g = lock();
+    faults::reset();
+    let server = Server::start(ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let member_n = if cfg!(debug_assertions) { 400 } else { 4_000 };
+    let members: Vec<Instance> = (0..5)
+        .map(|j| Instance::random(member_n + j * 37, 2 + j % 3, 0xfa + j as u64))
+        .collect();
+    let reqs: Vec<ComputeRequest> = members
+        .iter()
+        .map(|m| ComputeRequest::partition(m.f().to_vec(), m.blocks().to_vec()).no_cache())
+        .collect();
+
+    let run_batch = |client: &mut Client| client.batch(&reqs).expect("transport");
+
+    // Warm the worker, then record the baseline cohort (answers + charges).
+    let _ = run_batch(&mut client);
+    let baseline: Vec<_> = run_batch(&mut client)
+        .into_iter()
+        .map(|r| r.outcome.expect("baseline member"))
+        .collect();
+
+    // Count the injection points of one warm batched serve.  Only the
+    // serving worker runs engine code while we wait on the response, so the
+    // window sees exactly that run.
+    faults::start_counting();
+    let _ = run_batch(&mut client);
+    let (checkouts, passes) = faults::counts();
+    faults::reset();
+    assert!(
+        checkouts > 0 && passes > 0,
+        "hooks must see the fused serve"
+    );
+
+    with_quiet_panics(|| {
+        let points = (0..checkouts)
+            .map(|k| (FaultSite::Checkout, k))
+            .chain((0..passes).map(|k| (FaultSite::EnginePass, k)));
+        for (site, k) in points {
+            let kind = if k % 2 == 0 {
+                FaultKind::Panic
+            } else {
+                FaultKind::AllocFail
+            };
+            faults::arm(site, k, kind);
+            let responses = run_batch(&mut client);
+            faults::reset();
+
+            // Every cohort member fails typed and retryable.
+            for response in &responses {
+                let err = response
+                    .outcome
+                    .as_ref()
+                    .expect_err("an armed fault must fail the cohort");
+                assert_eq!(err.code, ErrorCode::Execution, "{site:?} #{k}: {err}");
+                assert!(err.retryable, "{site:?} #{k} must be retryable");
+            }
+
+            // The worker recovered: no outstanding checkouts.
+            let probe = client.probe().expect("transport").expect("probe");
+            let ReplyPayload::Probe { outstanding, .. } = probe.payload else {
+                panic!("probe payload expected");
+            };
+            assert_eq!(outstanding, 0, "{site:?} #{k} leaked a checkout");
+
+            // The same warm worker reproduces the baseline bit-identically.
+            let rerun = run_batch(&mut client);
+            for (base, got) in baseline.iter().zip(&rerun) {
+                let reply = got.outcome.as_ref().expect("post-recovery member");
+                assert_eq!(
+                    reply.payload, base.payload,
+                    "{site:?} #{k} changed an answer"
+                );
+                assert_eq!(
+                    (reply.work, reply.rounds),
+                    (base.work, base.rounds),
+                    "{site:?} #{k} changed the charges"
+                );
+            }
+        }
+    });
+    faults::reset();
+    server.shutdown();
+}
